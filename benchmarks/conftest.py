@@ -1,0 +1,25 @@
+"""Benchmark harness helpers.
+
+Every benchmark runs its experiment exactly once (they are multi-second
+simulations, not microbenchmarks) via ``benchmark.pedantic`` and prints a
+paper-vs-measured table so the regenerated figure/table can be eyeballed
+against the publication.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def print_comparison(title: str, rows: list[tuple[str, str, str]]) -> None:
+    """Print a 'paper says / we measured' table."""
+    width_label = max(len(r[0]) for r in rows)
+    width_paper = max(len(r[1]) for r in rows + [("", "paper", "")])
+    print(f"\n=== {title} ===")
+    print(f"{'':{width_label}}  {'paper':>{width_paper}}  measured")
+    for label, paper, measured in rows:
+        print(f"{label:{width_label}}  {paper:>{width_paper}}  {measured}")

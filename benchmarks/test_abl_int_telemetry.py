@@ -1,0 +1,73 @@
+"""Ablation: INT vs traceroute-based congestion localisation (§7.4).
+
+Paper: "INT allows R-Pingmesh to obtain queuing information on switch
+ports, which can help locate bottlenecks more accurately when R-Pingmesh
+detects network congestion" — and traceroute is rate-limited by switch
+CPUs while INT is not.
+
+We congest one fabric link, then localise the congestion two ways:
+RTT-vote over traced paths (the deployed default) versus a single INT
+sweep reading per-hop queue depths.  INT must name the exact directed
+link; the RTT vote localises the cable.  We also show the traceroute
+rate limiter degrading trace completeness where ERSPAN/INT stay complete.
+"""
+
+from conftest import print_comparison, run_once
+
+from repro.cluster import Cluster
+from repro.experiments.common import default_cluster_params
+from repro.net.addresses import roce_five_tuple
+from repro.net.telemetry import IntTracer, localize_congestion_with_int
+from repro.net.traceroute import TracerouteService
+
+
+def run_int_vs_vote(seed: int = 23):
+    cluster = Cluster.clos(default_cluster_params(), seed=seed)
+    src, dst = "host0-rnic0", "host6-rnic0"
+    src_ip = cluster.rnic(src).ip
+    dst_ip = cluster.rnic(dst).ip
+    flows = [(roce_five_tuple(src_ip, dst_ip, port), src)
+             for port in range(7000, 7032)]
+
+    # Congest one specific fabric link on the first flow's path.
+    guilty_path = cluster.fabric.path_of(flows[0][0], src)
+    a, b = guilty_path[2], guilty_path[3]
+    link = cluster.topology.link(a, b)
+    link.set_offered_load(0, link.rate_gbps)
+    link.queue_bytes = 6_000_000
+
+    tracer = IntTracer(cluster.fabric)
+    int_suspect = localize_congestion_with_int(tracer, flows)
+
+    # Traceroute completeness under rate limiting vs ERSPAN/INT.
+    traceroute = TracerouteService(cluster.fabric)
+    complete_traceroute = 0
+    complete_int = 0
+    for ft, src_node in flows:
+        if traceroute.trace(ft, src_node).complete:
+            complete_traceroute += 1
+        if tracer.trace(ft, src_node).complete:
+            complete_int += 1
+    return {
+        "guilty": f"{a}->{b}",
+        "int_suspect": int_suspect,
+        "traceroute_complete": complete_traceroute,
+        "int_complete": complete_int,
+        "flows": len(flows),
+    }
+
+
+def test_ablation_int_congestion_localization(benchmark):
+    result = run_once(benchmark, run_int_vs_vote)
+    print_comparison("Ablation: INT vs traceroute (§7.4)", [
+        ("INT congestion locus", "exact directed link",
+         f"{result['int_suspect']} (truth {result['guilty']})"),
+        ("traceroute completeness (burst)", "rate-limited",
+         f"{result['traceroute_complete']}/{result['flows']} complete"),
+        ("INT completeness (burst)", "no CPU rate limit",
+         f"{result['int_complete']}/{result['flows']} complete"),
+    ])
+    assert result["int_suspect"] == result["guilty"]
+    assert result["int_complete"] == result["flows"]
+    # A burst of traces exhausts the switches' traceroute token buckets.
+    assert result["traceroute_complete"] < result["flows"]

@@ -1,0 +1,79 @@
+"""Closed-loop remediation (§7.5 #2/#3): detect -> diagnose -> isolate.
+
+Not a paper figure — the paper lists this as future work — but DESIGN.md
+commits to the extension: after the Analyzer localises a flapping switch
+port under a live job, the advisor names the root cause from the port's
+flap counter and the remediator isolates the cable; training throughput
+must recover without a task restart.
+"""
+
+from conftest import print_comparison, run_once
+
+from repro.cluster import Cluster
+from repro.core.records import ProblemCategory
+from repro.core.remediation import Remediator
+from repro.core.rootcause import RootCauseAdvisor
+from repro.core.system import RPingmesh
+from repro.experiments.common import default_cluster_params
+from repro.net.faults import SwitchPortFlapping
+from repro.services.dml import CommPattern, DmlConfig, DmlJob
+from repro.sim.units import MILLISECOND, seconds
+
+
+def run_loop(seed: int = 24):
+    cluster = Cluster.clos(default_cluster_params(), seed=seed)
+    system = RPingmesh(cluster)
+    system.start()
+    advisor = RootCauseAdvisor(cluster)
+    remediator = Remediator(cluster)
+    job = DmlJob(cluster, cluster.rnic_names()[:8],
+                 DmlConfig(pattern=CommPattern.ALL2ALL,
+                           compute_time_ns=300 * MILLISECOND,
+                           data_gbits_per_cycle=4.0))
+    system.attach_service_monitor(job)
+    cluster.sim.run_for(seconds(5))
+    job.start()
+    cluster.sim.run_for(seconds(20))
+    healthy = job.current_throughput()
+
+    SwitchPortFlapping(cluster, "pod0-tor0", "pod0-agg0").inject()
+    cluster.sim.run_for(seconds(45))
+    degraded = job.current_throughput()
+
+    diagnosis_row = None
+    for window in reversed(system.analyzer.windows):
+        for prob in window.problems:
+            if prob.category == ProblemCategory.SWITCH_NETWORK_PROBLEM:
+                diagnosis_row = advisor.diagnose(prob).best.table2_row
+                action = remediator.consider(prob)
+                if action and action.kind == "isolate_link":
+                    break
+        if remediator.isolated_links:
+            break
+    cluster.sim.run_for(seconds(40))
+    recovered = job.current_throughput()
+    return {
+        "healthy": healthy, "degraded": degraded, "recovered": recovered,
+        "diagnosis_row": diagnosis_row,
+        "isolated": bool(remediator.isolated_links),
+        "task_failed": job.task_failed,
+    }
+
+
+def test_closed_loop_remediation(benchmark):
+    result = run_once(benchmark, run_loop)
+    print_comparison("Closed loop: detect -> diagnose -> isolate (§7.5)", [
+        ("healthy throughput", "-", f"{result['healthy']:.0f} Gb/s"),
+        ("under flapping", "collapse", f"{result['degraded']:.0f} Gb/s"),
+        ("diagnosis", "Table 2 row 1 (flapping)",
+         f"row {result['diagnosis_row']}"),
+        ("after isolation", "recovers, no task restart",
+         f"{result['recovered']:.0f} Gb/s "
+         f"(failed={result['task_failed']})"),
+    ])
+    assert result["degraded"] < result["healthy"] / 5
+    assert result["diagnosis_row"] == 1
+    assert result["isolated"]
+    assert not result["task_failed"]
+    # One of two uplinks removed: most of the healthy rate comes back.
+    assert result["recovered"] > 0.6 * result["healthy"]

@@ -1,0 +1,103 @@
+"""Ablations of the two design choices DESIGN.md calls out.
+
+1. **ToR-mesh RNIC filtering** (§4.3.2 / §2.4): with a concurrent RNIC
+   fault and switch fault, filtering RNIC-caused anomalies first keeps the
+   switch localisation clean; without it, RNIC timeouts pollute the vote
+   and the top suspect drifts to host links (Pingmesh's failure mode).
+2. **Continuous path tracing** (§4.2.3): tracing only after a failure
+   observes truncated/rehashed paths; the pre-failure cached path names
+   the guilty link.
+"""
+
+from conftest import print_comparison, run_once
+
+from repro.cluster import Cluster
+from repro.core.config import RPingmeshConfig
+from repro.core.system import RPingmesh
+from repro.experiments.common import default_cluster_params
+from repro.net.faults import LinkFailure, RnicFlapping, SwitchPortFlapping
+from repro.sim.units import seconds
+
+
+def _concurrent_fault_run(tor_mesh_filter: bool):
+    """Flapping RNIC + flapping fabric cable at the same time."""
+    cluster = Cluster.clos(default_cluster_params(hosts_per_tor=4), seed=21)
+    config = RPingmeshConfig(
+        tor_mesh_rnic_filter_enabled=tor_mesh_filter)
+    system = RPingmesh(cluster, config)
+    system.start()
+    cluster.sim.run_for(seconds(25))
+    RnicFlapping(cluster, "host1-rnic0").inject()
+    SwitchPortFlapping(cluster, "pod1-tor0", "pod1-agg0").inject()
+    cluster.sim.run_for(seconds(45))
+    window = system.analyzer.windows[-1]
+    loc = window.cluster_localization
+    suspects = loc.suspects if loc else []
+    guilty = {"pod1-tor0->pod1-agg0", "pod1-agg0->pod1-tor0"}
+    return {
+        "suspects": suspects,
+        "switch_correct": bool(set(suspects) & guilty),
+        "rnic_votes_polluting": sum(
+            count for name, count in (loc.votes.items() if loc else [])
+            if "host1-rnic0" in name),
+        "rnic_detected": "host1-rnic0" in window.anomalous_rnics,
+    }
+
+
+def test_ablation_tor_mesh_rnic_filtering(benchmark):
+    def run_both():
+        return (_concurrent_fault_run(tor_mesh_filter=True),
+                _concurrent_fault_run(tor_mesh_filter=False))
+
+    with_filter, without_filter = run_once(benchmark, run_both)
+    print_comparison("Ablation: ToR-mesh RNIC filtering (§4.3.2)", [
+        ("with filter: RNIC identified", "yes",
+         str(with_filter["rnic_detected"])),
+        ("with filter: switch localisation", "guilty cable",
+         str(with_filter["suspects"][:2])),
+        ("with filter: RNIC-link votes in switch analysis", "0",
+         str(with_filter["rnic_votes_polluting"])),
+        ("without filter: RNIC-link votes pollute", "> 0 (interference)",
+         str(without_filter["rnic_votes_polluting"])),
+    ])
+    assert with_filter["rnic_detected"]
+    assert with_filter["switch_correct"]
+    assert with_filter["rnic_votes_polluting"] == 0
+    # Without filtering, the flapping RNIC's timeouts enter the switch
+    # vote (the §2.4 interference Pingmesh suffers from).
+    assert without_filter["rnic_votes_polluting"] > 0
+
+
+def _tracing_run(continuous: bool):
+    """Persistent link failure; localise from the traced paths."""
+    cluster = Cluster.clos(default_cluster_params(hosts_per_tor=4), seed=22)
+    config = RPingmeshConfig(continuous_path_tracing=continuous)
+    system = RPingmesh(cluster, config)
+    system.start()
+    cluster.sim.run_for(seconds(25))
+    LinkFailure(cluster, "pod0-tor0", "pod0-agg1").inject()
+    cluster.sim.run_for(seconds(25))
+    guilty = {"pod0-tor0->pod0-agg1", "pod0-agg1->pod0-tor0"}
+    for window in reversed(system.analyzer.windows):
+        if window.cluster_localization \
+                and window.cluster_localization.votes:
+            suspects = window.cluster_localization.suspects
+            return {"suspects": suspects,
+                    "correct": bool(set(suspects) & guilty)}
+    return {"suspects": [], "correct": False}
+
+
+def test_ablation_continuous_path_tracing(benchmark):
+    def run_both():
+        return (_tracing_run(continuous=True),
+                _tracing_run(continuous=False))
+
+    continuous, on_demand = run_once(benchmark, run_both)
+    print_comparison("Ablation: continuous path tracing (§4.2.3)", [
+        ("continuous: localisation", "guilty cable",
+         f"{continuous['suspects'][:2]} correct={continuous['correct']}"),
+        ("on-demand: localisation", "misled by post-failure paths",
+         f"{on_demand['suspects'][:2]} correct={on_demand['correct']}"),
+    ])
+    assert continuous["correct"]
+    assert not on_demand["correct"]

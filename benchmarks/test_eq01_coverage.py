@@ -1,0 +1,33 @@
+"""Equation 1: 5-tuple counts to cover N ECMP paths with probability P.
+
+Paper §4.1: the Controller solves Equation 1 with P = 0.99 to size each
+ToR's inter-ToR 5-tuple set.  We validate the closed form against Monte
+Carlo on the abstract model AND against actual ECMP hashing on the
+simulated Clos fabric.
+"""
+
+from conftest import print_comparison, run_once
+
+from repro.experiments import eq01_coverage
+
+
+def test_eq01_coverage(benchmark):
+    result = run_once(benchmark, eq01_coverage.run, trials=200)
+    rows = []
+    for row in result.rows:
+        rows.append((f"N={row.n_paths:>2} -> k={row.k_required}",
+                     f">= {result.probability:.0%} coverage",
+                     f"analytic {row.analytic_coverage:.1%}, "
+                     f"empirical {row.empirical_coverage:.1%}"))
+    rows.append((f"real fabric (N={result.fabric_paths_observed}, "
+                 f"k={result.fabric_k})",
+                 ">= 99% of trials cover all paths",
+                 f"{result.fabric_coverage:.1%}"))
+    print_comparison("Equation 1: ECMP path coverage", rows)
+
+    for row in result.rows:
+        assert row.analytic_coverage >= result.probability
+        # Monte Carlo agreement within sampling noise.
+        assert row.empirical_coverage >= result.probability - 0.05
+        assert row.k_required >= row.n_paths
+    assert result.fabric_coverage >= result.probability - 0.05

@@ -1,0 +1,40 @@
+"""Figure 1: flapping switch port / RNIC collapses DML training throughput.
+
+Paper: a single flapping switch port (top) or RNIC (bottom) severely
+degrades average training throughput of the whole cluster, "even to zero".
+"""
+
+from conftest import print_comparison, run_once
+
+from repro.experiments import fig01_flapping
+
+
+def test_fig01_flapping_switch_port(benchmark):
+    result = run_once(benchmark, fig01_flapping.run, "switch_port",
+                      healthy_s=12, faulty_s=35, recovery_s=12)
+    print_comparison("Figure 1 (top): flapping switch port", [
+        ("healthy throughput", "full rate",
+         f"{result.healthy_mean_gbps:.0f} Gb/s"),
+        ("during flapping", "severe collapse (to ~0)",
+         f"{result.faulty_mean_gbps:.0f} Gb/s "
+         f"(min {result.min_faulty_gbps:.0f})"),
+        ("after clearing", "recovers",
+         f"{result.recovered_mean_gbps:.0f} Gb/s"),
+        ("collapse factor", ">>1", f"{result.degradation_factor:.1f}x"),
+    ])
+    assert result.degradation_factor > 5
+    assert result.recovered_mean_gbps > 0.8 * result.healthy_mean_gbps
+
+
+def test_fig01_flapping_rnic(benchmark):
+    result = run_once(benchmark, fig01_flapping.run, "rnic",
+                      healthy_s=12, faulty_s=35, recovery_s=12)
+    print_comparison("Figure 1 (bottom): flapping RNIC", [
+        ("healthy throughput", "full rate",
+         f"{result.healthy_mean_gbps:.0f} Gb/s"),
+        ("during flapping", "severe collapse (to ~0)",
+         f"{result.faulty_mean_gbps:.0f} Gb/s"),
+        ("collapse factor", ">>1", f"{result.degradation_factor:.1f}x"),
+    ])
+    assert result.degradation_factor > 5
+    assert result.recovered_mean_gbps > 0.8 * result.healthy_mean_gbps

@@ -1,0 +1,32 @@
+"""Figure 2: Pingmesh's software-measured P99 TCP RTT tracks host load.
+
+Paper: "The measured software RTT fluctuates as the host average load
+changes."  R-Pingmesh's hardware-timestamped network RTT must not.
+"""
+
+from conftest import print_comparison, run_once
+
+from repro.experiments import fig02_pingmesh_load
+
+
+def test_fig02_software_rtt_tracks_load(benchmark):
+    result = run_once(benchmark, fig02_pingmesh_load.run, epoch_s=20)
+    rows = []
+    for epoch in result.epochs:
+        rows.append((f"load={epoch.load:.1f}",
+                     "rises with load",
+                     f"pingmesh P99 {epoch.pingmesh_p99_us:.0f}us | "
+                     f"R-Pingmesh RTT P99 {epoch.rpingmesh_rtt_p99_us:.1f}us"))
+    rows.append(("P99 swing across loads",
+                 "large (software) vs flat (hardware)",
+                 f"{result.pingmesh_swing:.1f}x vs "
+                 f"{result.rpingmesh_swing:.1f}x"))
+    print_comparison("Figure 2: software RTT vs host load", rows)
+
+    # Software RTT must swing with load; hardware network RTT must not.
+    assert result.pingmesh_swing > 5
+    assert result.rpingmesh_swing < result.pingmesh_swing / 4
+
+    # The sweep is symmetric (up then down): the baseline must come back.
+    first, last = result.epochs[0], result.epochs[-1]
+    assert last.pingmesh_p99_us < 2 * first.pingmesh_p99_us

@@ -1,0 +1,97 @@
+"""Figure 5: cluster + service SLA monitoring over a training period.
+
+Paper claims reproduced:
+(a,b,c) during TCP checkpoints the RoCE network idles: service RTT falls
+        while end-host processing delay rises;
+(b,d)   two anomalous throughput degradations coincide with service-network
+        switch drops, detected by BOTH Service Tracing and Cluster
+        Monitoring within one 20s analysis period (P0/P1);
+(e)     an RNIC dropping packets OUTSIDE the service network appears only
+        in Cluster Monitoring and is prioritised P2.
+"""
+
+from conftest import print_comparison, run_once
+
+from repro.core.records import Priority
+from repro.experiments import fig05_sla
+
+
+# SLA series are stamped with the window *start*; classify each window by
+# its midpoint (analysis period is 20 s).
+WINDOW_MID_S = 10.0
+
+
+def _mean_in(series, windows, shift=WINDOW_MID_S):
+    values = [v for t, v in series
+              if any(a <= t + shift < b for a, b in windows)]
+    return sum(values) / len(values) if values else float("nan")
+
+
+def _mean_out(series, windows, lo=10.0, hi=180.0, shift=WINDOW_MID_S):
+    values = [v for t, v in series
+              if lo <= t + shift < hi
+              and not any(a <= t + shift < b for a, b in windows)]
+    return sum(values) / len(values) if values else float("nan")
+
+
+def _min_in(series, windows):
+    values = [v for t, v in series
+              if any(a <= t < b for a, b in windows)]
+    return min(values) if values else float("nan")
+
+
+def test_fig05_sla_monitoring(benchmark):
+    timeline = run_once(benchmark, fig05_sla.run)
+
+    ckpt = timeline.checkpoint_windows_s
+    assert ckpt, "the job must have checkpointed at least once"
+    drops = timeline.drop_windows_s
+
+    rtt_ckpt = _mean_in(timeline.service_rtt_p50_us, ckpt)
+    rtt_normal = _mean_out(timeline.service_rtt_p50_us, ckpt + drops)
+    proc_ckpt = _mean_in(timeline.processing_p50_us, ckpt)
+    proc_normal = _mean_out(timeline.processing_p50_us, ckpt)
+    svc_drop_in = _mean_in(timeline.service_drop_rate, drops)
+    # A 20s window can straddle an episode edge; quiet means exclude a
+    # padded zone around each episode so edge windows don't bleed in.
+    padded = [(a - 15.0, b + 15.0) for a, b in drops]
+    svc_drop_out = _mean_out(timeline.service_drop_rate, padded)
+    clu_drop_in = _mean_in(timeline.cluster_drop_rate, drops)
+    # Degraded cycles stretch, so their end-of-cycle points land late:
+    # extend the window and compare the *worst* cycle against normal.
+    stretched = [(a, b + 15.0) for a, b in drops]
+    thpt_drop = _min_in(timeline.throughput, stretched)
+    thpt_normal = _mean_out(timeline.throughput, stretched + ckpt, shift=0.0)
+
+    print_comparison("Figure 5: SLA monitoring", [
+        ("(b) RTT during checkpoints", "decreases",
+         f"{rtt_ckpt:.1f}us vs normal {rtt_normal:.1f}us"),
+        ("(c) processing during checkpoints", "increases",
+         f"{proc_ckpt:.1f}us vs normal {proc_normal:.1f}us"),
+        ("(a) worst cycle in drop episodes", "degrades",
+         f"{thpt_drop:.0f} vs normal {thpt_normal:.0f} Gb/s"),
+        ("(d) service drop rate in episodes", "> 0",
+         f"{svc_drop_in:.4f} (quiet: {svc_drop_out:.4f})"),
+        ("(e) cluster drop rate in episodes", "> 0",
+         f"{clu_drop_in:.4f}"),
+        ("switch problems priority", "P0/P1 (service net)",
+         f"{sorted({p.value for p in timeline.switch_episode_priorities})}"),
+        ("outside-RNIC priority", "P2 (not in service net)",
+         f"{sorted({p.value for p in timeline.outside_rnic_priorities})}"),
+    ])
+
+    # (b)/(c): checkpoint couplings
+    assert rtt_ckpt < rtt_normal
+    assert proc_ckpt > proc_normal
+    # (a)/(d)/(e): drop episodes hurt the service and are seen by both
+    assert thpt_drop < 0.5 * thpt_normal
+    assert svc_drop_in > 0.005
+    assert svc_drop_in > 3 * max(svc_drop_out, 1e-6) or svc_drop_out == 0
+    assert clu_drop_in > 0.001
+    # Switch problems inside the service network: P0 or P1, never P2.
+    assert timeline.switch_episode_priorities
+    assert all(p in (Priority.P0, Priority.P1)
+               for p in timeline.switch_episode_priorities)
+    # The out-of-service RNIC is P2.
+    assert timeline.outside_rnic_priorities
+    assert all(p == Priority.P2 for p in timeline.outside_rnic_priorities)

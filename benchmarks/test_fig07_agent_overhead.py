@@ -1,0 +1,44 @@
+"""Figure 7: Agent CPU/memory overhead; §6 bandwidth bound.
+
+Paper: on hosts with 8 RNICs the Agent averages ~3% of one CPU core and
+~18.5 MB of memory; probe traffic per RNIC stays below 300 Kb/s.
+"""
+
+from conftest import print_comparison, run_once
+
+from repro.experiments import fig07_overhead
+
+
+def test_fig07_agent_overhead(benchmark):
+    result = run_once(benchmark, fig07_overhead.run, duration_s=90)
+    print_comparison("Figure 7: Agent overhead (8-RNIC host)", [
+        ("CPU (fraction of a core)", "~3%",
+         f"{result.mean_cpu_cores:.1%}"),
+        ("memory", "~18.5 MB", f"{result.mean_memory_mb:.1f} MB"),
+        ("per-RNIC probe bandwidth", "< 300 Kb/s",
+         f"max {result.max_rnic_kbps:.0f} Kb/s"),
+    ])
+    assert 0.005 < result.mean_cpu_cores < 0.10
+    assert 10 < result.mean_memory_mb < 30
+    assert result.max_rnic_kbps < 300
+
+
+def test_fig07_overhead_scales_with_rnics(benchmark):
+    """§6: 'the overhead of Agent scales linearly with the number of
+    RNICs on the host.'"""
+    def sweep():
+        return {n: fig07_overhead.run(rnics_per_host=n, duration_s=40)
+                for n in (2, 4, 8)}
+
+    results = run_once(benchmark, sweep)
+    rows = [(f"{n} RNICs", "scales ~linearly",
+             f"cpu {results[n].mean_cpu_cores:.2%}, "
+             f"mem {results[n].mean_memory_mb:.1f} MB")
+            for n in sorted(results)]
+    print_comparison("Figure 7: overhead scaling", rows)
+    cpus = [results[n].mean_cpu_cores for n in (2, 4, 8)]
+    mems = [results[n].mean_memory_mb for n in (2, 4, 8)]
+    assert cpus[0] < cpus[1] < cpus[2]
+    assert mems[0] < mems[1] < mems[2]
+    # Roughly linear: doubling RNICs shouldn't quadruple cost.
+    assert cpus[2] < 4 * cpus[0]

@@ -1,0 +1,44 @@
+"""Figure 8: intra-host bottleneck detection.
+
+Paper (left): CPU overload results in high processing delay on some hosts
+— located by the accurate end-host processing-delay measurement.
+Paper (right): a PFC storm (from PCIe downgrade) results in high P99
+network RTT; ToR-mesh probing pins the high RTT on the anomalous RNIC.
+"""
+
+from conftest import print_comparison, run_once
+
+from repro.experiments import fig08_bottlenecks
+
+
+def test_fig08_left_cpu_overload(benchmark):
+    result = run_once(benchmark, fig08_bottlenecks.run_cpu_overload,
+                      baseline_s=40, overload_s=40)
+    print_comparison("Figure 8 (left): CPU overload", [
+        ("overloaded hosts", "exactly the loaded ones",
+         f"{sorted(result.detected_hosts)} "
+         f"(truth: {result.overloaded_hosts})"),
+        ("network RTT P50", "unaffected",
+         f"{result.rtt_p50_before_us:.1f}us -> "
+         f"{result.rtt_p50_during_us:.1f}us"),
+    ])
+    assert set(result.overloaded_hosts) <= result.detected_hosts
+    # No false positives: only the overloaded hosts are flagged.
+    assert result.detected_hosts == set(result.overloaded_hosts)
+    # RTT is hardware-timestamped: CPU overload must not inflate it.
+    assert result.rtt_p50_during_us < 2 * result.rtt_p50_before_us
+
+
+def test_fig08_right_pfc_storm(benchmark):
+    result = run_once(benchmark, fig08_bottlenecks.run_pfc_storm,
+                      baseline_s=40, storm_s=40)
+    print_comparison("Figure 8 (right): PFC storm", [
+        ("P99 network RTT", "spikes high",
+         f"{result.rtt_p99_before_us:.1f}us -> "
+         f"{result.rtt_p99_during_us:.1f}us"),
+        ("anomalous RNIC", "found by ToR-mesh high RTT",
+         f"detected={result.high_rtt_rnic_detected} "
+         f"({result.victim_rnic})"),
+    ])
+    assert result.rtt_p99_during_us > 5 * result.rtt_p99_before_us
+    assert result.high_rtt_rnic_detected

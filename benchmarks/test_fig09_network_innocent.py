@@ -1,0 +1,35 @@
+"""Figure 9: the network is innocent.
+
+Paper: the training throughput keeps decreasing; so does the network RTT,
+and the processing delay is stable — no network or CPU bottleneck; the
+root cause was a bug in the training code.  §4.3.4: "if no P0 or P1
+problem is detected when service performance degrades, then the service
+network is innocent."
+"""
+
+from conftest import print_comparison, run_once
+
+from repro.experiments import fig09_innocent
+
+
+def test_fig09_network_innocent(benchmark):
+    result = run_once(benchmark, fig09_innocent.run, duration_s=110)
+    thpt_trend = result.trend(result.throughput)
+    rtt_trend = result.trend(result.service_rtt_p90_us)
+    proc_trend = result.trend(result.processing_p50_us)
+    print_comparison("Figure 9: compute bug, not the network", [
+        ("training throughput", "continues to decrease",
+         f"late/early = {thpt_trend:.2f}"),
+        ("network RTT", "decreases too (no congestion)",
+         f"late/early = {rtt_trend:.2f}"),
+        ("processing delay", "stable (no CPU bottleneck)",
+         f"late/early = {proc_trend:.2f}"),
+        ("service degraded?", "yes", str(result.service_degraded_at_end)),
+        ("analyzer verdict", "network innocent",
+         str(result.network_innocent)),
+    ])
+    assert thpt_trend < 0.6            # the service is clearly degrading
+    assert rtt_trend < 1.2             # RTT is NOT rising
+    assert 0.5 < proc_trend < 2.0      # processing delay is stable
+    assert result.service_degraded_at_end
+    assert result.network_innocent     # and the network is exonerated

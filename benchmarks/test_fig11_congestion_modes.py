@@ -1,0 +1,35 @@
+"""Figure 11: tail RTT reflects congestion mode and CC algorithm quality.
+
+Paper (left): All2All causes severe congestion, AllReduce much less — the
+tail RTT separates them.
+Paper (right): the self-developed CC reduces tail RTT and improves
+training throughput versus default DCQCN.
+"""
+
+from conftest import print_comparison, run_once
+
+from repro.experiments import fig11_congestion_modes
+
+
+def test_fig11_congestion_modes(benchmark):
+    result = run_once(benchmark, fig11_congestion_modes.run, duration_s=45)
+    print_comparison("Figure 11 (left): communication modes", [
+        ("AllReduce tail RTT (DCQCN)", "low",
+         f"P99 {result.allreduce_dcqcn.rtt_p99_us:.0f}us"),
+        ("All2All tail RTT (DCQCN)", "much higher",
+         f"P99 {result.all2all_dcqcn.rtt_p99_us:.0f}us"),
+        ("mode contrast", ">> 1", f"{result.mode_contrast:.0f}x"),
+    ])
+    print_comparison("Figure 11 (right): DCQCN vs custom CC on All2All", [
+        ("custom CC tail RTT", "reduced vs DCQCN",
+         f"P99 {result.all2all_custom.rtt_p99_us:.0f}us vs "
+         f"{result.all2all_dcqcn.rtt_p99_us:.0f}us "
+         f"({result.cc_tail_improvement:.1f}x better)"),
+        ("custom CC training throughput", "improved",
+         f"{result.all2all_custom.mean_throughput_gbps:.0f} vs "
+         f"{result.all2all_dcqcn.mean_throughput_gbps:.0f} Gb/s "
+         f"({result.cc_throughput_improvement:.2f}x)"),
+    ])
+    assert result.mode_contrast > 10
+    assert result.cc_tail_improvement > 2
+    assert result.cc_throughput_improvement > 1.0

@@ -1,0 +1,29 @@
+"""Figure 12 / §7.4: rail-optimized cluster probing.
+
+Paper: in a rail-optimized topology, same-host cross-rail traffic must
+traverse the top tier, so RNICs on a host can probe each other and — with
+enough 5-tuples — cover all cluster links without Controller pinglists;
+the responder needs no ACKs, enabling one-way timeout and one-way RTT.
+"""
+
+from conftest import print_comparison, run_once
+
+from repro.experiments import fig12_rail
+
+
+def test_fig12_rail_optimized_probing(benchmark):
+    result = run_once(benchmark, fig12_rail.run)
+    print_comparison("Figure 12: rail-optimized probing", [
+        ("fabric links covered by same-host probes", "all",
+         f"{result.fabric_links_covered}/{result.fabric_links_total}"),
+        ("one-way loss, healthy", "~0",
+         f"{result.healthy_timeout_rate:.1%}"),
+        ("one-way loss, corrupted rail uplink", "detected",
+         f"{result.faulty_timeout_rate:.1%}"),
+        ("one-way delay change under congestion", "measurable",
+         f"+{result.delay_change_detected_ns/1000:.0f}us"),
+    ])
+    assert result.coverage == 1.0
+    assert result.healthy_timeout_rate < 0.01
+    assert result.faulty_timeout_rate > 0.05
+    assert result.delay_change_detected_ns > 10_000  # > 10 us shift

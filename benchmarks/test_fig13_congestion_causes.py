@@ -1,0 +1,35 @@
+"""Figure 13: the two most common congestion causes.
+
+Paper: ToR-downlink congestion from many-to-one incast, and ToR-uplink
+congestion from ECMP hash collisions — R-Pingmesh detects both and its
+path-voting names the congested link, distinguishing the two tiers.
+"""
+
+from conftest import print_comparison, run_once
+
+from repro.experiments import fig13_congestion_causes
+
+
+def test_fig13_incast_downlink(benchmark):
+    result = run_once(benchmark, fig13_congestion_causes.run_incast,
+                      duration_s=45)
+    print_comparison("Figure 13 (a): many-to-one incast", [
+        ("congested link (truth)", "ToR downlink",
+         result.congested_links[0]),
+        ("localized", "same downlink",
+         str(sorted(set(result.localized_links))[:3])),
+    ])
+    assert result.correct_tier
+
+
+def test_fig13_hash_collision_uplink(benchmark):
+    result = run_once(benchmark,
+                      fig13_congestion_causes.run_hash_collision,
+                      duration_s=45)
+    print_comparison("Figure 13 (b): ECMP hash collision", [
+        ("congested link (truth)", "ToR uplink",
+         result.congested_links[0]),
+        ("localized", "same uplink",
+         str(sorted(set(result.localized_links))[:3])),
+    ])
+    assert result.correct_tier

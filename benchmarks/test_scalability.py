@@ -1,0 +1,42 @@
+"""Simulator scalability: wall-clock cost per simulated second.
+
+Not a paper artifact — this measures the reproduction itself, so users
+know what cluster sizes are practical.  The full system (probing at paper
+rates + analysis) is exercised at three fleet sizes; the benchmark timer
+measures the wall cost of 10 simulated seconds in steady state.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core.system import RPingmesh
+from repro.net.clos import ClosParams
+from repro.sim.units import seconds
+
+SIZES = {
+    "small-12rnic": ClosParams(pods=2, tors_per_pod=2, aggs_per_pod=2,
+                               spines=2, hosts_per_tor=3),
+    "medium-32rnic": ClosParams(pods=2, tors_per_pod=2, aggs_per_pod=2,
+                                spines=2, hosts_per_tor=4,
+                                rnics_per_host=2),
+    "large-64rnic": ClosParams(pods=2, tors_per_pod=4, aggs_per_pod=2,
+                               spines=4, hosts_per_tor=4,
+                               rnics_per_host=2),
+}
+
+
+@pytest.mark.parametrize("label", list(SIZES))
+def test_steady_state_simulation_rate(benchmark, label):
+    cluster = Cluster.clos(SIZES[label], seed=1)
+    system = RPingmesh(cluster)
+    system.start()
+    cluster.sim.run_for(seconds(25))  # warm-up: pinglists, first analysis
+
+    def ten_simulated_seconds():
+        cluster.sim.run_for(seconds(10))
+
+    benchmark.pedantic(ten_simulated_seconds, rounds=3, iterations=1,
+                       warmup_rounds=0)
+    # Sanity: the system is alive and analysing.
+    assert system.analyzer.sla.latest() is not None
+    assert system.analyzer.sla.latest().cluster.probes_total > 0

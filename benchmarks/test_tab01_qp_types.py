@@ -1,0 +1,47 @@
+"""Table 1: QP-type feature comparison.
+
+Paper:
+  Accurate RTT measurement    RC: no   UC: yes   UD: yes
+  Connection overhead         RC: high UC: high  UD: low
+"""
+
+from conftest import print_comparison, run_once
+
+from repro.experiments import tab01_qp_types
+
+
+def test_tab01_qp_type_features(benchmark):
+    result = run_once(benchmark, tab01_qp_types.run, peers=100)
+    rows = []
+    for qp_type in ("rc", "uc", "ud"):
+        row = result.row(qp_type)
+        measured = ("unmeasurable" if row.measured_rtt_ns is None
+                    else f"{row.measured_rtt_ns/1000:.1f}us")
+        rows.append((
+            f"{qp_type.upper()} RTT",
+            {"rc": "inaccurate", "uc": "accurate",
+             "ud": "accurate"}[qp_type],
+            f"{measured} (truth {row.true_rtt_ns/1000:.1f}us) "
+            f"accurate={row.rtt_accurate}"))
+        rows.append((
+            f"{qp_type.upper()} connection overhead",
+            {"rc": "high", "uc": "high", "ud": "low"}[qp_type],
+            f"{row.qps_needed_for_m_peers} QPs, "
+            f"{row.qpc_slots_consumed} QPC slots for 100 peers "
+            f"-> {row.connection_overhead}"))
+    print_comparison("Table 1: QP type comparison", rows)
+
+    rc, uc, ud = result.row("rc"), result.row("uc"), result.row("ud")
+    # RC cannot measure RTT: its send CQE timestamp is ACK arrival.
+    assert not rc.rtt_accurate
+    # UC and UD both yield the true network RTT.
+    assert uc.rtt_accurate
+    assert ud.rtt_accurate
+    # UD: one QP total, no connection-context slots; RC/UC: one per peer.
+    assert ud.qps_needed_for_m_peers == 1
+    assert ud.qpc_slots_consumed == 0
+    assert rc.qpc_slots_consumed == 100
+    assert uc.qpc_slots_consumed == 100
+    assert ud.connection_overhead == "low"
+    assert rc.connection_overhead == "high"
+    assert uc.connection_overhead == "high"

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Autopilot: detect -> diagnose -> remediate (paper §7.5 directions).
+
+The paper's future-work list sketches a closed loop: locate a problem by
+probing, explain it from device counters, and isolate the faulty component
+with impact-aware policy.  This example runs that loop end to end:
+
+1. a switch port starts flapping under a live training job;
+2. the Analyzer localises the drop source within an analysis period;
+3. the RootCauseAdvisor reads the port's flap counters and names the
+   Table 2 row;
+4. the Remediator isolates the cable (ECMP stops offering it);
+5. training throughput recovers without restarting the task.
+
+Run:  python examples/autopilot_remediation.py
+"""
+
+from repro import Cluster, RPingmesh
+from repro.core.records import ProblemCategory
+from repro.core.remediation import Remediator
+from repro.core.rootcause import RootCauseAdvisor
+from repro.net.clos import ClosParams
+from repro.net.faults import SwitchPortFlapping
+from repro.services.dml import CommPattern, DmlConfig, DmlJob
+from repro.sim import units
+
+
+def main() -> None:
+    cluster = Cluster.clos(
+        ClosParams(pods=2, tors_per_pod=2, aggs_per_pod=2, spines=2,
+                   hosts_per_tor=3),
+        seed=11)
+    system = RPingmesh(cluster)
+    system.start()
+    advisor = RootCauseAdvisor(cluster)
+    remediator = Remediator(cluster)
+
+    job = DmlJob(cluster, cluster.rnic_names()[:8],
+                 DmlConfig(pattern=CommPattern.ALL2ALL,
+                           compute_time_ns=units.milliseconds(300),
+                           data_gbits_per_cycle=4.0))
+    system.attach_service_monitor(job)
+    cluster.sim.run_for(units.seconds(5))
+    job.start()
+    cluster.sim.run_for(units.seconds(20))
+    healthy = job.current_throughput()
+    print(f"healthy training throughput: {healthy:.0f} Gb/s")
+
+    fault = SwitchPortFlapping(cluster, "pod0-tor0", "pod0-agg0")
+    fault.inject()
+    print("fault injected: flapping pod0-tor0 <-> pod0-agg0")
+    cluster.sim.run_for(units.seconds(45))
+    print(f"throughput under fault: {job.current_throughput():.0f} Gb/s "
+          f"(degraded={job.degraded()})")
+
+    handled = False
+    for window in reversed(system.analyzer.windows):
+        for prob in window.problems:
+            if prob.category != ProblemCategory.SWITCH_NETWORK_PROBLEM:
+                continue
+            diagnosis = advisor.diagnose(prob)
+            print(f"located: {prob.locus} [{prob.priority.value}]")
+            print(f"diagnosis: {diagnosis.best}")
+            action = remediator.consider(prob)
+            if action and action.kind == "isolate_link":
+                print(f"remediation: isolated {action.target} "
+                      f"({action.reason})")
+                handled = True
+                break
+        if handled:
+            break
+    if not handled:
+        print("no isolation applied; check analyzer output")
+        return
+
+    cluster.sim.run_for(units.seconds(30))
+    print(f"throughput after isolation: "
+          f"{job.current_throughput():.0f} Gb/s "
+          f"(task failed: {job.task_failed})")
+
+
+if __name__ == "__main__":
+    main()

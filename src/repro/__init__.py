@@ -1,0 +1,25 @@
+"""R-Pingmesh reproduction (SIGCOMM 2024).
+
+A service-aware RoCE network monitoring and diagnostic system, rebuilt on a
+deterministic discrete-event simulation of the substrate the paper's
+production deployment relied on (commodity RNICs with CQE timestamps, a
+3-tier Clos fabric with ECMP, DML workloads, eBPF QP tracing).
+
+Quick start::
+
+    from repro import Cluster, RPingmesh
+    from repro.sim import units
+
+    cluster = Cluster.clos(seed=7)
+    system = RPingmesh(cluster)
+    system.run(units.minutes(2))
+    print(system.analyzer.sla.latest())
+"""
+
+from repro.cluster import Cluster
+from repro.core.config import RPingmeshConfig
+from repro.core.system import RPingmesh
+
+__version__ = "1.0.0"
+
+__all__ = ["Cluster", "RPingmesh", "RPingmeshConfig", "__version__"]

@@ -1,0 +1,6 @@
+"""Baselines the paper compares against: TCP Pingmesh."""
+
+from repro.baselines.pingmesh import (PingmeshAgent, TcpPingmesh,
+                                      TcpProbeResult)
+
+__all__ = ["TcpPingmesh", "PingmeshAgent", "TcpProbeResult"]

@@ -1,0 +1,190 @@
+"""Command-line interface: run scenarios against a simulated deployment.
+
+Usage (installed as ``repro-pingmesh``, or ``python -m repro.cli``)::
+
+    repro-pingmesh monitor  [--seed N] [--duration S]
+    repro-pingmesh inject   --fault FAULT [--duration S] [--seed N]
+    repro-pingmesh triage   [--scenario compute_bug|switch_drops]
+    repro-pingmesh catalog  [--rows 1,2,...]
+
+* ``monitor`` — deploy on a healthy cluster and print SLA dashboards.
+* ``inject``  — inject one named fault and watch detection/localisation.
+* ``triage``  — the §7.2 "is it a network problem?" workflow.
+* ``catalog`` — run Table 2 rows end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.cluster import Cluster
+from repro.core.dashboard import render_analyzer_state
+from repro.core.system import RPingmesh
+from repro.net.clos import ClosParams
+from repro.net.faults import (CpuOverload, LinkCorruption, PcieDowngrade,
+                              PfcDeadlock, RnicDown, RnicFlapping,
+                              SwitchPortFlapping)
+from repro.sim.units import seconds
+
+FAULTS = {
+    "flap-port": lambda c: SwitchPortFlapping(c, "pod0-tor0", "pod0-agg0"),
+    "flap-rnic": lambda c: RnicFlapping(c, "host0-rnic0"),
+    "corrupt-link": lambda c: LinkCorruption(c, "pod0-tor0", "pod0-agg0",
+                                             drop_prob=0.5),
+    "rnic-down": lambda c: RnicDown(c, "host0-rnic0"),
+    "pfc-deadlock": lambda c: PfcDeadlock(c, "pod0-agg0", "spine0"),
+    "cpu-overload": lambda c: CpuOverload(c, "host0", load=0.85),
+    "pcie-downgrade": lambda c: PcieDowngrade(c, "host1-rnic0"),
+}
+
+
+def _deploy(seed: int) -> tuple[Cluster, RPingmesh]:
+    cluster = Cluster.clos(
+        ClosParams(pods=2, tors_per_pod=2, aggs_per_pod=2, spines=2,
+                   hosts_per_tor=3),
+        seed=seed)
+    system = RPingmesh(cluster)
+    system.start()
+    return cluster, system
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    cluster, system = _deploy(args.seed)
+    print(f"monitoring a {cluster.size}-RNIC cluster for "
+          f"{args.duration}s of simulated time...")
+    step = 20
+    for _ in range(max(1, args.duration // step)):
+        cluster.sim.run_for(seconds(step))
+    print(render_analyzer_state(system.analyzer))
+    return 0
+
+
+def cmd_inject(args: argparse.Namespace) -> int:
+    if args.fault not in FAULTS:
+        print(f"unknown fault {args.fault!r}; choose from: "
+              f"{', '.join(sorted(FAULTS))}", file=sys.stderr)
+        return 2
+    cluster, system = _deploy(args.seed)
+    cluster.sim.run_for(seconds(30))
+    print(f"baseline established; injecting {args.fault} ...")
+    fault = FAULTS[args.fault](cluster)
+    fault.inject()
+    cluster.sim.run_for(seconds(args.duration))
+    fault.clear()
+    print(render_analyzer_state(system.analyzer))
+    truth = fault.ground_truth
+    print(f"ground truth: table2_row={truth.table2_row} "
+          f"category={truth.category.value} locus={truth.locus}")
+    return 0
+
+
+def cmd_triage(args: argparse.Namespace) -> int:
+    from repro.services.dml import CommPattern, DmlConfig, DmlJob
+    from repro.sim.units import milliseconds
+    cluster, system = _deploy(args.seed)
+    job = DmlJob(cluster, cluster.rnic_names()[:8],
+                 DmlConfig(pattern=CommPattern.ALLREDUCE,
+                           compute_time_ns=milliseconds(500),
+                           data_gbits_per_cycle=4.0))
+    system.attach_service_monitor(job)
+    cluster.sim.run_for(seconds(5))
+    job.start()
+    cluster.sim.run_for(seconds(30))
+    if args.scenario == "compute_bug":
+        print("scenario: hidden compute degradation (4%/cycle)")
+        job.set_compute_degradation(0.04)
+    else:
+        print("scenario: corruption on a service-network link")
+        LinkCorruption(cluster, "pod0-tor0", "pod0-agg0",
+                       drop_prob=0.4).inject()
+    cluster.sim.run_for(seconds(90))
+    print(render_analyzer_state(system.analyzer))
+    print(f"service degraded: {job.degraded()}")
+    print(f"network innocent: {system.analyzer.network_innocent()}")
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from pathlib import Path
+    from repro.experiments import (export, fig01_flapping,
+                                   fig02_pingmesh_load, fig05_sla,
+                                   fig10_service_capture)
+    out = Path(args.out)
+    written = []
+    print("regenerating figure data (several minutes of simulation)...")
+    written.append(export.export_fig01(
+        fig01_flapping.run("switch_port", seed=args.seed), out))
+    written.append(export.export_fig02(
+        fig02_pingmesh_load.run(seed=args.seed, epoch_s=20), out))
+    written.extend(export.export_fig05(fig05_sla.run(seed=args.seed), out))
+    written.append(export.export_fig10(
+        fig10_service_capture.run(seed=args.seed, duration_s=40), out))
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_catalog(args: argparse.Namespace) -> int:
+    from repro.experiments import tab02_catalog
+    rows = ([int(r) for r in args.rows.split(",")] if args.rows
+            else list(range(1, 15)))
+    failures = 0
+    for row in rows:
+        outcome = tab02_catalog.run_row(row, fault_s=45)
+        ok = (outcome.detected and outcome.signal_matches
+              and outcome.service_failure_matches)
+        failures += 0 if ok else 1
+        status = "ok" if ok else "MISMATCH"
+        print(f"row {row:>2} {outcome.root_cause:<40} "
+              f"detected={outcome.detected} {status}")
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-pingmesh",
+        description="R-Pingmesh reproduction scenarios")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    monitor = sub.add_parser("monitor", help="healthy-cluster SLA watch")
+    monitor.add_argument("--seed", type=int, default=0)
+    monitor.add_argument("--duration", type=int, default=60,
+                         help="simulated seconds")
+    monitor.set_defaults(func=cmd_monitor)
+
+    inject = sub.add_parser("inject", help="inject one fault and watch")
+    inject.add_argument("--fault", required=True,
+                        choices=sorted(FAULTS))
+    inject.add_argument("--seed", type=int, default=0)
+    inject.add_argument("--duration", type=int, default=45)
+    inject.set_defaults(func=cmd_inject)
+
+    triage = sub.add_parser("triage", help="§7.2 is-it-the-network")
+    triage.add_argument("--scenario", default="compute_bug",
+                        choices=["compute_bug", "switch_drops"])
+    triage.add_argument("--seed", type=int, default=0)
+    triage.set_defaults(func=cmd_triage)
+
+    catalog = sub.add_parser("catalog", help="run Table 2 rows")
+    catalog.add_argument("--rows", default="",
+                         help="comma-separated row numbers (default all)")
+    catalog.set_defaults(func=cmd_catalog)
+
+    figures = sub.add_parser("figures",
+                             help="export figure series as CSV")
+    figures.add_argument("--out", default="results")
+    figures.add_argument("--seed", type=int, default=0)
+    figures.set_defaults(func=cmd_figures)
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

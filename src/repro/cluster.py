@@ -1,0 +1,108 @@
+"""Cluster assembly: one object wiring simulator, fabric, and hosts.
+
+A :class:`Cluster` is the unit every scenario starts from — the simulated
+analogue of "a RoCE cluster serving one service team" (§3.2).  It owns the
+simulator, the topology plan (Clos or rail-optimized), the fabric, and the
+hosts with their RNICs, and provides the lookups the R-Pingmesh modules and
+the workloads need.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.host.host import Host, build_host_with_rnics
+from repro.host.rnic import Rnic
+from repro.net.addresses import IPAllocator
+from repro.net.clos import ClosFabricPlan, ClosParams, build_clos
+from repro.net.fabric import Fabric
+from repro.net.rail import RailFabricPlan, RailParams, build_rail
+from repro.net.topology import Topology
+from repro.net.traceroute import TracerouteService
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+Plan = Union[ClosFabricPlan, RailFabricPlan]
+
+
+class Cluster:
+    """A fully wired simulated RoCE cluster."""
+
+    def __init__(self, sim: Simulator, rngs: RngRegistry, plan: Plan):
+        self.sim = sim
+        self.rngs = rngs
+        self.plan = plan
+        self.topology: Topology = plan.topology
+        self.fabric = Fabric(sim, self.topology, rngs.stream("fabric"))
+        self.traceroute = TracerouteService(self.fabric)
+        self.hosts: dict[str, Host] = {}
+        self._rnics: dict[str, Rnic] = {}
+        self._rnic_host: dict[str, str] = {}
+
+        ips = IPAllocator()
+        for host_name, rnic_names in sorted(plan.host_rnics.items()):
+            ip_of = {rnic_name: ips.allocate() for rnic_name in rnic_names}
+            host = build_host_with_rnics(
+                host_name, sim, rngs, self.fabric, rnic_names, ip_of)
+            self.hosts[host_name] = host
+            for rnic in host.rnics:
+                self._rnics[rnic.name] = rnic
+                self._rnic_host[rnic.name] = host_name
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def clos(cls, params: Optional[ClosParams] = None, *,
+             seed: int = 0) -> "Cluster":
+        """Build a 3-tier Clos cluster."""
+        sim = Simulator(seed=seed)
+        rngs = RngRegistry(seed)
+        return cls(sim, rngs, build_clos(params or ClosParams()))
+
+    @classmethod
+    def rail(cls, params: Optional[RailParams] = None, *,
+             seed: int = 0) -> "Cluster":
+        """Build a two-tier rail-optimized cluster (§7.4)."""
+        sim = Simulator(seed=seed)
+        rngs = RngRegistry(seed)
+        return cls(sim, rngs, build_rail(params or RailParams()))
+
+    # -- lookups ----------------------------------------------------------------
+
+    def rnic(self, name: str) -> Rnic:
+        """RNIC by topology host-port name."""
+        try:
+            return self._rnics[name]
+        except KeyError:
+            raise KeyError(f"unknown RNIC: {name}") from None
+
+    def all_rnics(self) -> list[Rnic]:
+        """All RNICs, in stable name order."""
+        return [self._rnics[n] for n in sorted(self._rnics)]
+
+    def host_of_rnic(self, rnic_name: str) -> Host:
+        """The host owning an RNIC."""
+        return self.hosts[self._rnic_host[rnic_name]]
+
+    def rnic_names(self) -> list[str]:
+        """All RNIC names, sorted."""
+        return sorted(self._rnics)
+
+    def tor_of(self, rnic_name: str) -> str:
+        """The ToR/rail switch the RNIC hangs off."""
+        return self.topology.tor_of(rnic_name)
+
+    def rnics_under_tor(self, tor: str) -> list[str]:
+        """RNIC names under one ToR/rail switch."""
+        return sorted(n for n in self._rnics
+                      if self.topology.tor_of(n) == tor)
+
+    def tors(self) -> list[str]:
+        """All ToR-tier switch names."""
+        from repro.net.topology import Tier
+        return self.topology.switches(Tier.TOR)
+
+    @property
+    def size(self) -> int:
+        """Number of RNICs in the cluster."""
+        return len(self._rnics)

@@ -1,0 +1,68 @@
+"""R-Pingmesh core: Agent, Controller, Analyzer, and supporting math."""
+
+from repro.core.agent import Agent
+from repro.core.analyzer import Analyzer, ServiceMonitor, WindowAnalysis
+from repro.core.config import RPingmeshConfig
+from repro.core.controller import Controller
+from repro.core.coverage import (expected_paths_covered, miss_probability,
+                                 required_tuples)
+from repro.core.localization import (Localization, detect_abnormal_links,
+                                     detect_abnormal_switches, localize)
+from repro.core.records import (AgentUpload, PinglistEntry, Priority,
+                                ProbeKind, ProbeResult, Problem,
+                                ProblemCategory)
+from repro.core.aggregation import HierarchicalAggregator, TierAggregate
+from repro.core.audit import CoverageReport, ProbeCoverageAuditor
+from repro.core.dashboard import render_analyzer_state
+from repro.core.railprobe import OneWayResult, RailProber
+from repro.core.remediation import (RemediationAction, RemediationPolicy,
+                                    Remediator)
+from repro.core.rootcause import Diagnosis, Hypothesis, RootCauseAdvisor
+from repro.core.sla import (MIN_SAMPLES_FOR_AGGREGATION, SlaHistory,
+                            SlaReport, SlaWindow)
+from repro.core.system import RPingmesh
+from repro.core.tracker import ProblemTracker, Ticket, TicketState
+
+__all__ = [
+    "RPingmesh",
+    "Agent",
+    "Controller",
+    "Analyzer",
+    "ServiceMonitor",
+    "WindowAnalysis",
+    "RPingmeshConfig",
+    "required_tuples",
+    "miss_probability",
+    "expected_paths_covered",
+    "Localization",
+    "detect_abnormal_links",
+    "detect_abnormal_switches",
+    "localize",
+    "ProbeKind",
+    "ProbeResult",
+    "PinglistEntry",
+    "AgentUpload",
+    "Problem",
+    "ProblemCategory",
+    "Priority",
+    "SlaHistory",
+    "SlaReport",
+    "SlaWindow",
+    "MIN_SAMPLES_FOR_AGGREGATION",
+    "HierarchicalAggregator",
+    "TierAggregate",
+    "render_analyzer_state",
+    "RailProber",
+    "OneWayResult",
+    "Remediator",
+    "RemediationPolicy",
+    "RemediationAction",
+    "RootCauseAdvisor",
+    "Diagnosis",
+    "Hypothesis",
+    "ProblemTracker",
+    "Ticket",
+    "TicketState",
+    "ProbeCoverageAuditor",
+    "CoverageReport",
+]

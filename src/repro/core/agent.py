@@ -1,0 +1,552 @@
+"""R-Pingmesh Agent (paper §4.2).
+
+One Agent runs per RoCE host.  Per RNIC it keeps a single **UD QP** used
+both to probe and to respond (§4.2.1); per-RNIC "threads" (periodic tasks)
+run ToR-mesh probing, inter-ToR probing, service-tracing probing, and the
+shared responder logic.
+
+The probing exchange implements Figure 4 precisely:
+
+=====  =======================  ==========================================
+ mark  clock                    meaning
+=====  =======================  ==========================================
+  ①    prober HOST clock        application posts the probe
+  ②    prober RNIC clock        probe send CQE (wire departure; UD only)
+  ③    responder RNIC clock     probe recv CQE
+  ④    responder RNIC clock     first-ACK send CQE
+  ⑤    prober RNIC clock        first-ACK recv CQE
+  ⑥    prober HOST clock        application has processed the first ACK
+=====  =======================  ==========================================
+
+* responder processing delay = ④ − ③ (carried to the prober in the
+  *second* ACK, because ④ only exists after the first ACK is sent),
+* network RTT = (⑤ − ②) − (④ − ③),
+* prober processing delay = (⑥ − ①) − (⑤ − ②).
+
+Every subtraction pairs same-clock timestamps, so the math holds with the
+wildly desynchronised clocks the simulation gives each device.
+
+Service tracing (§4.2.2): the Agent subscribes to the host's eBPF QP
+tracer; each established RC connection contributes a pinglist entry with
+the *same 5-tuple source port*, so the probes ride the service's ECMP
+paths.  The service pinglist is shuffled every probing round (§7.3) so
+hotspot paths are sampled at random phases of the DML cycle.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.cluster import Cluster
+from repro.core.config import RPingmeshConfig
+from repro.core.records import (AgentUpload, PinglistEntry, ProbeKind,
+                                ProbeResult)
+from repro.host.ebpf import QpEvent, QpEventKind
+from repro.host.host import Host
+from repro.host.rnic import (CommInfo, Cqe, CqeKind, LocalSendError, QPType,
+                             QueuePair, Rnic)
+from repro.net.addresses import FiveTuple, roce_five_tuple
+from repro.net.traceroute import PathRecord
+from repro.sim.engine import EventHandle, PeriodicTask
+from repro.sim.rng import RngStream
+
+if TYPE_CHECKING:
+    from repro.core.analyzer import Analyzer
+    from repro.core.controller import Controller
+
+
+@dataclass
+class _Outstanding:
+    """Book-keeping for one in-flight probe on the prober side."""
+
+    seq: int
+    entry: PinglistEntry
+    issued_at_ns: int
+    t1_host: int
+    t2_rnic: Optional[int] = None
+    t5_rnic: Optional[int] = None
+    t6_host: Optional[int] = None
+    responder_delay_ns: Optional[int] = None
+    timeout_handle: Optional[EventHandle] = None
+
+
+@dataclass
+class _RnicAgentState:
+    """Everything the Agent keeps per RNIC."""
+
+    rnic: Rnic
+    qp: QueuePair
+    tor_mesh: list[PinglistEntry] = field(default_factory=list)
+    inter_tor: list[PinglistEntry] = field(default_factory=list)
+    # (local service QPN) -> entry; values also drive the probing round.
+    service: dict[int, PinglistEntry] = field(default_factory=dict)
+    service_round: list[PinglistEntry] = field(default_factory=list)
+    rr_index: dict[ProbeKind, int] = field(default_factory=dict)
+    outstanding: dict[int, _Outstanding] = field(default_factory=dict)
+    # wr_id -> ("probe", seq) or ("ack1", responder context dict)
+    send_roles: dict[int, tuple[str, Any]] = field(default_factory=dict)
+    path_cache: dict[FiveTuple, PathRecord] = field(default_factory=dict)
+    tasks: list[PeriodicTask] = field(default_factory=list)
+
+
+class Agent:
+    """The per-host R-Pingmesh agent."""
+
+    _seqs = itertools.count(1)
+
+    def __init__(self, host: Host, cluster: Cluster, controller: "Controller",
+                 analyzer: "Analyzer", config: RPingmeshConfig,
+                 rng: RngStream):
+        self.host = host
+        self.cluster = cluster
+        self.controller = controller
+        self.analyzer = analyzer
+        self.config = config
+        self.rng = rng
+        self.states: dict[str, _RnicAgentState] = {}
+        self._results: list[ProbeResult] = []
+        self._upload_task: Optional[PeriodicTask] = None
+        self._started = False
+        self.restarts = 0
+        # Overhead accounting (Figure 7)
+        self.probes_sent = 0
+        self.acks_sent = 0
+        self.results_buffered_peak = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Create probe QPs, register with the Controller, start tasks."""
+        if self._started:
+            return
+        self._started = True
+        comm_infos: dict[str, CommInfo] = {}
+        for rnic in self.host.rnics:
+            state = self._init_rnic_state(rnic)
+            self.states[rnic.name] = state
+            comm_infos[rnic.name] = rnic.comm_info(state.qp.qpn)
+        self.controller.register_agent(self, comm_infos)
+        self.host.tracer.attach(self._on_qp_event)
+
+        sim = self.cluster.sim
+        self._upload_task = sim.every(self.config.upload_interval_ns,
+                                      self._upload)
+        sim.every(self.config.comm_info_refresh_ns,
+                  self._refresh_service_targets)
+        sim.every(self.config.trace_interval_ns, self._trace_paths,
+                  jitter=self.config.trace_interval_ns // 4)
+
+    def _init_rnic_state(self, rnic: Rnic) -> _RnicAgentState:
+        state = _RnicAgentState(rnic=rnic, qp=None)  # type: ignore[arg-type]
+        state.qp = self.host.verbs.create_qp(
+            rnic, QPType.UD,
+            on_cqe=lambda cqe, s=state: self._on_cqe(s, cqe))
+        sim = self.cluster.sim
+        cfg = self.config
+        state.tasks.append(sim.every(
+            cfg.tor_mesh_interval_ns(),
+            lambda s=state: self._probe_next(s, ProbeKind.TOR_MESH),
+            jitter=cfg.tor_mesh_interval_ns() // 4))
+        state.tasks.append(sim.every(
+            cfg.tor_mesh_interval_ns(),  # retimed when pinglists arrive
+            lambda s=state: self._probe_next(s, ProbeKind.INTER_TOR),
+            jitter=cfg.tor_mesh_interval_ns() // 4))
+        state.tasks.append(sim.every(
+            cfg.service_probe_interval_ns,
+            lambda s=state: self._probe_next_service(s),
+            jitter=cfg.service_probe_interval_ns // 4))
+        return state
+
+    def restart(self) -> None:
+        """Agent restart (host reboot path): all probe QPNs change (§4.1).
+
+        Peers keep probing the *old* QPNs until the Controller's next
+        pinglist refresh — the QPN-reset probe noise of §4.3.1.
+        """
+        self.restarts += 1
+        comm_infos: dict[str, CommInfo] = {}
+        for name, state in self.states.items():
+            for out in list(state.outstanding.values()):
+                if out.timeout_handle is not None:
+                    out.timeout_handle.cancel()
+            state.outstanding.clear()
+            state.send_roles.clear()
+            self.host.verbs.destroy_qp(state.rnic, state.qp)
+            state.qp = self.host.verbs.create_qp(
+                state.rnic, QPType.UD,
+                on_cqe=lambda cqe, s=state: self._on_cqe(s, cqe))
+            comm_infos[name] = state.rnic.comm_info(state.qp.qpn)
+        for name, info in comm_infos.items():
+            self.controller.update_comm_info(name, info)
+
+    # -- pinglists ---------------------------------------------------------------
+
+    def set_cluster_pinglists(self, rnic_name: str, *,
+                              tor_mesh: list[PinglistEntry],
+                              inter_tor: list[PinglistEntry],
+                              tor_mesh_interval_ns: int,
+                              inter_tor_interval_ns: int) -> None:
+        """Controller push: replace Cluster Monitoring pinglists."""
+        state = self.states[rnic_name]
+        state.tor_mesh = list(tor_mesh)
+        state.inter_tor = list(inter_tor)
+        state.tasks[0].set_interval(tor_mesh_interval_ns)
+        state.tasks[1].set_interval(inter_tor_interval_ns)
+
+    def pinglist(self, rnic_name: str, kind: ProbeKind) -> list[PinglistEntry]:
+        """Current pinglist of one kind for one RNIC (introspection)."""
+        state = self.states[rnic_name]
+        if kind == ProbeKind.TOR_MESH:
+            return list(state.tor_mesh)
+        if kind == ProbeKind.INTER_TOR:
+            return list(state.inter_tor)
+        return list(state.service.values())
+
+    # -- service tracing (§4.2.2) ---------------------------------------------------
+
+    def _on_qp_event(self, event: QpEvent) -> None:
+        if event.qp_type != QPType.RC:
+            return  # our services use RC; UD/UC QPs are not service flows
+        state = self.states.get(event.rnic_name)
+        if state is None:
+            return
+        if event.kind == QpEventKind.MODIFY_TO_RTS:
+            assert event.five_tuple is not None and event.remote_ip is not None
+            resolved = self.controller.resolve_ip(event.remote_ip)
+            if resolved is None:
+                return  # peer outside the cluster; nothing to probe
+            target_rnic, info = resolved
+            state.service[event.local_qpn] = PinglistEntry(
+                kind=ProbeKind.SERVICE_TRACING, target_rnic=target_rnic,
+                target=info, src_port=event.five_tuple.src_port)
+        elif event.kind == QpEventKind.DESTROY:
+            state.service.pop(event.local_qpn, None)
+            state.service_round = [e for e in state.service_round
+                                   if e.kind != ProbeKind.SERVICE_TRACING
+                                   or e in state.service.values()]
+
+    def _refresh_service_targets(self) -> None:
+        """5-minute pull of fresh comm info for service targets (§5)."""
+        if not self.host.up:
+            return
+        for state in self.states.values():
+            for qpn, entry in list(state.service.items()):
+                resolved = self.controller.resolve_ip(entry.target.ip)
+                if resolved is None:
+                    continue
+                target_rnic, info = resolved
+                state.service[qpn] = PinglistEntry(
+                    kind=entry.kind, target_rnic=target_rnic, target=info,
+                    src_port=entry.src_port)
+
+    def has_service_entries(self) -> bool:
+        """Whether Service Tracing is currently active on this host."""
+        return any(state.service for state in self.states.values())
+
+    # -- probing -------------------------------------------------------------------
+
+    def _probe_next(self, state: _RnicAgentState, kind: ProbeKind) -> None:
+        entries = (state.tor_mesh if kind == ProbeKind.TOR_MESH
+                   else state.inter_tor)
+        if not entries or not self.host.up:
+            return
+        index = state.rr_index.get(kind, 0) % len(entries)
+        state.rr_index[kind] = index + 1
+        self._probe(state, entries[index])
+
+    def _probe_next_service(self, state: _RnicAgentState) -> None:
+        """Service Tracing is paused while no connections exist (§4.2.2)."""
+        if not self.host.up or not state.service:
+            return
+        if not state.service_round:
+            # New round: shuffle so every path is sampled at random phases
+            # of the service's compute/communicate cycle (§7.3).
+            state.service_round = self.rng.shuffled(state.service.values())
+        self._probe(state, state.service_round.pop())
+
+    def _probe(self, state: _RnicAgentState, entry: PinglistEntry) -> None:
+        seq = next(self._seqs)
+        now = self.cluster.sim.now
+        out = _Outstanding(seq=seq, entry=entry, issued_at_ns=now,
+                           t1_host=self.host.read_clock())
+        state.outstanding[seq] = out
+        out.timeout_handle = self.cluster.sim.call_later(
+            self.config.probe_timeout_ns,
+            lambda: self._on_timeout(state, seq))
+        try:
+            wr_id = self.host.verbs.post_send(
+                state.rnic, state.qp, entry.target,
+                src_port=entry.src_port,
+                payload={"t": "probe", "seq": seq},
+                payload_bytes=self.config.probe_payload_bytes)
+        except LocalSendError:
+            # Unreachable locally (down/flapping/misconfigured RNIC): the
+            # probe never leaves; it will be reported at the timeout tick
+            # exactly like a probe lost in the network.
+            return
+        state.send_roles[wr_id] = ("probe", seq)
+        self.probes_sent += 1
+        self._ensure_traced(state, entry)
+
+    # -- CQE dispatch -----------------------------------------------------------------
+
+    def _on_cqe(self, state: _RnicAgentState, cqe: Cqe) -> None:
+        if cqe.kind == CqeKind.SEND:
+            self._on_send_cqe(state, cqe)
+        else:
+            kind = cqe.payload.get("t")
+            if kind == "probe":
+                self._respond(state, cqe)
+            elif kind == "ack1":
+                self._on_ack1(state, cqe)
+            elif kind == "ack2":
+                self._on_ack2(state, cqe)
+
+    def _on_send_cqe(self, state: _RnicAgentState, cqe: Cqe) -> None:
+        role = state.send_roles.pop(cqe.wr_id, None)
+        if role is None:
+            return
+        tag, context = role
+        if tag == "probe":
+            out = state.outstanding.get(context)
+            if out is not None:
+                out.t2_rnic = cqe.rnic_timestamp_ns     # ② wire departure
+        elif tag == "ack1":
+            # ④: the first ACK hit the wire; its delay vs ③ is the
+            # responder processing delay, shipped in the second ACK.
+            responder_delay = cqe.rnic_timestamp_ns - context["t3"]
+            self._send_ack(state, context["reply_to"], context["src_port"],
+                           {"t": "ack2", "seq": context["seq"],
+                            "responder_delay": responder_delay})
+
+    # -- responder role (steps 2-3 of Figure 4) --------------------------------------
+
+    def _respond(self, state: _RnicAgentState, cqe: Cqe) -> None:
+        if not self.host.up:
+            return
+        t3 = cqe.rnic_timestamp_ns                      # ③ probe recv CQE
+        reply_to = CommInfo(ip=cqe.src_ip, gid=cqe.src_gid, qpn=cqe.src_qpn)
+        seq = cqe.payload["seq"]
+        # Userspace handling cost before the first ACK is posted: normal
+        # CPU processing plus any Agent starvation stall (Figure 6 right).
+        now = self.cluster.sim.now
+        delay = self.host.cpu.processing_delay_ns()
+        delay += self.host.cpu.starvation_stall_ns(now)
+        self.cluster.sim.call_later(
+            delay,
+            lambda: self._post_ack1(state, reply_to, cqe.src_port, seq, t3))
+
+    def _post_ack1(self, state: _RnicAgentState, reply_to: CommInfo,
+                   src_port: int, seq: int, t3: int) -> None:
+        wr_id = self._send_ack(state, reply_to, src_port,
+                               {"t": "ack1", "seq": seq})
+        if wr_id is not None:
+            state.send_roles[wr_id] = ("ack1", {
+                "t3": t3, "reply_to": reply_to, "src_port": src_port,
+                "seq": seq})
+
+    def _send_ack(self, state: _RnicAgentState, reply_to: CommInfo,
+                  src_port: int, payload: dict) -> Optional[int]:
+        """ACKs echo the probe's source port, mimicking RC hardware ACKs
+        so they ride the same ECMP path class (§5)."""
+        try:
+            wr_id = self.host.verbs.post_send(
+                state.rnic, state.qp, reply_to, src_port=src_port,
+                payload=payload,
+                payload_bytes=self.config.probe_payload_bytes)
+        except LocalSendError:
+            return None
+        self.acks_sent += 1
+        return wr_id
+
+    # -- prober completion (steps 4-5 of Figure 4) --------------------------------------
+
+    def _on_ack1(self, state: _RnicAgentState, cqe: Cqe) -> None:
+        out = state.outstanding.get(cqe.payload["seq"])
+        if out is None:
+            return  # late ACK after timeout: drop on the floor
+        out.t5_rnic = cqe.rnic_timestamp_ns             # ⑤ ACK1 recv CQE
+        # The prober thread lives in the same Agent process as the
+        # responder: when the service starves the Agent's CPU, probes
+        # *from* this host stall here past the timeout as well — the other
+        # half of the Figure 6 (right) signature.
+        now = self.cluster.sim.now
+        delay = self.host.cpu.processing_delay_ns()
+        delay += self.host.cpu.starvation_stall_ns(now)
+        self.cluster.sim.call_later(
+            delay, lambda: self._stamp_t6(state, out.seq))
+
+    def _stamp_t6(self, state: _RnicAgentState, seq: int) -> None:
+        out = state.outstanding.get(seq)
+        if out is None:
+            return
+        out.t6_host = self.host.read_clock()            # ⑥ app-level done
+        self._maybe_complete(state, out)
+
+    def _on_ack2(self, state: _RnicAgentState, cqe: Cqe) -> None:
+        out = state.outstanding.get(cqe.payload["seq"])
+        if out is None:
+            return
+        out.responder_delay_ns = cqe.payload["responder_delay"]
+        self._maybe_complete(state, out)
+
+    def _maybe_complete(self, state: _RnicAgentState,
+                        out: _Outstanding) -> None:
+        if (out.t2_rnic is None or out.t5_rnic is None
+                or out.t6_host is None or out.responder_delay_ns is None):
+            return
+        state.outstanding.pop(out.seq, None)
+        if out.timeout_handle is not None:
+            out.timeout_handle.cancel()
+
+        rtt_plus_remote = out.t5_rnic - out.t2_rnic         # (⑤-②)
+        network_rtt = rtt_plus_remote - out.responder_delay_ns
+        prober_processing = (out.t6_host - out.t1_host) - rtt_plus_remote
+        self._record(state, out, timeout=False,
+                     network_rtt_ns=network_rtt,
+                     prober_processing_ns=prober_processing,
+                     responder_processing_ns=out.responder_delay_ns)
+
+    def _on_timeout(self, state: _RnicAgentState, seq: int) -> None:
+        out = state.outstanding.pop(seq, None)
+        if out is None:
+            return
+        self._record(state, out, timeout=True)
+
+    def _record(self, state: _RnicAgentState, out: _Outstanding, *,
+                timeout: bool, network_rtt_ns: Optional[int] = None,
+                prober_processing_ns: Optional[int] = None,
+                responder_processing_ns: Optional[int] = None) -> None:
+        entry = out.entry
+        five_tuple = roce_five_tuple(state.rnic.ip, entry.target.ip,
+                                     entry.src_port)
+        if not self.config.continuous_path_tracing and timeout:
+            # Ablation: on-demand tracing observes the path only AFTER the
+            # failure — truncated or rehashed, exactly the mislocalisation
+            # §4.2.3 warns about.
+            self._trace_tuple(state, five_tuple)
+        result = ProbeResult(
+            kind=entry.kind, seq=out.seq, prober_rnic=state.rnic.name,
+            prober_host=self.host.name, target_rnic=entry.target_rnic,
+            target_ip=entry.target.ip, target_qpn=entry.target.qpn,
+            five_tuple=five_tuple, issued_at_ns=out.issued_at_ns,
+            completed_at_ns=self.cluster.sim.now, timeout=timeout,
+            network_rtt_ns=network_rtt_ns,
+            prober_processing_ns=prober_processing_ns,
+            responder_processing_ns=responder_processing_ns,
+            probe_path=state.path_cache.get(five_tuple),
+            ack_path=state.path_cache.get(five_tuple.reversed()))
+        self._results.append(result)
+        self.results_buffered_peak = max(self.results_buffered_peak,
+                                         len(self._results))
+
+    # -- path tracing (§4.2.3) ------------------------------------------------------------
+
+    def _ensure_traced(self, state: _RnicAgentState,
+                       entry: PinglistEntry) -> None:
+        """First sight of a 5-tuple: trace it immediately so the path is
+        known *before* any failure (the continuous-tracing rationale)."""
+        if not self.config.continuous_path_tracing:
+            return  # ablation: trace only on demand, after failures
+        five_tuple = roce_five_tuple(state.rnic.ip, entry.target.ip,
+                                     entry.src_port)
+        if five_tuple not in state.path_cache:
+            self._trace_tuple(state, five_tuple)
+
+    def _trace_tuple(self, state: _RnicAgentState,
+                     five_tuple: FiveTuple) -> None:
+        tracer = self.cluster.traceroute
+        dst_port_node = self.cluster.fabric.port_for_ip(five_tuple.dst_ip)
+        if dst_port_node is None:
+            return
+        forward = tracer.trace(five_tuple, state.rnic.name, dst_port_node)
+        self._cache_path(state, five_tuple, forward)
+        # The ACK direction is traced symmetrically (in deployment, by the
+        # peer Agent; the Analyzer joins both sides).
+        reverse = tracer.trace(five_tuple.reversed(), dst_port_node,
+                               state.rnic.name)
+        self._cache_path(state, five_tuple.reversed(), reverse)
+
+    @staticmethod
+    def _cache_path(state: _RnicAgentState, five_tuple: FiveTuple,
+                    record: PathRecord) -> None:
+        """Keep the freshest *useful* path per 5-tuple.
+
+        A trace truncated by an in-progress failure would erase the guilty
+        link from the cached path — exactly the mislocalisation continuous
+        tracing exists to avoid (§4.2.3) — so an incomplete trace never
+        overwrites a previously traced full path.
+        """
+        existing = state.path_cache.get(five_tuple)
+        if existing is not None and existing.reached and not record.reached:
+            return
+        state.path_cache[five_tuple] = record
+
+    def _trace_paths(self) -> None:
+        """Periodic refresh of every active 5-tuple's path."""
+        if not self.host.up or not self.config.continuous_path_tracing:
+            return
+        for state in self.states.values():
+            entries = (state.tor_mesh + state.inter_tor
+                       + list(state.service.values()))
+            for entry in entries:
+                five_tuple = roce_five_tuple(
+                    state.rnic.ip, entry.target.ip, entry.src_port)
+                self._trace_tuple(state, five_tuple)
+            # Evict cache entries for 5-tuples no longer probed.
+            live = {roce_five_tuple(state.rnic.ip, e.target.ip, e.src_port)
+                    for e in entries}
+            live |= {ft.reversed() for ft in live}
+            for cached in list(state.path_cache):
+                if cached not in live:
+                    del state.path_cache[cached]
+
+    # -- upload (§4.2.3) -------------------------------------------------------------------
+
+    def _upload(self) -> None:
+        """5-second batch upload to the Analyzer over the TCP management
+        network.  A down host uploads nothing — that silence is itself the
+        Analyzer's host-down signal."""
+        if not self.host.up:
+            return
+        batch = AgentUpload(host=self.host.name,
+                            uploaded_at_ns=self.cluster.sim.now,
+                            results=self._results)
+        self._results = []
+        self.analyzer.receive_upload(batch)
+
+    # -- overhead model (Figure 7) ------------------------------------------------------------
+
+    def probe_rate_pps(self) -> float:
+        """Current aggregate probe send rate across this host's RNICs."""
+        total = 0.0
+        for state in self.states.values():
+            if state.tor_mesh:
+                total += 1e9 / state.tasks[0].interval
+            if state.inter_tor:
+                total += 1e9 / state.tasks[1].interval
+            if state.service:
+                total += 1e9 / state.tasks[2].interval
+        return total
+
+    def overhead_estimate(self) -> dict[str, float]:
+        """CPU (fraction of one core) and memory (MB) cost model.
+
+        Calibrated to the paper's Figure 7 operating point: an 8-RNIC host
+        at default rates consumes ~3% of a core and ~18.5 MB.  CPU scales
+        with packet handling (probes, ACKs as responder, CQE polling);
+        memory with the per-RNIC pinglists plus the 5-second result buffer.
+        """
+        pps = self.probe_rate_pps()
+        # Each probe costs the prober ~2 sends + 3 CQEs; responding costs a
+        # similar amount, and every RNIC also answers its peers' probes.
+        handled_pps = pps * 2.0 * 2.0
+        cpu_cores = 4e-5 * handled_pps + 0.002 * len(self.states)
+        entries = sum(len(s.tor_mesh) + len(s.inter_tor) + len(s.service)
+                      for s in self.states.values())
+        buffered = self.results_buffered_peak
+        memory_mb = 8.0 + 1.0 * len(self.states) + 0.004 * entries \
+            + 0.0015 * buffered
+        return {"cpu_cores": cpu_cores, "memory_mb": memory_mb}

@@ -1,0 +1,139 @@
+"""Hierarchical SLA aggregation (paper §7.4).
+
+Cluster Monitoring aggregates probe results at multiple tiers — per
+server, per ToR switch, per cluster — to evaluate SLAs at each level.  The
+paper warns that doing the same in Service Tracing misleads: a service may
+put only two servers under a ToR, and one failing server then reads as a
+"50% ToR drop rate".  The root cause is aggregating too few samples, so:
+
+* Cluster Monitoring aggregates at every tier (dense, uniform probing);
+* Service Tracing aggregates only per server and for the whole service
+  network;
+* every aggregate carries its sample count and a ``reliable`` flag
+  (>= MIN_SAMPLES_FOR_AGGREGATION samples), and consumers are expected to
+  ignore unreliable cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.cluster import Cluster
+from repro.core.records import ProbeKind, ProbeResult
+from repro.core.sla import MIN_SAMPLES_FOR_AGGREGATION
+from repro.sim.stats import PercentileTracker
+
+
+@dataclass
+class TierAggregate:
+    """Drop-rate/RTT aggregate for one entity at one tier."""
+
+    tier: str                 # "server" | "tor" | "cluster" | "service"
+    entity: str
+    probes: int = 0
+    timeouts: int = 0
+    rtt: PercentileTracker = field(default_factory=PercentileTracker)
+
+    @property
+    def drop_rate(self) -> float:
+        return self.timeouts / self.probes if self.probes else 0.0
+
+    @property
+    def reliable(self) -> bool:
+        """Whether this cell has enough samples to be trusted (§7.4)."""
+        return self.probes >= MIN_SAMPLES_FOR_AGGREGATION
+
+    def rtt_p99(self) -> Optional[float]:
+        if len(self.rtt) == 0:
+            return None
+        return self.rtt.p99()
+
+
+class HierarchicalAggregator:
+    """Builds per-tier aggregates from a window's probe results."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+
+    def _feed(self, aggregate: TierAggregate, result: ProbeResult) -> None:
+        aggregate.probes += 1
+        if result.timeout:
+            aggregate.timeouts += 1
+        elif result.network_rtt_ns is not None:
+            aggregate.rtt.add(float(result.network_rtt_ns))
+
+    def aggregate_cluster_monitoring(
+            self, results: Iterable[ProbeResult]
+            ) -> dict[str, dict[str, TierAggregate]]:
+        """Server, ToR, and cluster tiers for Cluster Monitoring results.
+
+        Each probe is attributed to its *target*: the entity whose health
+        the probe tests.
+        """
+        tiers: dict[str, dict[str, TierAggregate]] = {
+            "server": defaultdict_tier("server"),
+            "tor": defaultdict_tier("tor"),
+            "cluster": defaultdict_tier("cluster"),
+        }
+        for result in results:
+            if not result.kind.is_cluster_monitoring:
+                continue
+            host = self.cluster.host_of_rnic(result.target_rnic).name
+            tor = self.cluster.tor_of(result.target_rnic)
+            self._feed(tiers["server"][host], result)
+            self._feed(tiers["tor"][tor], result)
+            self._feed(tiers["cluster"]["cluster"], result)
+        return {name: dict(table) for name, table in tiers.items()}
+
+    def aggregate_service_tracing(
+            self, results: Iterable[ProbeResult]
+            ) -> dict[str, dict[str, TierAggregate]]:
+        """Server tier + whole-service tier ONLY (§7.4's lesson)."""
+        tiers: dict[str, dict[str, TierAggregate]] = {
+            "server": defaultdict_tier("server"),
+            "service": defaultdict_tier("service"),
+        }
+        for result in results:
+            if result.kind != ProbeKind.SERVICE_TRACING:
+                continue
+            host = self.cluster.host_of_rnic(result.target_rnic).name
+            self._feed(tiers["server"][host], result)
+            self._feed(tiers["service"]["service"], result)
+        return {name: dict(table) for name, table in tiers.items()}
+
+    def misleading_tor_aggregates(
+            self, results: Iterable[ProbeResult]
+            ) -> list[TierAggregate]:
+        """What per-ToR aggregation of Service Tracing *would* produce.
+
+        Exists to demonstrate §7.4's trap: cells here routinely show
+        extreme drop rates from a handful of samples.  Production code
+        must not consume this; the test suite asserts the `reliable` flag
+        exposes the problem.
+        """
+        table = defaultdict_tier("tor")
+        for result in results:
+            if result.kind != ProbeKind.SERVICE_TRACING:
+                continue
+            tor = self.cluster.tor_of(result.target_rnic)
+            self._feed(table[tor], result)
+        return list(table.values())
+
+
+def defaultdict_tier(tier: str) -> "_TierDict":
+    """A dict creating TierAggregates labelled with ``tier`` on demand."""
+    return _TierDict(tier)
+
+
+class _TierDict(dict):
+    """dict that materialises TierAggregate cells on first access."""
+
+    def __init__(self, tier: str):
+        super().__init__()
+        self._tier = tier
+
+    def __missing__(self, key: str) -> TierAggregate:
+        cell = TierAggregate(tier=self._tier, entity=key)
+        self[key] = cell
+        return cell

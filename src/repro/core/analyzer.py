@@ -1,0 +1,542 @@
+"""R-Pingmesh Analyzer (paper §4.3, §5).
+
+Every 20 seconds the Analyzer processes the probe results uploaded in the
+last window through a strict classification pipeline:
+
+1. **Host down** (§4.3.1) — a host silent for more than one window is down;
+   timeouts targeting its RNICs are non-network.
+2. **QPN reset** (§4.3.1) — a timeout probe whose target QPN disagrees with
+   the Controller registry is probe noise from an Agent restart.
+3. **Anomalous RNICs** (§4.3.2) — ToR-mesh probes involve only two links,
+   so an RNIC implicated by >10% anomalous ToR-mesh probes is itself
+   anomalous.  Detection is iterative (strongest suspect first, its probes
+   filtered, repeat) so one broken prober does not implicate its healthy
+   targets.  Detected RNICs are quarantined for 1 minute: every timeout to
+   or from them is attributed to the RNIC, not the fabric.
+4. **Agent-CPU false positives** (§6, Figure 6 right) — multiple RNICs of
+   one host going "anomalous" simultaneously is overwhelmingly the service
+   starving the Agent, not independent hardware failures; abnormally high
+   responder processing delay corroborates.  With the filter enabled these
+   become noise instead of RNIC problems.
+5. **Switch network problems** (§4.3.3) — every timeout that survives the
+   filters is fabric-caused; Algorithm 1 votes over the traced paths of
+   those probes and their ACKs.  Cluster Monitoring and Service Tracing
+   anomalies are localised separately.
+6. **High RTT / high processing delay** — successful probes over the
+   thresholds mark congestion and host bottlenecks.
+7. **SLA aggregation** and **priority assessment** (§4.3.4).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Optional, Protocol
+
+from repro.cluster import Cluster
+from repro.core.config import RPingmeshConfig
+from repro.core.controller import Controller
+from repro.core.localization import Localization, localize
+from repro.core.records import (AgentUpload, Priority, Problem,
+                                ProbeKind, ProbeResult, ProblemCategory)
+from repro.core.sla import SlaHistory, SlaReport
+
+
+class ServiceMonitor(Protocol):
+    """What the Analyzer needs from the service team's metric feed."""
+
+    def degraded(self) -> bool:
+        """Whether the service metric currently breaches its threshold."""
+        ...
+
+
+@dataclass
+class WindowAnalysis:
+    """Everything the Analyzer concluded for one window (test surface)."""
+
+    window_start_ns: int
+    window_end_ns: int
+    results_processed: int = 0
+    down_hosts: set[str] = field(default_factory=set)
+    qpn_reset_timeouts: int = 0
+    anomalous_rnics: set[str] = field(default_factory=set)
+    cpu_noise_hosts: set[str] = field(default_factory=set)
+    problems: list[Problem] = field(default_factory=list)
+    cluster_localization: Optional[Localization] = None
+    service_localization: Optional[Localization] = None
+
+    def problem_categories(self) -> Counter:
+        """Histogram of problem categories in this window."""
+        return Counter(p.category for p in self.problems)
+
+
+class Analyzer:
+    """The 20-second analysis loop."""
+
+    def __init__(self, cluster: Cluster, controller: Controller,
+                 config: RPingmeshConfig):
+        self.cluster = cluster
+        self.controller = controller
+        self.config = config
+        self.service_monitor: Optional[ServiceMonitor] = None
+
+        self._pending: list[AgentUpload] = []
+        self._upload_listeners: list = []
+        self._window_listeners: list = []
+        self._last_upload_ns: dict[str, int] = {}
+        self._quarantined_until: dict[str, int] = {}
+        # Rolling service-network membership from service-tracing paths.
+        self._service_members: dict[str, int] = {}  # name -> last seen ns
+
+        self.sla = SlaHistory()
+        self.windows: list[WindowAnalysis] = []
+        self.problems: list[Problem] = []
+        self.category_counts: Counter = Counter()
+        self._started = False
+
+    # -- wiring -----------------------------------------------------------------
+
+    def attach_service_monitor(self, monitor: ServiceMonitor) -> None:
+        """Plug in the service team's degradation signal (§4.3.4)."""
+        self.service_monitor = monitor
+
+    def add_upload_listener(self, listener) -> None:
+        """Tap the raw upload stream (dashboards, experiment capture)."""
+        self._upload_listeners.append(listener)
+
+    def add_window_listener(self, listener) -> None:
+        """Be called with each completed WindowAnalysis (trackers etc.)."""
+        self._window_listeners.append(listener)
+
+    def receive_upload(self, batch: AgentUpload) -> None:
+        """Agent upload entry point (5-second batches)."""
+        self._last_upload_ns[batch.host] = batch.uploaded_at_ns
+        self._pending.append(batch)
+        for listener in self._upload_listeners:
+            listener(batch)
+
+    def start(self) -> None:
+        """Begin the periodic analysis loop."""
+        if self._started:
+            return
+        self._started = True
+        self.cluster.sim.every(self.config.analysis_period_ns, self.analyze)
+
+    # -- the analysis pipeline -----------------------------------------------------
+
+    def analyze(self) -> WindowAnalysis:
+        """Process everything uploaded since the previous window."""
+        now = self.cluster.sim.now
+        window = WindowAnalysis(
+            window_start_ns=now - self.config.analysis_period_ns,
+            window_end_ns=now)
+        uploads, self._pending = self._pending, []
+        results = [r for batch in uploads for r in batch.results]
+        window.results_processed = len(results)
+
+        window.down_hosts = self._down_hosts(now)
+        classification = self._classify(results, window, now)
+        self._emit_problems(results, classification, window, now)
+        self._aggregate_sla(results, classification, window)
+        self._update_service_membership(results, now)
+        self._assign_priorities(window)
+
+        self.windows.append(window)
+        self.problems.extend(window.problems)
+        self.category_counts.update(p.category for p in window.problems)
+        for listener in self._window_listeners:
+            listener(window)
+        return window
+
+    # -- steps 1-4: timeout classification -------------------------------------------
+
+    def _down_hosts(self, now: int) -> set[str]:
+        """Hosts whose Agent has stopped uploading (§5)."""
+        down = set()
+        for host, last in self._last_upload_ns.items():
+            if now - last > self.config.host_down_silence_ns:
+                down.add(host)
+        return down
+
+    def _host_of_target(self, result: ProbeResult) -> str:
+        return self.cluster.host_of_rnic(result.target_rnic).name
+
+    def _classify(self, results: list[ProbeResult], window: WindowAnalysis,
+                  now: int) -> dict[int, ProblemCategory]:
+        """Map result seq -> category for every timeout."""
+        classification: dict[int, ProblemCategory] = {}
+
+        # Step 1: host down.
+        for result in results:
+            if not result.timeout:
+                continue
+            if self._host_of_target(result) in window.down_hosts:
+                classification[result.seq] = ProblemCategory.HOST_DOWN
+
+        # Step 2: QPN reset noise.
+        for result in results:
+            if not result.timeout or result.seq in classification:
+                continue
+            current = self.controller.current_qpn(result.target_rnic)
+            if current is not None and result.target_qpn != current:
+                classification[result.seq] = ProblemCategory.QPN_RESET
+                window.qpn_reset_timeouts += 1
+
+        # Step 3: anomalous RNICs from ToR-mesh probing (iterative).
+        # (The ablation switch reproduces Pingmesh-style analysis where
+        # RNIC and switch drops interfere during troubleshooting, §2.4.)
+        if self.config.tor_mesh_rnic_filter_enabled:
+            anomalous = self._detect_anomalous_rnics(results, classification)
+        else:
+            anomalous = set()
+
+        # Step 4: agent-CPU false-positive filters (§6).
+        if self.config.cpu_fp_filter_enabled:
+            anomalous = self._filter_cpu_noise(anomalous, results, window)
+        window.anomalous_rnics = anomalous
+        for rnic in anomalous:
+            self._quarantined_until[rnic] = max(
+                self._quarantined_until.get(rnic, 0),
+                now + self.config.rnic_quarantine_ns)
+
+        # Quarantine attribution: timeouts to/from quarantined RNICs are
+        # RNIC problems for this window and the next minute (§5).
+        for result in results:
+            if not result.timeout or result.seq in classification:
+                continue
+            for rnic in (result.prober_rnic, result.target_rnic):
+                if self._quarantined_until.get(rnic, 0) >= result.issued_at_ns:
+                    classification[result.seq] = ProblemCategory.RNIC_PROBLEM
+                    break
+        # CPU-noise hosts: their residual timeouts are noise, not fabric.
+        for result in results:
+            if not result.timeout or result.seq in classification:
+                continue
+            if self._host_of_target(result) in window.cpu_noise_hosts:
+                classification[result.seq] = ProblemCategory.AGENT_CPU_NOISE
+
+        # §6's simultaneity rule applied to the residual pool as well: a
+        # starved Agent freezes probing *and* responding, so essentially
+        # every surviving timeout involves that ONE host (as prober or as
+        # target) and the host's processing delay is abnormal.  A genuine
+        # fabric fault spreads its victims over many prober/target hosts,
+        # so the concentration guard keeps real switch evidence intact.
+        if self.config.cpu_fp_filter_enabled:
+            remaining = [r for r in results
+                         if r.timeout and r.seq not in classification]
+            involvement: dict[str, int] = defaultdict(int)
+            involved_rnics: dict[str, set[str]] = defaultdict(set)
+            for r in remaining:
+                hosts = {r.prober_host, self._host_of_target(r)}
+                for host in hosts:
+                    involvement[host] += 1
+                for rnic in (r.prober_rnic, r.target_rnic):
+                    involved_rnics[self.cluster.host_of_rnic(rnic)
+                                   .name].add(rnic)
+            for host, count in involvement.items():
+                if count < 0.8 * len(remaining) or count < 3:
+                    continue
+                # Either delay evidence convicts the CPU, or (with total
+                # starvation leaving too few samples) the paper's primary
+                # rule does: several RNICs of the same host failing at
+                # once is not independent hardware.
+                multi_rnic = (len(involved_rnics[host])
+                              >= self.config.cpu_fp_min_rnics)
+                if not (self._host_processing_abnormal(host, results)
+                        or multi_rnic):
+                    continue
+                window.cpu_noise_hosts.add(host)
+                for r in remaining:
+                    if host in (r.prober_host, self._host_of_target(r)):
+                        classification[r.seq] = \
+                            ProblemCategory.AGENT_CPU_NOISE
+
+        # Step 5: everything else is the switch network's fault.
+        for result in results:
+            if result.timeout and result.seq not in classification:
+                classification[result.seq] = \
+                    ProblemCategory.SWITCH_NETWORK_PROBLEM
+        return classification
+
+    def _detect_anomalous_rnics(
+            self, results: list[ProbeResult],
+            classification: dict[int, ProblemCategory]) -> set[str]:
+        """Iterative §4.3.2 detection over this window's ToR-mesh probes.
+
+        Repeatedly pick the RNIC with the highest anomaly rate above the
+        threshold, then drop all probes involving it before re-scoring, so
+        a single broken RNIC doesn't smear its healthy ToR neighbours.
+        """
+        pool = [r for r in results
+                if r.kind == ProbeKind.TOR_MESH
+                and r.seq not in classification]
+        anomalous: set[str] = set()
+        while True:
+            involved: dict[str, list[ProbeResult]] = defaultdict(list)
+            for result in pool:
+                involved[result.prober_rnic].append(result)
+                involved[result.target_rnic].append(result)
+            best_rnic, best_score = None, (0.0, 0)
+            for rnic, probes in involved.items():
+                timeouts = sum(1 for p in probes if p.timeout)
+                rate = timeouts / len(probes)
+                # ">10%" per §5 is strict; ties break toward the RNIC with
+                # more anomalous probes (a broken device is implicated by
+                # both its own failed probes and its peers').
+                score = (rate, timeouts)
+                if rate > self.config.rnic_timeout_threshold \
+                        and score > best_score:
+                    best_rnic, best_score = rnic, score
+            if best_rnic is None:
+                return anomalous
+            anomalous.add(best_rnic)
+            pool = [r for r in pool
+                    if best_rnic not in (r.prober_rnic, r.target_rnic)]
+
+    def _filter_cpu_noise(self, anomalous: set[str],
+                          results: list[ProbeResult],
+                          window: WindowAnalysis) -> set[str]:
+        """§6 false-positive filters: multi-RNIC simultaneity first, then
+        the responder-processing-delay corroboration."""
+        by_host: dict[str, set[str]] = defaultdict(set)
+        for rnic in anomalous:
+            by_host[self.cluster.host_of_rnic(rnic).name].add(rnic)
+
+        keep = set(anomalous)
+        for host, rnics in by_host.items():
+            noisy = False
+            if len(rnics) >= self.config.cpu_fp_min_rnics:
+                # Independent simultaneous failures of several RNICs on one
+                # host are wildly unlikely; blame the Agent's CPU.
+                noisy = True
+            elif self._host_processing_abnormal(host, results):
+                noisy = True
+            if noisy:
+                window.cpu_noise_hosts.add(host)
+                keep -= rnics
+        return keep
+
+    def _host_processing_abnormal(self, host: str,
+                                  results: list[ProbeResult]) -> bool:
+        """Whether ``host`` shows abnormal processing delay.
+
+        Uses both responder-side samples (probes answered by the host) and
+        prober-side samples (probes the host's own Agent sent): during a
+        starvation episode the responder samples largely *disappear* into
+        timeouts, while the host's prober-side samples remain plentiful
+        and inflated — they are what reliably convicts the CPU.
+        """
+        samples = [r.responder_processing_ns for r in results
+                   if r.responder_processing_ns is not None
+                   and self._host_of_target(r) == host]
+        samples += [r.prober_processing_ns for r in results
+                    if r.prober_processing_ns is not None
+                    and r.prober_host == host]
+        if len(samples) < 5:
+            return False
+        samples.sort()
+        p90 = samples[max(0, int(len(samples) * 0.9) - 1)]
+        return p90 > self.config.high_processing_delay_ns
+
+    # -- steps 5-6: problem emission -----------------------------------------------------
+
+    def _emit_problems(self, results: list[ProbeResult],
+                       classification: dict[int, ProblemCategory],
+                       window: WindowAnalysis, now: int) -> None:
+        by_seq = {r.seq: r for r in results}
+
+        # Host-down problems (non-network but reportable, Table 2 #4).
+        for host in sorted(window.down_hosts):
+            window.problems.append(Problem(
+                category=ProblemCategory.HOST_DOWN, locus=host,
+                detected_at_ns=now, window_start_ns=window.window_start_ns,
+                evidence_count=sum(
+                    1 for s, c in classification.items()
+                    if c == ProblemCategory.HOST_DOWN
+                    and self._host_of_target(by_seq[s]) == host),
+                from_service_tracing=False))
+
+        # RNIC problems.
+        for rnic in sorted(window.anomalous_rnics):
+            evidence = [by_seq[s] for s, c in classification.items()
+                        if c == ProblemCategory.RNIC_PROBLEM
+                        and rnic in (by_seq[s].prober_rnic,
+                                     by_seq[s].target_rnic)]
+            window.problems.append(Problem(
+                category=ProblemCategory.RNIC_PROBLEM, locus=rnic,
+                detected_at_ns=now, window_start_ns=window.window_start_ns,
+                evidence_count=len(evidence),
+                from_service_tracing=any(
+                    r.kind == ProbeKind.SERVICE_TRACING for r in evidence)))
+
+        # Switch network problems: localise cluster and service anomalies
+        # separately (§4.3.3 "Analyzer analyzes them individually").
+        for service_side in (False, True):
+            anomalies = [
+                by_seq[s] for s, c in classification.items()
+                if c == ProblemCategory.SWITCH_NETWORK_PROBLEM
+                and (by_seq[s].kind == ProbeKind.SERVICE_TRACING)
+                == service_side]
+            if len(anomalies) < self.config.min_anomalies_for_localization:
+                continue
+            loc = localize([r.probe_path for r in anomalies],
+                           [r.ack_path for r in anomalies])
+            if service_side:
+                window.service_localization = loc
+            else:
+                window.cluster_localization = loc
+            suspects = loc.suspects[:3] or ["unlocalized"]
+            for suspect in suspects:
+                window.problems.append(Problem(
+                    category=ProblemCategory.SWITCH_NETWORK_PROBLEM,
+                    locus=suspect, detected_at_ns=now,
+                    window_start_ns=window.window_start_ns,
+                    evidence_count=len(anomalies),
+                    from_service_tracing=service_side,
+                    detail=f"votes={loc.votes.get(suspect, 0)}"))
+
+        self._emit_latency_problems(results, window, now)
+
+    def _emit_latency_problems(self, results: list[ProbeResult],
+                               window: WindowAnalysis, now: int) -> None:
+        """High-RTT (congestion) and high-processing-delay (bottleneck)."""
+        high_rtt = [r for r in results
+                    if r.network_rtt_ns is not None
+                    and r.network_rtt_ns > self.config.high_rtt_threshold_ns]
+        for service_side in (False, True):
+            side = [r for r in high_rtt
+                    if (r.kind == ProbeKind.SERVICE_TRACING) == service_side]
+            if len(side) < self.config.min_anomalies_for_localization:
+                continue
+            # ToR-mesh high-RTT concentrating on one RNIC is an RNIC-side
+            # bottleneck (PFC storm toward it, Figure 8 right).
+            tor_targets = Counter(r.target_rnic for r in side
+                                  if r.kind == ProbeKind.TOR_MESH)
+            localized_rnic = None
+            if tor_targets:
+                rnic, count = tor_targets.most_common(1)[0]
+                if count >= self.config.min_anomalies_for_localization:
+                    localized_rnic = rnic
+            if localized_rnic is not None:
+                window.problems.append(Problem(
+                    category=ProblemCategory.HIGH_RTT, locus=localized_rnic,
+                    detected_at_ns=now,
+                    window_start_ns=window.window_start_ns,
+                    evidence_count=tor_targets[localized_rnic],
+                    from_service_tracing=service_side))
+            loc = localize([r.probe_path for r in side],
+                           [r.ack_path for r in side])
+            for suspect in loc.suspects[:1]:
+                window.problems.append(Problem(
+                    category=ProblemCategory.HIGH_RTT, locus=suspect,
+                    detected_at_ns=now,
+                    window_start_ns=window.window_start_ns,
+                    evidence_count=len(side),
+                    from_service_tracing=service_side,
+                    detail=f"votes={loc.votes.get(suspect, 0)}"))
+
+        # Host processing-delay bottlenecks (Figure 8 left).
+        by_host: dict[str, list[int]] = defaultdict(list)
+        for r in results:
+            if r.responder_processing_ns is not None:
+                by_host[self._host_of_target(r)].append(
+                    r.responder_processing_ns)
+            if r.prober_processing_ns is not None:
+                by_host[r.prober_host].append(r.prober_processing_ns)
+        for host, samples in sorted(by_host.items()):
+            if len(samples) < 5:
+                continue
+            samples.sort()
+            p90 = samples[max(0, int(len(samples) * 0.9) - 1)]
+            if p90 > self.config.high_processing_delay_ns:
+                window.problems.append(Problem(
+                    category=ProblemCategory.HIGH_PROCESSING_DELAY,
+                    locus=host, detected_at_ns=now,
+                    window_start_ns=window.window_start_ns,
+                    evidence_count=len(samples),
+                    from_service_tracing=False,
+                    detail=f"p90={p90}ns"))
+
+    # -- step 7: SLA -------------------------------------------------------------------------
+
+    def _aggregate_sla(self, results: list[ProbeResult],
+                       classification: dict[int, ProblemCategory],
+                       window: WindowAnalysis) -> None:
+        report = SlaReport(window.window_start_ns, window.window_end_ns)
+        for result in results:
+            scope = (report.service
+                     if result.kind == ProbeKind.SERVICE_TRACING
+                     else report.cluster)
+            scope.probes_total += 1
+            if result.timeout:
+                category = classification.get(result.seq)
+                if category == ProblemCategory.RNIC_PROBLEM:
+                    scope.timeouts_rnic += 1
+                elif category == ProblemCategory.SWITCH_NETWORK_PROBLEM:
+                    scope.timeouts_switch += 1
+                else:
+                    scope.timeouts_non_network += 1
+            else:
+                scope.probes_ok += 1
+                if result.network_rtt_ns is not None:
+                    scope.rtt.add(float(result.network_rtt_ns))
+                if result.responder_processing_ns is not None:
+                    scope.processing.add(float(result.responder_processing_ns))
+                if result.prober_processing_ns is not None:
+                    scope.processing.add(float(result.prober_processing_ns))
+        self.sla.append(report)
+
+    # -- step 8: service-network membership + priority (§4.3.4) ---------------------------------
+
+    def _update_service_membership(self, results: list[ProbeResult],
+                                   now: int) -> None:
+        for result in results:
+            if result.kind != ProbeKind.SERVICE_TRACING:
+                continue
+            members = [result.prober_rnic, result.target_rnic,
+                       result.prober_host, self._host_of_target(result)]
+            for path in (result.probe_path, result.ack_path):
+                if path is None:
+                    continue
+                members.extend(h for h in path.hops if h is not None)
+                members.extend(f"{a}->{b}" for a, b in path.known_links())
+            for member in members:
+                self._service_members[member] = now
+
+    def in_service_network(self, locus: str, now: Optional[int] = None) -> bool:
+        """Whether a device/link was part of the service network recently."""
+        if now is None:
+            now = self.cluster.sim.now
+        seen = self._service_members.get(locus)
+        if seen is None:
+            return False
+        return now - seen <= 3 * self.config.analysis_period_ns
+
+    def _assign_priorities(self, window: WindowAnalysis) -> None:
+        degraded = (self.service_monitor.degraded()
+                    if self.service_monitor is not None else False)
+        for problem in window.problems:
+            affects_service = (problem.from_service_tracing
+                               or self.in_service_network(
+                                   problem.locus, window.window_end_ns))
+            if affects_service:
+                problem.priority = Priority.P0 if degraded else Priority.P1
+            else:
+                problem.priority = Priority.P2
+
+    # -- verdict helpers (§7.2) ----------------------------------------------------------------
+
+    def network_innocent(self) -> bool:
+        """§4.3.4: if no P0/P1 problems were detected in the latest window,
+        the (service) network is innocent."""
+        if not self.windows:
+            return True
+        return all(p.priority == Priority.P2
+                   for p in self.windows[-1].problems)
+
+    def distinct_problems(self) -> dict[tuple[str, str], list[Problem]]:
+        """Problems grouped by (category, locus) across all windows."""
+        grouped: dict[tuple[str, str], list[Problem]] = defaultdict(list)
+        for problem in self.problems:
+            grouped[problem.key()].append(problem)
+        return dict(grouped)

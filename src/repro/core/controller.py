@@ -1,0 +1,221 @@
+"""R-Pingmesh Controller (paper §4.1).
+
+Three responsibilities:
+
+1. **Registry** — store the latest communication info (GID/QPN) for every
+   managed RNIC.  QPNs change whenever an Agent (re)starts, so Agents
+   re-register on start and pull fresh info periodically; the Analyzer
+   compares probe QPNs against this registry to spot QPN-reset noise.
+2. **Pinglists** — a ToR-mesh pinglist (all RNICs under the same ToR) and
+   an inter-ToR pinglist per RNIC.  Inter-ToR 5-tuple counts come from
+   Equation 1 so that all parallel paths between ToRs are covered with
+   probability ``P``; 20% of the 5-tuples rotate every hour to catch
+   problems only certain 5-tuples trigger.
+3. **Service-tracing lookups** — Agents resolve a service peer's IP to its
+   probe-QP comm info before probing the service path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.cluster import Cluster
+from repro.core.config import RPingmeshConfig
+from repro.core.coverage import required_tuples
+from repro.core.records import PinglistEntry, ProbeKind
+from repro.host.rnic import CommInfo
+from repro.net.addresses import MAX_SRC_PORT, MIN_SRC_PORT
+from repro.net.clos import ClosFabricPlan
+from repro.net.rail import RailFabricPlan
+from repro.sim.rng import RngStream
+from repro.sim.units import SECOND
+
+if TYPE_CHECKING:
+    from repro.core.agent import Agent
+
+
+class Controller:
+    """Central registry + pinglist generator."""
+
+    def __init__(self, cluster: Cluster, config: RPingmeshConfig,
+                 rng: RngStream):
+        self.cluster = cluster
+        self.config = config
+        self.rng = rng
+        self._registry: dict[str, CommInfo] = {}      # rnic name -> comm info
+        self._by_ip: dict[str, str] = {}              # ip -> rnic name
+        self._agents: dict[str, "Agent"] = {}         # host name -> agent
+        # Persistent inter-ToR tuple choices: (src_rnic, dst_rnic, src_port).
+        self._inter_tor_tuples: list[tuple[str, str, int]] = []
+        self._started = False
+        self.pinglist_pushes = 0
+        self.rotations = 0
+
+    # -- registry --------------------------------------------------------------
+
+    def register_agent(self, agent: "Agent",
+                       comm_infos: dict[str, CommInfo]) -> None:
+        """An Agent reports the probe-QP comm info of all its RNICs."""
+        self._agents[agent.host.name] = agent
+        for rnic_name, info in comm_infos.items():
+            self._registry[rnic_name] = info
+            self._by_ip[info.ip] = rnic_name
+
+    def update_comm_info(self, rnic_name: str, info: CommInfo) -> None:
+        """Refresh one RNIC's comm info (Agent restart path)."""
+        self._registry[rnic_name] = info
+        self._by_ip[info.ip] = rnic_name
+
+    def comm_info(self, rnic_name: str) -> CommInfo:
+        """Latest registered comm info for an RNIC."""
+        try:
+            return self._registry[rnic_name]
+        except KeyError:
+            raise KeyError(f"RNIC not registered: {rnic_name}") from None
+
+    def current_qpn(self, rnic_name: str) -> Optional[int]:
+        """The registry's QPN for an RNIC (None if unregistered)."""
+        info = self._registry.get(rnic_name)
+        return info.qpn if info else None
+
+    def resolve_ip(self, ip: str) -> Optional[tuple[str, CommInfo]]:
+        """Service-tracing lookup: peer IP -> (rnic name, comm info)."""
+        rnic_name = self._by_ip.get(ip)
+        if rnic_name is None:
+            return None
+        return rnic_name, self._registry[rnic_name]
+
+    def registered_rnics(self) -> list[str]:
+        """All registered RNIC names, sorted."""
+        return sorted(self._registry)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Generate initial pinglists and start refresh/rotation cycles."""
+        if self._started:
+            return
+        self._started = True
+        self._generate_inter_tor_tuples()
+        self.push_pinglists()
+        sim = self.cluster.sim
+        sim.every(self.config.pinglist_refresh_ns, self.push_pinglists)
+        sim.every(self.config.rotation_interval_ns, self.rotate_tuples)
+
+    # -- pinglist construction ------------------------------------------------------
+
+    def parallel_paths(self) -> int:
+        """N for Equation 1: equal-cost paths between ToR-tier switches."""
+        plan = self.cluster.plan
+        if isinstance(plan, ClosFabricPlan):
+            return plan.parallel_paths_between_tors()
+        if isinstance(plan, RailFabricPlan):
+            return plan.parallel_paths_cross_rail()
+        raise TypeError(f"unknown plan type: {type(plan).__name__}")
+
+    def tuples_per_tor(self) -> int:
+        """k from Equation 1 at the configured coverage probability."""
+        return required_tuples(self.parallel_paths(),
+                               self.config.coverage_probability)
+
+    def _random_port(self) -> int:
+        return self.rng.randint(MIN_SRC_PORT, MAX_SRC_PORT)
+
+    def _generate_inter_tor_tuples(self) -> None:
+        """Choose k cross-ToR (src, dst, port) triples per ToR switch."""
+        k = self.tuples_per_tor()
+        tuples: list[tuple[str, str, int]] = []
+        tors = self.cluster.tors()
+        for tor in tors:
+            local = self.cluster.rnics_under_tor(tor)
+            remote = [r for other in tors if other != tor
+                      for r in self.cluster.rnics_under_tor(other)]
+            if not local or not remote:
+                continue
+            for _ in range(k):
+                tuples.append((self.rng.choice(local),
+                               self.rng.choice(remote),
+                               self._random_port()))
+        self._inter_tor_tuples = tuples
+
+    def rotate_tuples(self) -> None:
+        """Replace ``rotation_fraction`` of inter-ToR tuples (hourly, §5).
+
+        Rotation re-rolls both the destination and the source port, so
+        5-tuple-specific problems (silent drops) eventually get triggered.
+        """
+        if not self._inter_tor_tuples:
+            return
+        self.rotations += 1
+        n = max(1, round(len(self._inter_tor_tuples)
+                         * self.config.rotation_fraction))
+        indices = self.rng.sample(range(len(self._inter_tor_tuples)), n)
+        tors = self.cluster.tors()
+        for i in indices:
+            src, _dst, _port = self._inter_tor_tuples[i]
+            src_tor = self.cluster.tor_of(src)
+            remote = [r for other in tors if other != src_tor
+                      for r in self.cluster.rnics_under_tor(other)]
+            if not remote:
+                continue
+            self._inter_tor_tuples[i] = (src, self.rng.choice(remote),
+                                         self._random_port())
+        self.push_pinglists()
+
+    def _tor_mesh_entries(self, rnic_name: str) -> list[PinglistEntry]:
+        tor = self.cluster.tor_of(rnic_name)
+        entries = []
+        for peer in self.cluster.rnics_under_tor(tor):
+            if peer == rnic_name or peer not in self._registry:
+                continue
+            entries.append(PinglistEntry(
+                kind=ProbeKind.TOR_MESH, target_rnic=peer,
+                target=self._registry[peer], src_port=self._random_port()))
+        return entries
+
+    def _inter_tor_entries(self) -> dict[str, list[PinglistEntry]]:
+        by_src: dict[str, list[PinglistEntry]] = {}
+        for src, dst, port in self._inter_tor_tuples:
+            if dst not in self._registry:
+                continue
+            by_src.setdefault(src, []).append(PinglistEntry(
+                kind=ProbeKind.INTER_TOR, target_rnic=dst,
+                target=self._registry[dst], src_port=port))
+        return by_src
+
+    def inter_tor_interval_ns(self, entry_count: int) -> int:
+        """Per-RNIC inter-ToR probing interval.
+
+        Sized so each link above the ToRs sees >= ``target_link_pps`` per
+        direction: with k tuples spread over N parallel paths, a given
+        fabric link expects ~k/N of the tuples, so each tuple must fire at
+        ``target_link_pps * N / k`` pps.  An Agent round-robins its entries,
+        so its thread interval is ``1 / (rate_per_tuple * entries)``.
+        """
+        if entry_count <= 0:
+            return self.config.pinglist_refresh_ns  # idle placeholder
+        n = self.parallel_paths()
+        k = max(1, self.tuples_per_tor())
+        rate_per_tuple = self.config.target_link_pps * n / k
+        interval = SECOND / (rate_per_tuple * entry_count)
+        return max(1_000, round(interval))
+
+    def push_pinglists(self) -> None:
+        """Build fresh pinglists from the registry and push to every Agent.
+
+        This is the 5-minute refresh of §5; it is also what eventually
+        replaces outdated QPNs after an Agent restart.
+        """
+        self.pinglist_pushes += 1
+        inter = self._inter_tor_entries()
+        for agent in self._agents.values():
+            for rnic in agent.host.rnics:
+                tor_entries = self._tor_mesh_entries(rnic.name)
+                inter_entries = inter.get(rnic.name, [])
+                agent.set_cluster_pinglists(
+                    rnic.name,
+                    tor_mesh=tor_entries,
+                    inter_tor=inter_entries,
+                    tor_mesh_interval_ns=self.config.tor_mesh_interval_ns(),
+                    inter_tor_interval_ns=self.inter_tor_interval_ns(
+                        len(inter_entries)))

@@ -1,0 +1,74 @@
+"""Equation 1: how many 5-tuples cover all ECMP paths (paper §4.1).
+
+The Controller must pick enough inter-ToR 5-tuples that, with probability at
+least ``P``, every one of the ``N`` parallel cross-ToR paths carries at
+least one probe flow.  Equation 1 in the paper is the coupon-collector tail
+bound via inclusion-exclusion::
+
+    miss(k) = sum_{i=1..N} (-1)^(i+1) * C(N, i) * (1 - i/N)^k
+
+``miss(k)`` is the probability that at least one of the N paths is missed
+by k uniformly-hashed 5-tuples; the Controller takes the smallest
+``k >= N`` with ``miss(k) <= 1 - P`` (the paper uses P = 0.99).
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+
+def miss_probability(n_paths: int, k_tuples: int) -> float:
+    """P(at least one of ``n_paths`` gets no probe flow from ``k_tuples``).
+
+    Computed by inclusion-exclusion assuming ECMP hashes each 5-tuple
+    uniformly and independently onto one of the paths.
+    """
+    if n_paths < 1:
+        raise ValueError(f"n_paths must be >= 1, got {n_paths}")
+    if k_tuples < 0:
+        raise ValueError(f"k_tuples must be >= 0, got {k_tuples}")
+    total = 0.0
+    for i in range(1, n_paths + 1):
+        term = comb(n_paths, i) * (1.0 - i / n_paths) ** k_tuples
+        total += term if i % 2 == 1 else -term
+    # Alternating-series round-off can leave tiny negatives near zero.
+    return min(1.0, max(0.0, total))
+
+
+def required_tuples(n_paths: int, coverage_probability: float = 0.99,
+                    *, max_k: int = 1_000_000) -> int:
+    """Equation 1: smallest ``k >= N`` with miss(k) <= 1 - P.
+
+    ``max_k`` bounds the search; hitting it raises, because a silent cap
+    would under-cover links.
+    """
+    if not 0.0 < coverage_probability < 1.0:
+        raise ValueError(
+            f"coverage probability must be in (0, 1): {coverage_probability}")
+    target = 1.0 - coverage_probability
+    low = max(1, n_paths)
+    if miss_probability(n_paths, low) <= target:
+        return low
+    # miss(k) is monotone decreasing in k: bracket exponentially, then
+    # binary-search the exact arg-min.
+    high = low
+    while miss_probability(n_paths, high) > target:
+        high *= 2
+        if high > max_k:
+            raise RuntimeError(
+                f"no k <= {max_k} covers {n_paths} paths "
+                f"at P={coverage_probability}")
+    while low + 1 < high:
+        mid = (low + high) // 2
+        if miss_probability(n_paths, mid) <= target:
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def expected_paths_covered(n_paths: int, k_tuples: int) -> float:
+    """E[number of distinct paths hit by k uniform 5-tuples]."""
+    if n_paths < 1:
+        raise ValueError(f"n_paths must be >= 1, got {n_paths}")
+    return n_paths * (1.0 - (1.0 - 1.0 / n_paths) ** k_tuples)

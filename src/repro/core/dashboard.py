@@ -1,0 +1,73 @@
+"""Text dashboards for SLA reports and problem feeds.
+
+The production system feeds Grafana-style dashboards; the reproduction
+renders the same content as fixed-width text, used by the CLI and handy in
+tests and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.analyzer import Analyzer
+from repro.core.records import Problem
+from repro.core.sla import SlaWindow
+
+
+def _fmt_us(ns: Optional[float]) -> str:
+    return "-" if ns is None else f"{ns / 1000:8.1f}us"
+
+
+def render_sla_window(window: SlaWindow) -> str:
+    """One scope's SLA block."""
+    lines = [f"[{window.scope}] probes={window.probes_total} "
+             f"ok={window.probes_ok} "
+             f"rnic_drop={window.rnic_drop_rate:.4f} "
+             f"switch_drop={window.switch_drop_rate:.4f}"
+             + ("" if window.reliable else "  (UNRELIABLE: few samples)")]
+    rtt = window.rtt_percentiles()
+    if rtt:
+        lines.append(
+            f"  rtt   p50={_fmt_us(rtt['p50'])} p90={_fmt_us(rtt['p90'])} "
+            f"p99={_fmt_us(rtt['p99'])} p999={_fmt_us(rtt['p999'])}")
+    proc = window.processing_percentiles()
+    if proc:
+        lines.append(
+            f"  proc  p50={_fmt_us(proc['p50'])} p90={_fmt_us(proc['p90'])} "
+            f"p99={_fmt_us(proc['p99'])} p999={_fmt_us(proc['p999'])}")
+    return "\n".join(lines)
+
+
+def render_problem(problem: Problem) -> str:
+    """One problem line."""
+    priority = problem.priority.value if problem.priority else "??"
+    origin = "service-tracing" if problem.from_service_tracing \
+        else "cluster-monitoring"
+    return (f"[{priority}] {problem.category.value:<24} {problem.locus:<28} "
+            f"evidence={problem.evidence_count:<5} via {origin}")
+
+
+def render_analyzer_state(analyzer: Analyzer, *,
+                          problem_limit: int = 10) -> str:
+    """The operator's one-page view: latest SLA + recent problems."""
+    lines = ["=" * 72]
+    report = analyzer.sla.latest()
+    if report is None:
+        lines.append("no analysis windows yet")
+    else:
+        start_s = report.window_start_ns / 1e9
+        end_s = report.window_end_ns / 1e9
+        lines.append(f"analysis window {start_s:.0f}s - {end_s:.0f}s")
+        lines.append(render_sla_window(report.cluster))
+        if report.service.probes_total:
+            lines.append(render_sla_window(report.service))
+    recent = analyzer.problems[-problem_limit:]
+    if recent:
+        lines.append("-" * 72)
+        lines.append(f"recent problems (last {len(recent)}):")
+        lines.extend("  " + render_problem(p) for p in recent)
+    verdict = "INNOCENT" if analyzer.network_innocent() else "SUSPECT"
+    lines.append("-" * 72)
+    lines.append(f"service-network verdict: {verdict}")
+    lines.append("=" * 72)
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Switch-network problem localisation — Algorithm 1 (paper §4.3.3).
+
+Given the traced paths of anomalous probes (and their ACKs), vote on every
+directed link traversed; links with the most votes are the most suspicious.
+The idea is binary network tomography: the common element of many bad paths
+is the likely culprit.  Replacing links with switches gives the switch
+variant (paper footnote 5).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.net.traceroute import PathRecord
+
+
+@dataclass
+class Localization:
+    """Voting outcome: the arg-max set plus the full tally."""
+
+    suspects: list[str] = field(default_factory=list)
+    votes: Counter = field(default_factory=Counter)
+    paths_considered: int = 0
+
+    @property
+    def confident(self) -> bool:
+        """A unique arg-max is a far stronger signal than a tie."""
+        return len(self.suspects) == 1
+
+    def top(self, n: int = 5) -> list[tuple[str, int]]:
+        """The n most-voted elements."""
+        return self.votes.most_common(n)
+
+
+def _link_names(path: PathRecord) -> Iterable[str]:
+    for a, b in path.known_links():
+        yield f"{a}->{b}"
+
+
+def detect_abnormal_links(paths: list[PathRecord]) -> Localization:
+    """Algorithm 1 verbatim: vote per directed link, return the arg-max.
+
+    Unknown hops (rate-limited traceroute responders) contribute no links
+    across the gap, which only lowers a suspect's tally — never creates a
+    false vote.
+    """
+    votes: Counter = Counter()
+    considered = 0
+    for path in paths:
+        considered += 1
+        for link_name in _link_names(path):
+            votes[link_name] += 1
+    return _argmax(votes, considered)
+
+
+def detect_abnormal_switches(paths: list[PathRecord]) -> Localization:
+    """Footnote-5 variant: vote per switch instead of per link."""
+    votes: Counter = Counter()
+    considered = 0
+    for path in paths:
+        considered += 1
+        for switch in path.known_switches():
+            votes[switch] += 1
+    return _argmax(votes, considered)
+
+
+def _argmax(votes: Counter, considered: int) -> Localization:
+    if not votes:
+        return Localization(paths_considered=considered)
+    best = max(votes.values())
+    suspects = sorted(name for name, count in votes.items() if count == best)
+    return Localization(suspects=suspects, votes=votes,
+                        paths_considered=considered)
+
+
+def localize(probe_paths: list[Optional[PathRecord]],
+             ack_paths: list[Optional[PathRecord]]) -> Localization:
+    """Vote over both directions of every anomalous probe (§4.3.3).
+
+    The probe may have died on the forward path or its ACK on the reverse
+    path; Analyzer traverses "the paths of these probes and their ACKs one
+    by one", so both directions vote.
+    """
+    paths = [p for p in list(probe_paths) + list(ack_paths) if p is not None]
+    return detect_abnormal_links(paths)

@@ -1,0 +1,138 @@
+"""SLA tracking (paper §4.3.4 / §5, and the Figure 5 series).
+
+Per 20-second analysis window, for the whole cluster network and for the
+service network separately, the Analyzer reports:
+
+* RNIC drop rate and switch-network drop rate (timeouts attributed per
+  §4.3.1-4.3.2 over total probes),
+* P50..P999 of network RTT,
+* P50..P999 of end-host processing delay (prober + responder samples).
+
+§7.4's aggregation caveat is honoured: aggregates below
+``MIN_SAMPLES_FOR_AGGREGATION`` samples are marked unreliable — a service
+using two servers under a ToR must not produce a "50% ToR drop rate".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.stats import PercentileTracker
+
+# Below this many probes an aggregate is statistically meaningless (§7.4).
+MIN_SAMPLES_FOR_AGGREGATION = 20
+
+
+@dataclass
+class SlaWindow:
+    """One scope's (cluster or service) SLA numbers for one window."""
+
+    scope: str
+    window_start_ns: int
+    window_end_ns: int
+    probes_total: int = 0
+    probes_ok: int = 0
+    timeouts_rnic: int = 0
+    timeouts_switch: int = 0
+    timeouts_non_network: int = 0     # host down, QPN reset, agent noise
+    rtt: PercentileTracker = field(default_factory=PercentileTracker)
+    processing: PercentileTracker = field(default_factory=PercentileTracker)
+
+    @property
+    def reliable(self) -> bool:
+        """Whether the sample count supports aggregation (§7.4)."""
+        return self.probes_total >= MIN_SAMPLES_FOR_AGGREGATION
+
+    @property
+    def rnic_drop_rate(self) -> float:
+        """Timeouts attributed to RNIC problems / total probes."""
+        return self.timeouts_rnic / self.probes_total if self.probes_total else 0.0
+
+    @property
+    def switch_drop_rate(self) -> float:
+        """Timeouts attributed to switch-network problems / total probes."""
+        return (self.timeouts_switch / self.probes_total
+                if self.probes_total else 0.0)
+
+    @property
+    def drop_rate(self) -> float:
+        """All network-attributed timeouts / total probes."""
+        return ((self.timeouts_rnic + self.timeouts_switch)
+                / self.probes_total if self.probes_total else 0.0)
+
+    def rtt_percentiles(self) -> Optional[dict[str, float]]:
+        """Network RTT distribution (None when no successful probes)."""
+        if len(self.rtt) == 0:
+            return None
+        return self.rtt.summary()
+
+    def processing_percentiles(self) -> Optional[dict[str, float]]:
+        """End-host processing delay distribution."""
+        if len(self.processing) == 0:
+            return None
+        return self.processing.summary()
+
+
+@dataclass
+class SlaReport:
+    """Cluster + service SLA for one analysis window."""
+
+    window_start_ns: int
+    window_end_ns: int
+    cluster: SlaWindow = field(default=None)  # type: ignore[assignment]
+    service: SlaWindow = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.cluster is None:
+            self.cluster = SlaWindow("cluster", self.window_start_ns,
+                                     self.window_end_ns)
+        if self.service is None:
+            self.service = SlaWindow("service", self.window_start_ns,
+                                     self.window_end_ns)
+
+
+class SlaHistory:
+    """Rolling store of per-window reports, the source for Figure 5."""
+
+    def __init__(self, max_windows: int = 100_000):
+        self.max_windows = max_windows
+        self.reports: list[SlaReport] = []
+
+    def append(self, report: SlaReport) -> None:
+        """Add one window's report."""
+        self.reports.append(report)
+        if len(self.reports) > self.max_windows:
+            self.reports.pop(0)
+
+    def latest(self) -> Optional[SlaReport]:
+        """Most recent report, if any."""
+        return self.reports[-1] if self.reports else None
+
+    def series(self, scope: str, metric: str) -> list[tuple[int, float]]:
+        """(window_start, value) pairs for plotting.
+
+        ``scope`` is ``cluster`` or ``service``; ``metric`` is one of
+        ``drop_rate``, ``rnic_drop_rate``, ``switch_drop_rate``,
+        ``rtt_p50``, ``rtt_p99``, ``processing_p50``, ``processing_p99``.
+        Windows without samples for a percentile metric are skipped.
+        """
+        out: list[tuple[int, float]] = []
+        for report in self.reports:
+            window: SlaWindow = getattr(report, scope)
+            value = self._metric_value(window, metric)
+            if value is not None:
+                out.append((report.window_start_ns, value))
+        return out
+
+    @staticmethod
+    def _metric_value(window: SlaWindow, metric: str) -> Optional[float]:
+        if metric in ("drop_rate", "rnic_drop_rate", "switch_drop_rate"):
+            return getattr(window, metric)
+        if metric.startswith("rtt_"):
+            stats = window.rtt_percentiles()
+            return stats[metric[len("rtt_"):]] if stats else None
+        if metric.startswith("processing_"):
+            stats = window.processing_percentiles()
+            return stats[metric[len("processing_"):]] if stats else None
+        raise ValueError(f"unknown metric: {metric}")

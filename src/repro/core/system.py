@@ -1,0 +1,62 @@
+"""End-to-end R-Pingmesh system wiring.
+
+:class:`RPingmesh` instantiates the Controller, the Analyzer, and one Agent
+per host of a :class:`~repro.cluster.Cluster`, then starts them in the
+paper's order: Agents register first (the Controller registry must know
+every QPN), the Controller builds and pushes pinglists, and the Analyzer
+begins its 20-second loop.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster import Cluster
+from repro.core.agent import Agent
+from repro.core.analyzer import Analyzer, ServiceMonitor
+from repro.core.config import RPingmeshConfig
+from repro.core.controller import Controller
+
+
+class RPingmesh:
+    """The deployed system on one cluster."""
+
+    def __init__(self, cluster: Cluster,
+                 config: Optional[RPingmeshConfig] = None):
+        self.cluster = cluster
+        self.config = config or RPingmeshConfig()
+        self.config.validate()
+        self.controller = Controller(cluster, self.config,
+                                     cluster.rngs.stream("controller"))
+        self.analyzer = Analyzer(cluster, self.controller, self.config)
+        self.agents: dict[str, Agent] = {
+            host_name: Agent(host, cluster, self.controller, self.analyzer,
+                             self.config,
+                             cluster.rngs.stream(f"agent.{host_name}"))
+            for host_name, host in sorted(cluster.hosts.items())
+        }
+        self._started = False
+
+    def start(self) -> None:
+        """Bring the whole system up (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for agent in self.agents.values():
+            agent.start()
+        self.controller.start()
+        self.analyzer.start()
+
+    def attach_service_monitor(self, monitor: ServiceMonitor) -> None:
+        """Forward the service metric feed to the Analyzer."""
+        self.analyzer.attach_service_monitor(monitor)
+
+    def agent_for_rnic(self, rnic_name: str) -> Agent:
+        """The Agent managing a given RNIC."""
+        host = self.cluster.host_of_rnic(rnic_name)
+        return self.agents[host.name]
+
+    def run(self, duration_ns: int) -> None:
+        """Convenience: start (if needed) and advance simulated time."""
+        self.start()
+        self.cluster.sim.run_for(duration_ns)

@@ -1,0 +1,167 @@
+"""Problem lifecycle tracking: dedup, open/resolve, ticket export.
+
+The Analyzer emits a verdict per 20-second window, so a persistent fault
+re-appears in every window it spans.  Operations counts *problems*, not
+window verdicts — the paper's "207 problems in one month" is a deduped
+figure.  The tracker folds window verdicts into tickets:
+
+* a verdict for a (category, locus) pair with no open ticket **opens** one;
+* further verdicts for the same pair refresh the ticket (last_seen,
+  evidence accumulation, priority escalation — P2 may become P0 when the
+  service starts using the device);
+* a ticket with no verdict for ``resolve_after_windows`` windows is
+  **resolved** (the fault cleared or was repaired).
+
+Tickets serialise to plain dicts for export to JSON lines, which is what
+an operator pipeline would ingest.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.core.analyzer import Analyzer, WindowAnalysis
+from repro.core.records import Priority, Problem, ProblemCategory
+
+_PRIORITY_RANK = {Priority.P0: 0, Priority.P1: 1, Priority.P2: 2}
+
+
+class TicketState(Enum):
+    """Lifecycle states."""
+
+    OPEN = "open"
+    RESOLVED = "resolved"
+
+
+@dataclass
+class Ticket:
+    """One deduplicated problem across its lifetime."""
+
+    ticket_id: int
+    category: ProblemCategory
+    locus: str
+    opened_at_ns: int
+    last_seen_ns: int
+    state: TicketState = TicketState.OPEN
+    resolved_at_ns: Optional[int] = None
+    windows_seen: int = 0
+    total_evidence: int = 0
+    worst_priority: Optional[Priority] = None
+    from_service_tracing: bool = False
+
+    def absorb(self, problem: Problem) -> None:
+        """Fold one window verdict into the ticket."""
+        self.last_seen_ns = problem.detected_at_ns
+        self.windows_seen += 1
+        self.total_evidence += problem.evidence_count
+        self.from_service_tracing |= problem.from_service_tracing
+        if problem.priority is not None:
+            if (self.worst_priority is None
+                    or _PRIORITY_RANK[problem.priority]
+                    < _PRIORITY_RANK[self.worst_priority]):
+                self.worst_priority = problem.priority
+
+    @property
+    def duration_ns(self) -> int:
+        """Open duration (to resolution, or to last sighting if open)."""
+        end = self.resolved_at_ns if self.resolved_at_ns is not None \
+            else self.last_seen_ns
+        return max(0, end - self.opened_at_ns)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view."""
+        return {
+            "ticket_id": self.ticket_id,
+            "category": self.category.value,
+            "locus": self.locus,
+            "state": self.state.value,
+            "opened_at_s": self.opened_at_ns / 1e9,
+            "last_seen_s": self.last_seen_ns / 1e9,
+            "resolved_at_s": (self.resolved_at_ns / 1e9
+                              if self.resolved_at_ns is not None else None),
+            "windows_seen": self.windows_seen,
+            "total_evidence": self.total_evidence,
+            "worst_priority": (self.worst_priority.value
+                               if self.worst_priority else None),
+            "from_service_tracing": self.from_service_tracing,
+        }
+
+
+class ProblemTracker:
+    """Folds Analyzer windows into deduplicated tickets."""
+
+    # Verdict categories that warrant a ticket (noise categories don't).
+    TICKETED = {ProblemCategory.RNIC_PROBLEM,
+                ProblemCategory.SWITCH_NETWORK_PROBLEM,
+                ProblemCategory.HOST_DOWN,
+                ProblemCategory.HIGH_RTT,
+                ProblemCategory.HIGH_PROCESSING_DELAY}
+
+    def __init__(self, *, resolve_after_windows: int = 3):
+        if resolve_after_windows < 1:
+            raise ValueError("resolve_after_windows must be >= 1")
+        self.resolve_after_windows = resolve_after_windows
+        self.tickets: list[Ticket] = []
+        self._open: dict[tuple[str, str], Ticket] = {}
+        self._quiet_counts: dict[tuple[str, str], int] = {}
+        self._next_id = 1
+
+    def observe_window(self, window: WindowAnalysis) -> list[Ticket]:
+        """Process one window; returns tickets opened by this window."""
+        opened: list[Ticket] = []
+        seen_keys: set[tuple[str, str]] = set()
+        for problem in window.problems:
+            if problem.category not in self.TICKETED:
+                continue
+            key = problem.key()
+            seen_keys.add(key)
+            ticket = self._open.get(key)
+            if ticket is None:
+                ticket = Ticket(
+                    ticket_id=self._next_id, category=problem.category,
+                    locus=problem.locus,
+                    opened_at_ns=problem.detected_at_ns,
+                    last_seen_ns=problem.detected_at_ns)
+                self._next_id += 1
+                self._open[key] = ticket
+                self.tickets.append(ticket)
+                opened.append(ticket)
+            ticket.absorb(problem)
+            self._quiet_counts[key] = 0
+
+        # Age out tickets that stayed quiet.
+        for key, ticket in list(self._open.items()):
+            if key in seen_keys:
+                continue
+            self._quiet_counts[key] = self._quiet_counts.get(key, 0) + 1
+            if self._quiet_counts[key] >= self.resolve_after_windows:
+                ticket.state = TicketState.RESOLVED
+                ticket.resolved_at_ns = window.window_end_ns
+                del self._open[key]
+                del self._quiet_counts[key]
+        return opened
+
+    def attach(self, analyzer: Analyzer) -> None:
+        """Auto-observe every future window of an Analyzer."""
+        analyzer.add_window_listener(self.observe_window)
+
+    # -- queries -----------------------------------------------------------------
+
+    def open_tickets(self) -> list[Ticket]:
+        """Currently open tickets."""
+        return [t for t in self.tickets if t.state == TicketState.OPEN]
+
+    def resolved_tickets(self) -> list[Ticket]:
+        """Resolved tickets."""
+        return [t for t in self.tickets if t.state == TicketState.RESOLVED]
+
+    def ticket_count(self) -> int:
+        """Total deduplicated problems — the paper's '207' style figure."""
+        return len(self.tickets)
+
+    def export_jsonl(self) -> str:
+        """All tickets as JSON lines (operator-pipeline format)."""
+        return "\n".join(json.dumps(t.to_dict()) for t in self.tickets)

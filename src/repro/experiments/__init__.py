@@ -1,0 +1,34 @@
+"""One reproduction driver per figure/table of the paper's evaluation.
+
+Modules are named after the paper artifact they regenerate; each exposes a
+``run(...)`` returning a result dataclass whose fields mirror what the
+figure/table reports.  The benchmark harness under ``benchmarks/`` calls
+these and prints paper-vs-measured rows.
+"""
+
+from repro.experiments import (common, eq01_coverage, fig01_flapping,
+                               fig02_pingmesh_load, fig05_sla,
+                               fig06_accuracy, fig07_overhead,
+                               fig08_bottlenecks, fig09_innocent,
+                               fig10_service_capture,
+                               fig11_congestion_modes, fig12_rail,
+                               fig13_congestion_causes, tab01_qp_types,
+                               tab02_catalog)
+
+__all__ = [
+    "common",
+    "fig01_flapping",
+    "fig02_pingmesh_load",
+    "fig05_sla",
+    "fig06_accuracy",
+    "fig07_overhead",
+    "fig08_bottlenecks",
+    "fig09_innocent",
+    "fig10_service_capture",
+    "fig11_congestion_modes",
+    "fig12_rail",
+    "fig13_congestion_causes",
+    "tab01_qp_types",
+    "tab02_catalog",
+    "eq01_coverage",
+]

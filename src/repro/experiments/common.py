@@ -1,0 +1,71 @@
+"""Shared scaffolding for the figure/table reproduction drivers.
+
+Every experiment returns a plain result dataclass with the series/rows the
+paper's figure or table shows, so the benchmark harness can both assert the
+*shape* of the result (who wins, what is detected) and print the rows next
+to the paper's reported values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster import Cluster
+from repro.core.config import RPingmeshConfig
+from repro.core.system import RPingmesh
+from repro.net.clos import ClosParams
+
+
+@dataclass
+class Deployment:
+    """A cluster with R-Pingmesh running on it."""
+
+    cluster: Cluster
+    system: RPingmesh
+
+
+def default_cluster_params(**overrides) -> ClosParams:
+    """The downscaled evaluation fabric: 2 pods, 1:1 oversubscription."""
+    params = dict(pods=2, tors_per_pod=2, aggs_per_pod=2, spines=2,
+                  hosts_per_tor=3, rnics_per_host=1)
+    params.update(overrides)
+    return ClosParams(**params)
+
+
+def deploy(*, seed: int = 0, params: Optional[ClosParams] = None,
+           config: Optional[RPingmeshConfig] = None,
+           warmup_ns: int = 0) -> Deployment:
+    """Build a Clos cluster, start R-Pingmesh, optionally warm up."""
+    cluster = Cluster.clos(params or default_cluster_params(), seed=seed)
+    system = RPingmesh(cluster, config)
+    system.start()
+    if warmup_ns:
+        cluster.sim.run_for(warmup_ns)
+    return Deployment(cluster=cluster, system=system)
+
+
+@dataclass
+class SeriesPoint:
+    """One (time, value) sample of a reported series."""
+
+    time_s: float
+    value: float
+
+
+def sample_series(times_ns: list[int], values: list[float]
+                  ) -> list[SeriesPoint]:
+    """Convert raw TimeSeries storage into second-scaled points."""
+    return [SeriesPoint(t / 1e9, v) for t, v in zip(times_ns, values)]
+
+
+def fmt_us(ns: Optional[float]) -> str:
+    """Nanoseconds -> 'x.y us' for printed tables."""
+    if ns is None:
+        return "-"
+    return f"{ns / 1000:.1f}us"
+
+
+def fmt_pct(fraction: float) -> str:
+    """0.85 -> '85.0%'."""
+    return f"{fraction * 100:.1f}%"

@@ -1,0 +1,108 @@
+"""Export experiment series as CSV, plus quick ASCII sparklines.
+
+The experiment drivers return plain dataclasses of series; this module
+turns them into files a plotting pipeline (or the paper-comparison
+notebook of your choice) can consume, and renders terminal sparklines for
+eyeballing shapes without leaving the shell.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Sequence
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def series_to_csv(header: Sequence[str],
+                  rows: Iterable[Sequence]) -> str:
+    """Render rows as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(header)
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_csv(path: Path, header: Sequence[str],
+              rows: Iterable[Sequence]) -> Path:
+    """Write rows to ``path`` (parent directories created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(series_to_csv(header, rows))
+    return path
+
+
+def sparkline(values: Sequence[float], *, width: int = 60) -> str:
+    """A one-line unicode sparkline of a series.
+
+    Values are min-max normalised; the series is resampled to ``width``
+    buckets by bucket-mean so long series stay one line.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    if len(values) > width:
+        bucket = len(values) / width
+        resampled = []
+        for i in range(width):
+            lo = int(i * bucket)
+            hi = max(lo + 1, int((i + 1) * bucket))
+            chunk = values[lo:hi]
+            resampled.append(sum(chunk) / len(chunk))
+        values = resampled
+    low, high = min(values), max(values)
+    span = high - low
+    if span == 0:
+        return _SPARK_LEVELS[0] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - low) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)
+
+
+def export_fig01(result, out_dir: Path) -> Path:
+    """Figure 1 throughput timeline -> CSV."""
+    return write_csv(
+        Path(out_dir) / f"fig01_{result.fault_kind}.csv",
+        ("time_s", "throughput_gbps"),
+        zip(result.times_s, result.throughput_gbps))
+
+
+def export_fig02(result, out_dir: Path) -> Path:
+    """Figure 2 load sweep -> CSV."""
+    return write_csv(
+        Path(out_dir) / "fig02_pingmesh_load.csv",
+        ("load", "pingmesh_p99_us", "rpingmesh_rtt_p99_us"),
+        ((e.load, e.pingmesh_p99_us, e.rpingmesh_rtt_p99_us)
+         for e in result.epochs))
+
+
+def export_fig05(timeline, out_dir: Path) -> list[Path]:
+    """Figure 5 five-series timeline -> one CSV per series."""
+    out = []
+    series = {
+        "throughput": ("time_s", "gbps", timeline.throughput),
+        "service_rtt_p50": ("time_s", "us", timeline.service_rtt_p50_us),
+        "processing_p50": ("time_s", "us", timeline.processing_p50_us),
+        "service_drop_rate": ("time_s", "rate",
+                              timeline.service_drop_rate),
+        "cluster_drop_rate": ("time_s", "rate",
+                              timeline.cluster_drop_rate),
+    }
+    for name, (t_label, v_label, points) in series.items():
+        out.append(write_csv(Path(out_dir) / f"fig05_{name}.csv",
+                             (t_label, v_label), points))
+    return out
+
+
+def export_fig10(result, out_dir: Path) -> Path:
+    """Figure 10 per-probe RTT samples -> CSV."""
+    return write_csv(
+        Path(out_dir) / "fig10_service_rtt_samples.csv",
+        ("time_s", "rtt_us"),
+        result.rtt_samples)

@@ -1,0 +1,80 @@
+"""Figure 1: a single flapping switch port or RNIC collapses DML throughput.
+
+The paper's figure shows cluster-average training throughput over time with
+a flapping switch port (top) and a flapping RNIC (bottom); in both cases
+throughput degrades severely, "even to zero".  We run the same timeline:
+healthy -> fault injected -> fault cleared, and report mean throughput per
+epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import Cluster
+from repro.experiments.common import default_cluster_params
+from repro.net.faults import Fault, RnicFlapping, SwitchPortFlapping
+from repro.services.dml import CommPattern, DmlConfig, DmlJob
+from repro.sim.units import MILLISECOND, seconds
+
+
+@dataclass
+class FlappingResult:
+    """Throughput timeline around one flapping episode."""
+
+    fault_kind: str
+    healthy_mean_gbps: float
+    faulty_mean_gbps: float
+    recovered_mean_gbps: float
+    min_faulty_gbps: float
+    times_s: list[float]
+    throughput_gbps: list[float]
+
+    @property
+    def degradation_factor(self) -> float:
+        """healthy / faulty mean — the figure's headline collapse."""
+        return self.healthy_mean_gbps / max(self.faulty_mean_gbps, 1e-9)
+
+
+def run(fault_kind: str = "switch_port", *, seed: int = 1,
+        healthy_s: int = 15, faulty_s: int = 40,
+        recovery_s: int = 15) -> FlappingResult:
+    """Run the Figure 1 timeline for 'switch_port' or 'rnic' flapping."""
+    cluster = Cluster.clos(default_cluster_params(), seed=seed)
+    participants = cluster.rnic_names()[:8]
+    job = DmlJob(cluster, participants,
+                 DmlConfig(pattern=CommPattern.ALL2ALL,
+                           compute_time_ns=300 * MILLISECOND,
+                           data_gbits_per_cycle=4.0))
+    job.start()
+    cluster.sim.run_for(seconds(healthy_s))
+    t_fault = cluster.sim.now
+
+    fault: Fault
+    if fault_kind == "switch_port":
+        fault = SwitchPortFlapping(cluster, "pod0-tor0", "pod0-agg0")
+    elif fault_kind == "rnic":
+        fault = RnicFlapping(cluster, participants[0])
+    else:
+        raise ValueError(f"unknown fault kind: {fault_kind}")
+    fault.inject()
+    cluster.sim.run_for(seconds(faulty_s))
+    t_clear = cluster.sim.now
+    fault.clear()
+    cluster.sim.run_for(seconds(recovery_s))
+
+    series = job.throughput
+
+    def window_mean(start_ns, end_ns):
+        window = series.window(start_ns, end_ns)
+        return window.mean() if len(window) else 0.0
+
+    faulty_window = series.window(t_fault, t_clear)
+    return FlappingResult(
+        fault_kind=fault_kind,
+        healthy_mean_gbps=window_mean(0, t_fault),
+        faulty_mean_gbps=window_mean(t_fault, t_clear),
+        recovered_mean_gbps=window_mean(t_clear, cluster.sim.now + 1),
+        min_faulty_gbps=faulty_window.min() if len(faulty_window) else 0.0,
+        times_s=[t / 1e9 for t in series.times],
+        throughput_gbps=list(series.values))

@@ -1,0 +1,186 @@
+"""Table 1: QP-type feature comparison.
+
+=====================  ====  ====  ====
+Feature                 RC    UC    UD
+=====================  ====  ====  ====
+Accurate RTT            ✗     ✓     ✓
+Connection overhead    high  high  low
+=====================  ====  ====  ====
+
+*Accuracy*: the Figure 4 method needs timestamp ② (send CQE at wire
+departure).  On RC the send CQE only fires when the remote hardware ACK
+returns, so "②" already contains a full round trip and the derived RTT is
+garbage (≈ 0 or negative).  On UC/UD the send CQE fires at the wire and
+the derived RTT matches the true fabric latency.
+
+*Connection overhead*: probing M peers needs M connected QPs (QPC cache
+slots) on RC/UC but a single UD QP.
+
+We measure both rows directly against the RNIC model, comparing each QP
+type's derived RTT with the fabric's ground-truth latency for the same
+path, under fully desynchronised clocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster import Cluster
+from repro.experiments.common import default_cluster_params
+from repro.host.rnic import CommInfo, Cqe, CqeKind, QPType
+from repro.net.addresses import roce_five_tuple
+from repro.sim.units import seconds
+
+
+@dataclass
+class QpTypeRow:
+    """One Table 1 row (one QP type)."""
+
+    qp_type: str
+    measured_rtt_ns: Optional[float]
+    true_rtt_ns: float
+    qps_needed_for_m_peers: int
+    qpc_slots_consumed: int
+
+    @property
+    def rtt_accurate(self) -> bool:
+        """Within 20% of fabric ground truth (and positive)."""
+        if self.measured_rtt_ns is None or self.measured_rtt_ns <= 0:
+            return False
+        return abs(self.measured_rtt_ns - self.true_rtt_ns) \
+            <= 0.2 * self.true_rtt_ns
+
+    @property
+    def connection_overhead(self) -> str:
+        return "low" if self.qpc_slots_consumed <= 1 else "high"
+
+
+@dataclass
+class Table1Result:
+    """All three rows."""
+
+    rows: dict[str, QpTypeRow] = field(default_factory=dict)
+
+    def row(self, qp_type: str) -> QpTypeRow:
+        return self.rows[qp_type]
+
+
+def _true_rtt(cluster: Cluster, src: str, dst: str, port: int) -> float:
+    """Fabric ground truth: sum of per-hop latencies both ways."""
+    src_rnic, dst_rnic = cluster.rnic(src), cluster.rnic(dst)
+    total = 0.0
+    for ft, start in ((roce_five_tuple(src_rnic.ip, dst_rnic.ip, port), src),
+                      (roce_five_tuple(dst_rnic.ip, src_rnic.ip, port), dst)):
+        path = cluster.fabric.path_of(ft, start)
+        for a, b in zip(path, path[1:]):
+            link = cluster.topology.links[(a, b)]
+            total += link.traversal_delay_ns(cluster.sim.now, 108)
+            if cluster.topology.nodes[b].is_switch:
+                total += 450  # switch pipeline latency
+    return total
+
+
+def _measure_with_qp_type(cluster: Cluster, qp_type: QPType, *,
+                          src: str, dst: str, port: int
+                          ) -> Optional[float]:
+    """Run the Figure 4 exchange once with the given QP type.
+
+    Both endpoints use ``qp_type``; the responder echoes an ACK pair
+    exactly as the Agent does.  Returns the derived network RTT
+    (⑤-②)-(④-③), or None if the required CQEs never materialise.
+    """
+    src_rnic, dst_rnic = cluster.rnic(src), cluster.rnic(dst)
+    src_host = cluster.host_of_rnic(src)
+    dst_host = cluster.host_of_rnic(dst)
+
+    timestamps: dict[str, int] = {}
+    done: dict[str, bool] = {}
+
+    def src_cqe(cqe: Cqe) -> None:
+        if cqe.kind == CqeKind.SEND and "t2" not in timestamps:
+            timestamps["t2"] = cqe.rnic_timestamp_ns
+        elif cqe.kind == CqeKind.RECV:
+            payload = cqe.payload
+            if payload.get("t") == "ack1" and "t5" not in timestamps:
+                timestamps["t5"] = cqe.rnic_timestamp_ns
+            elif payload.get("t") == "ack2":
+                timestamps["responder_delay"] = payload["delay"]
+                done["done"] = True
+
+    responder_state: dict[str, int] = {}
+
+    def dst_cqe(cqe: Cqe) -> None:
+        if cqe.kind == CqeKind.RECV and cqe.payload.get("t") == "probe":
+            responder_state["t3"] = cqe.rnic_timestamp_ns
+            responder_state["reply_qpn"] = cqe.src_qpn
+            wr = dst_rnic.post_send(
+                qp_dst, CommInfo(src_rnic.ip, src_rnic.gid.value,
+                                 cqe.src_qpn),
+                src_port=cqe.src_port, payload={"t": "ack1"},
+                payload_bytes=50)
+            responder_state["ack1_wr"] = wr
+        elif cqe.kind == CqeKind.SEND \
+                and cqe.wr_id == responder_state.get("ack1_wr"):
+            delay = cqe.rnic_timestamp_ns - responder_state["t3"]
+            dst_rnic.post_send(
+                qp_dst, CommInfo(src_rnic.ip, src_rnic.gid.value,
+                                 responder_state["reply_qpn"]),
+                src_port=port, payload={"t": "ack2", "delay": delay},
+                payload_bytes=50)
+
+    qp_src = src_host.verbs.create_qp(src_rnic, qp_type, on_cqe=src_cqe)
+    qp_dst = dst_host.verbs.create_qp(dst_rnic, qp_type, on_cqe=dst_cqe)
+    if qp_type != QPType.UD:
+        src_host.verbs.connect_qp(
+            src_rnic, qp_src,
+            CommInfo(dst_rnic.ip, dst_rnic.gid.value, qp_dst.qpn), port)
+        dst_host.verbs.connect_qp(
+            dst_rnic, qp_dst,
+            CommInfo(src_rnic.ip, src_rnic.gid.value, qp_src.qpn), port)
+
+    src_rnic.post_send(qp_src,
+                       CommInfo(dst_rnic.ip, dst_rnic.gid.value, qp_dst.qpn),
+                       src_port=port, payload={"t": "probe"},
+                       payload_bytes=50)
+    cluster.sim.run_for(seconds(2))
+
+    if not done.get("done") or "t2" not in timestamps \
+            or "t5" not in timestamps:
+        return None
+    return float((timestamps["t5"] - timestamps["t2"])
+                 - timestamps["responder_delay"])
+
+
+def _qpc_cost(cluster: Cluster, qp_type: QPType, peers: int) -> tuple[int, int]:
+    """(QPs created, QPC slots) to be able to probe ``peers`` peers."""
+    rnic = cluster.rnic("host2-rnic0")
+    host = cluster.host_of_rnic(rnic.name)
+    if qp_type == QPType.UD:
+        host.verbs.create_qp(rnic, QPType.UD)
+        return 1, rnic.qpc_in_use
+    before = rnic.qpc_in_use
+    for i in range(peers):
+        qp = host.verbs.create_qp(rnic, qp_type)
+        host.verbs.connect_qp(rnic, qp,
+                              CommInfo(f"10.9.{i}.1", f"::ffff:10.9.{i}.1",
+                                       100 + i),
+                              20_000 + i)
+    return peers, rnic.qpc_in_use - before
+
+
+def run(*, seed: int = 15, peers: int = 100) -> Table1Result:
+    """Measure both Table 1 columns for RC, UC, and UD."""
+    result = Table1Result()
+    for qp_type in (QPType.RC, QPType.UC, QPType.UD):
+        cluster = Cluster.clos(default_cluster_params(), seed=seed)
+        src, dst, port = "host0-rnic0", "host4-rnic0", 23_456
+        true_rtt = _true_rtt(cluster, src, dst, port)
+        measured = _measure_with_qp_type(cluster, qp_type,
+                                         src=src, dst=dst, port=port)
+        qps, slots = _qpc_cost(cluster, qp_type, peers)
+        result.rows[qp_type.value] = QpTypeRow(
+            qp_type=qp_type.value, measured_rtt_ns=measured,
+            true_rtt_ns=true_rtt, qps_needed_for_m_peers=qps,
+            qpc_slots_consumed=slots)
+    return result

@@ -1,0 +1,175 @@
+"""Table 2: the 14 problem root causes found by R-Pingmesh.
+
+For every row of the paper's Table 2 we inject the corresponding fault into
+a cluster running both R-Pingmesh and a DML service, and record:
+
+* whether the Analyzer detected a problem within a few analysis periods,
+* the problem category it assigned (timeout-type vs latency-type —
+  failures produce timeouts, bottlenecks produce high RTT / processing
+  delay, exactly the paper's §7.1 phenomenology),
+* whether the service failed, which must match the paper's (*) markers
+  when the service's retransmission settings are left untuned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.cluster import Cluster
+from repro.core.records import ProblemCategory
+from repro.core.system import RPingmesh
+from repro.experiments.common import default_cluster_params
+from repro.net.faults import (CpuOverload, Fault, HostDown, LinkCorruption,
+                              LinkOverload, PcieDowngrade, PfcDeadlock,
+                              PfcHeadroomMisconfig, RnicAcsMisconfig,
+                              RnicDown, RnicGidIndexMissing,
+                              RnicRoutingMisconfig, SwitchAclError,
+                              SwitchPortFlapping)
+from repro.services.dml import CommPattern, DmlConfig, DmlJob
+from repro.sim.units import MILLISECOND, seconds
+
+# Categories that signal "failure" (timeout) vs "bottleneck" (latency).
+TIMEOUT_CATEGORIES = {ProblemCategory.RNIC_PROBLEM,
+                      ProblemCategory.SWITCH_NETWORK_PROBLEM,
+                      ProblemCategory.HOST_DOWN}
+LATENCY_CATEGORIES = {ProblemCategory.HIGH_RTT,
+                      ProblemCategory.HIGH_PROCESSING_DELAY}
+
+
+@dataclass
+class CatalogRow:
+    """One Table 2 row's outcome."""
+
+    row: int
+    root_cause: str
+    expect_service_failure: bool
+    expect_signal: str            # "timeout" or "latency"
+    detected: bool = False
+    categories: set = field(default_factory=set)
+    service_failed: bool = False
+    detection_latency_s: Optional[float] = None
+
+    @property
+    def signal_matches(self) -> bool:
+        wanted = (TIMEOUT_CATEGORIES if self.expect_signal == "timeout"
+                  else LATENCY_CATEGORIES)
+        return bool(self.categories & wanted)
+
+    @property
+    def service_failure_matches(self) -> bool:
+        return self.service_failed == self.expect_service_failure
+
+
+def _catalog(cluster: Cluster, service_rnics: list[str]
+             ) -> list[tuple[int, str, bool, str, Callable[[], Fault]]]:
+    """(row, name, service_fails, signal, fault factory) for all 14."""
+    svc = service_rnics
+    svc_host = cluster.host_of_rnic(svc[1]).name
+    return [
+        (1, "RNIC or switch port flapping", False, "timeout",
+         lambda: SwitchPortFlapping(cluster, "pod0-tor0", "pod0-agg0")),
+        (2, "packet corruption drops", False, "timeout",
+         lambda: LinkCorruption(cluster, "pod0-tor1", "pod0-agg0",
+                                drop_prob=0.5)),
+        (3, "accident RNIC down (*)", True, "timeout",
+         lambda: RnicDown(cluster, svc[1])),
+        (4, "accident host down (*)", True, "timeout",
+         lambda: HostDown(cluster, svc_host)),
+        (5, "PFC deadlock (*)", True, "timeout",
+         lambda: PfcDeadlock(cluster, "pod0-tor0", "pod0-agg1")),
+        (6, "missing RNIC routing config (*)", True, "timeout",
+         lambda: RnicRoutingMisconfig(cluster, svc[2])),
+        (7, "RNIC GID index missing (*)", True, "timeout",
+         lambda: RnicGidIndexMissing(cluster, svc[3])),
+        (8, "switch ACL misconfiguration (*)", True, "timeout",
+         lambda: SwitchAclError(cluster, "pod0-agg0",
+                                src_ip=cluster.rnic(svc[0]).ip)),
+        (9, "PFC unconfigured / bad headroom", False, "timeout",
+         lambda: _headroom_under_congestion(cluster)),
+        (10, "uneven load balance congestion", False, "latency",
+         lambda: LinkOverload(cluster, "pod0-tor0", "pod0-agg0",
+                              extra_gbps=500.0, table2_row=10)),
+        (11, "inter-service interference", False, "latency",
+         lambda: LinkOverload(cluster, "pod0-agg0", "spine0",
+                              extra_gbps=500.0, table2_row=11)),
+        (12, "CPU overload", False, "latency",
+         lambda: CpuOverload(cluster, svc_host, load=0.85)),
+        (13, "PCIe downgrade -> PFC storm", False, "latency",
+         lambda: PcieDowngrade(cluster, svc[1])),
+        (14, "wrong ACS/ATS config -> PFC storm", False, "latency",
+         lambda: RnicAcsMisconfig(cluster, svc[0])),
+    ]
+
+
+class _HeadroomScenario(Fault):
+    """Row 9 needs congestion to manifest: combine the misconfig with an
+    overload on the same cable."""
+
+    table2_row = 9
+
+    def __init__(self, cluster: Cluster):
+        super().__init__(cluster, "pod0-tor0<->pod0-agg0")
+        self.headroom = PfcHeadroomMisconfig(cluster, "pod0-tor0",
+                                             "pod0-agg0")
+        self.overload = LinkOverload(cluster, "pod0-tor0", "pod0-agg0",
+                                     extra_gbps=700.0)
+
+    def _inject(self) -> None:
+        self.headroom.inject()
+        self.overload.inject()
+
+    def _clear(self) -> None:
+        self.overload.clear()
+        self.headroom.clear()
+
+
+def _headroom_under_congestion(cluster: Cluster) -> Fault:
+    return _HeadroomScenario(cluster)
+
+
+def run_row(row: int, *, seed: int = 16, fault_s: int = 50,
+            retransmission_tuned: bool = True) -> CatalogRow:
+    """Inject one Table 2 row's fault and score the system's response."""
+    cluster = Cluster.clos(default_cluster_params(hosts_per_tor=3),
+                           seed=seed + row)
+    system = RPingmesh(cluster)
+    system.start()
+    service_rnics = cluster.rnic_names()[:6]
+    job = DmlJob(cluster, service_rnics,
+                 DmlConfig(pattern=CommPattern.ALL2ALL,
+                           compute_time_ns=300 * MILLISECOND,
+                           data_gbits_per_cycle=3.0,
+                           retransmission_tuned=retransmission_tuned))
+    system.attach_service_monitor(job)
+    cluster.sim.run_for(seconds(3))
+    job.start()
+    cluster.sim.run_for(seconds(30))
+
+    entries = _catalog(cluster, service_rnics)
+    row_num, name, fails, signal, maker = entries[row - 1]
+    assert row_num == row
+    outcome = CatalogRow(row=row, root_cause=name,
+                         expect_service_failure=fails, expect_signal=signal)
+
+    problems_before = len(system.analyzer.problems)
+    fault = maker()
+    injected_at = cluster.sim.now
+    fault.inject()
+    cluster.sim.run_for(seconds(fault_s))
+    fault.clear()
+
+    new_problems = system.analyzer.problems[problems_before:]
+    if new_problems:
+        outcome.detected = True
+        outcome.categories = {p.category for p in new_problems}
+        first = min(p.detected_at_ns for p in new_problems)
+        outcome.detection_latency_s = (first - injected_at) / 1e9
+    outcome.service_failed = job.task_failed
+    return outcome
+
+
+def run_all(*, seed: int = 16, fault_s: int = 50) -> list[CatalogRow]:
+    """Run all 14 rows (independent clusters; ~10 min of simulated time)."""
+    return [run_row(row, seed=seed, fault_s=fault_s)
+            for row in range(1, 15)]

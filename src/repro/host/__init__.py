@@ -1,0 +1,30 @@
+"""Host substrate: servers, CPUs, clocks, RNICs, verbs, eBPF tracing."""
+
+from repro.host.clockmodel import Clock, random_clock
+from repro.host.cpu import CpuModel
+from repro.host.ebpf import QpEvent, QpEventKind, QpTracer
+from repro.host.host import Host, build_host_with_rnics
+from repro.host.rnic import (CommInfo, Cqe, CqeKind, LocalSendError, QPState,
+                             QPType, QueuePair, Rnic)
+from repro.host.verbs import VerbsContext, VerbsError
+
+__all__ = [
+    "Clock",
+    "random_clock",
+    "CpuModel",
+    "QpTracer",
+    "QpEvent",
+    "QpEventKind",
+    "Host",
+    "build_host_with_rnics",
+    "Rnic",
+    "QueuePair",
+    "QPType",
+    "QPState",
+    "CommInfo",
+    "Cqe",
+    "CqeKind",
+    "LocalSendError",
+    "VerbsContext",
+    "VerbsError",
+]

@@ -1,0 +1,64 @@
+"""eBPF-style tracing of QP verbs (paper §4.2.2).
+
+R-Pingmesh learns the 5-tuples of service flows by attaching eBPF programs
+to the kernel verbs ``modify_qp`` and ``destroy_qp``: connections are
+established/closed rarely, so hooking those two calls is essentially free,
+and no special firmware is needed.
+
+Our simulated kernel is the :mod:`repro.host.verbs` layer; it calls into a
+per-host :class:`QpTracer`, and the Agent subscribes exactly the way the
+real Agent subscribes to its eBPF ring buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Optional
+
+from repro.net.addresses import FiveTuple
+from repro.host.rnic import QPType
+
+
+class QpEventKind(Enum):
+    """Which verbs call fired."""
+
+    MODIFY_TO_RTS = "modify_qp"   # connection established (or re-routed)
+    DESTROY = "destroy_qp"        # connection closed
+
+
+@dataclass(frozen=True, slots=True)
+class QpEvent:
+    """One traced verbs call."""
+
+    kind: QpEventKind
+    time_ns: int
+    rnic_name: str
+    qp_type: QPType
+    local_qpn: int
+    five_tuple: Optional[FiveTuple]   # None for destroy of a never-connected QP
+    remote_ip: Optional[str]
+    remote_qpn: Optional[int]
+
+
+class QpTracer:
+    """Per-host event bus standing in for the eBPF ring buffer."""
+
+    def __init__(self) -> None:
+        self._subscribers: list[Callable[[QpEvent], None]] = []
+        self.events_emitted = 0
+
+    def attach(self, callback: Callable[[QpEvent], None]) -> None:
+        """Subscribe to QP events (the Agent's service-tracing input)."""
+        self._subscribers.append(callback)
+
+    def detach(self, callback: Callable[[QpEvent], None]) -> None:
+        """Unsubscribe (no-op when absent)."""
+        if callback in self._subscribers:
+            self._subscribers.remove(callback)
+
+    def emit(self, event: QpEvent) -> None:
+        """Publish an event to all subscribers."""
+        self.events_emitted += 1
+        for callback in list(self._subscribers):
+            callback(event)

@@ -1,0 +1,408 @@
+"""Commodity RNIC model.
+
+This is the hardware the paper's measurement method is built around, so the
+model is deliberately faithful on the points the design exploits:
+
+* **CQE timestamps only.**  The RNIC never exposes "time sent" or "time
+  received" directly; it stamps Completion Queue Events with its own
+  free-running clock.  The crucial asymmetry (Table 1): for **UD/UC** the
+  send CQE is generated *when the message hits the wire*; for **RC** the
+  send CQE is generated only *after the remote ACK arrives*, so timestamps
+  ② and ④ of Figure 4 are unobtainable on RC — which is why the Agent
+  probes with UD.
+* **QPC cache.**  Connected QPs (RC/UC) occupy on-NIC connection-context
+  cache slots; UD needs a single QP regardless of peer count.  The slot
+  counter feeds the Table 1 "connection overhead" comparison.
+* **Failure modes.**  Admin/flap down, missing routing configuration
+  (fault #6), missing GID index (fault #7), TX/RX packet corruption
+  (fault #2), and QPN mismatch drops (the "QPN reset" probe noise §4.3.1)
+  are all modelled where the real device exhibits them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.net.addresses import GID, FiveTuple, roce_five_tuple
+from repro.net.fabric import DeliveryRecord, Fabric
+from repro.net.packet import (ROCE_HEADER_BYTES, Packet, RoCEOpcode,
+                              RoCEPacket)
+from repro.host.clockmodel import Clock
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStream
+from repro.sim.units import MICROSECOND, serialization_delay_ns
+
+if TYPE_CHECKING:
+    from repro.host.host import Host
+
+# Fixed TX pipeline latency (DMA fetch + pipeline), order of a microsecond.
+TX_PIPELINE_NS = 1 * MICROSECOND
+# Latency of the hardware auto-ACK turnaround for RC.
+RC_HW_ACK_NS = 1 * MICROSECOND
+
+
+class QPType(Enum):
+    """Queue pair transport types (paper Table 1)."""
+
+    RC = "rc"   # Reliable Connection
+    UC = "uc"   # Unreliable Connection
+    UD = "ud"   # Unreliable Datagram
+
+
+class QPState(Enum):
+    """Simplified QP state machine."""
+
+    RESET = "reset"
+    RTS = "rts"          # ready to send/receive
+    ERROR = "error"
+    DESTROYED = "destroyed"
+
+
+class CqeKind(Enum):
+    """Completion type."""
+
+    SEND = "send"
+    RECV = "recv"
+
+
+@dataclass(frozen=True, slots=True)
+class CommInfo:
+    """What a peer must know to address a QP (paper §4.1): IP, GID, QPN."""
+
+    ip: str
+    gid: str
+    qpn: int
+
+
+@dataclass(slots=True)
+class Cqe:
+    """A completion queue event.
+
+    ``rnic_timestamp_ns`` is taken on this RNIC's own clock — the only
+    timestamps commodity RNICs provide (§3.1).
+    """
+
+    kind: CqeKind
+    qpn: int
+    wr_id: int
+    rnic_timestamp_ns: int
+    payload: dict[str, Any] = field(default_factory=dict)
+    # RECV-side metadata needed to reply:
+    src_ip: str = ""
+    src_gid: str = ""
+    src_qpn: int = 0
+    src_port: int = 0
+    opcode: Optional[RoCEOpcode] = None
+
+
+@dataclass
+class QueuePair:
+    """A queue pair living on one RNIC."""
+
+    qpn: int
+    qp_type: QPType
+    state: QPState = QPState.RESET
+    on_cqe: Optional[Callable[[Cqe], None]] = None
+    # RC/UC connection attributes (set by modify_qp):
+    remote: Optional[CommInfo] = None
+    five_tuple: Optional[FiveTuple] = None
+
+    @property
+    def connected(self) -> bool:
+        """Whether this QP holds a connection context (RC/UC in RTS)."""
+        return (self.qp_type in (QPType.RC, QPType.UC)
+                and self.state == QPState.RTS and self.remote is not None)
+
+
+class LocalSendError(Exception):
+    """Raised when a post_send cannot even reach the wire.
+
+    Carries a reason string; the Agent treats these identically to probe
+    timeouts (no CQE ever arrives for lost probes on a real NIC — we raise
+    so *tests* can distinguish local failure modes, while the Agent catches
+    and converts to timeout accounting).
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class Rnic:
+    """One RDMA NIC attached to a topology host port of the same name."""
+
+    _wr_ids = itertools.count(1)
+
+    def __init__(self, name: str, ip: str, sim: Simulator, fabric: Fabric,
+                 clock: Clock, rng: RngStream, *,
+                 link_gbps: float = 400.0, pcie_gbps: float = 512.0,
+                 qpc_cache_slots: int = 256):
+        self.name = name
+        self.ip = ip
+        self.sim = sim
+        self.fabric = fabric
+        self.clock = clock
+        self.rng = rng
+        self.link_gbps = link_gbps
+        self.pcie_gbps = pcie_gbps
+        self.qpc_cache_slots = qpc_cache_slots
+        self.host: Optional["Host"] = None
+
+        self.gid = GID.from_ip(ip)
+        self.gid_index_present = True     # fault #7 clears this
+        self.routing_configured = True    # fault #6 clears this
+        self.admin_up = True              # fault #3 clears this
+        self.flap_down = False            # fault #1 toggles this
+        self.last_flap_ns = -(1 << 62)    # last flap transition
+        self.tx_corruption_prob = 0.0     # fault #2 (RNIC-side)
+        self.rx_corruption_prob = 0.0
+
+        self._qps: dict[int, QueuePair] = {}
+        self._next_qpn = rng.randint(0x100, 0xFFF)
+        self._pending_rc_sends: dict[int, list[int]] = {}
+        # Host TCP stack hook (Pingmesh baseline, checkpoint traffic).
+        self.tcp_handler: Optional[
+            Callable[[Packet, DeliveryRecord], None]] = None
+
+        # Counters
+        self.tx_packets = 0
+        self.rx_packets = 0
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+        self.local_drops: dict[str, int] = {}
+
+        fabric.attach_receiver(name, self._on_fabric_packet)
+        fabric.register_ip(ip, name)
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def operational(self) -> bool:
+        """Whether the NIC can currently move packets."""
+        host_up = self.host.up if self.host is not None else True
+        return self.admin_up and not self.flap_down and host_up
+
+    def flapped_recently(self, now_ns: int,
+                         window_ns: int = 2_000_000_000) -> bool:
+        """Whether the port flapped within the last ``window_ns``."""
+        return now_ns - self.last_flap_ns <= window_ns
+
+    @property
+    def qpc_in_use(self) -> int:
+        """Connected-QP context slots in use (Table 1 overhead metric)."""
+        return sum(1 for qp in self._qps.values() if qp.connected)
+
+    @property
+    def qp_count(self) -> int:
+        """Live QPs of any type."""
+        return sum(1 for qp in self._qps.values()
+                   if qp.state != QPState.DESTROYED)
+
+    def qpc_cache_pressure(self) -> float:
+        """Fraction of the connection cache consumed."""
+        return self.qpc_in_use / self.qpc_cache_slots
+
+    def _count_drop(self, reason: str) -> None:
+        self.local_drops[reason] = self.local_drops.get(reason, 0) + 1
+
+    # -- QP lifecycle (driven through the verbs layer) -----------------------
+
+    def allocate_qp(self, qp_type: QPType,
+                    on_cqe: Optional[Callable[[Cqe], None]] = None
+                    ) -> QueuePair:
+        """Create a QP in RESET state and assign it a fresh QPN.
+
+        QPNs are never reused within an RNIC lifetime, so a restarted Agent
+        gets different QPNs — the origin of "QPN reset" probe noise.
+        """
+        qpn = self._next_qpn
+        self._next_qpn += self.rng.randint(1, 7)
+        qp = QueuePair(qpn=qpn, qp_type=qp_type, on_cqe=on_cqe)
+        self._qps[qpn] = qp
+        return qp
+
+    def qp(self, qpn: int) -> Optional[QueuePair]:
+        """Look up a QP by number (None when unknown/destroyed)."""
+        qp = self._qps.get(qpn)
+        if qp is None or qp.state == QPState.DESTROYED:
+            return None
+        return qp
+
+    def destroy_qp(self, qpn: int) -> None:
+        """Tear a QP down; its QPN becomes invalid for inbound packets."""
+        qp = self._qps.get(qpn)
+        if qp is None:
+            raise KeyError(f"unknown QPN {qpn} on {self.name}")
+        qp.state = QPState.DESTROYED
+        qp.remote = None
+
+    def comm_info(self, qpn: int) -> CommInfo:
+        """The addressing triple a peer needs to hit QP ``qpn``."""
+        if self.qp(qpn) is None:
+            raise KeyError(f"unknown QPN {qpn} on {self.name}")
+        return CommInfo(ip=self.ip, gid=self.gid.value, qpn=qpn)
+
+    # -- send path -----------------------------------------------------------
+
+    def post_send(self, qp: QueuePair, dst: CommInfo, *, src_port: int,
+                  payload: dict[str, Any], payload_bytes: int,
+                  opcode: Optional[RoCEOpcode] = None,
+                  wr_id: Optional[int] = None) -> int:
+        """Post one message send on ``qp``; returns the work-request id.
+
+        The send CQE (with the RNIC wire-departure timestamp) is delivered
+        to ``qp.on_cqe`` for UD/UC at departure, for RC only when the remote
+        hardware ACK returns.  Local conditions that keep the message off
+        the wire raise :class:`LocalSendError`.
+        """
+        if qp.state != QPState.RTS:
+            raise LocalSendError("qp_not_rts")
+        if not self.operational:
+            raise LocalSendError("rnic_down")
+        if not self.routing_configured:
+            # Fault #6: the RoCE routing table entries are missing, the
+            # kernel cannot resolve the egress — nothing reaches the wire.
+            self._count_drop("routing_unconfigured")
+            raise LocalSendError("routing_unconfigured")
+        if not self.gid_index_present:
+            # Fault #7: the RoCEv2 GID index is gone; address handles cannot
+            # be created for this source GID.
+            self._count_drop("gid_index_missing")
+            raise LocalSendError("gid_index_missing")
+
+        if opcode is None:
+            opcode = {QPType.UD: RoCEOpcode.UD_SEND,
+                      QPType.UC: RoCEOpcode.UC_SEND,
+                      QPType.RC: RoCEOpcode.RC_SEND}[qp.qp_type]
+        if wr_id is None:
+            wr_id = next(self._wr_ids)
+
+        five_tuple = roce_five_tuple(self.ip, dst.ip, src_port)
+        size = ROCE_HEADER_BYTES + payload_bytes
+        packet = RoCEPacket(
+            five_tuple=five_tuple, size_bytes=size,
+            opcode=opcode, src_qpn=qp.qpn, dst_qpn=dst.qpn,
+            src_gid=self.gid.value, dst_gid=dst.gid,
+            payload=dict(payload))
+
+        pcie_ns = serialization_delay_ns(size, self.pcie_gbps)
+        departure_delay = TX_PIPELINE_NS + pcie_ns
+        self.sim.call_later(
+            departure_delay,
+            lambda: self._wire_departure(qp, packet, wr_id))
+        return wr_id
+
+    def _wire_departure(self, qp: QueuePair, packet: RoCEPacket,
+                        wr_id: int) -> None:
+        """The moment the message leaves the NIC: timestamp ② (or ④)."""
+        if not self.operational:
+            # NIC died between post and departure; message is lost and no
+            # completion is ever generated (matches flush-on-down behaviour
+            # closely enough for probing: the prober simply times out).
+            self._count_drop("rnic_down")
+            return
+        self.tx_packets += 1
+        self.tx_bytes += packet.size_bytes
+
+        if self.tx_corruption_prob > 0 and self.rng.chance(
+                self.tx_corruption_prob):
+            self._count_drop("tx_corruption")
+            # CQE still fires: the NIC believes it sent the packet.
+            self._complete_send_if_unreliable(qp, wr_id)
+            return
+
+        self.fabric.inject(packet, self.name)
+        self._complete_send_if_unreliable(qp, wr_id)
+        if qp.qp_type == QPType.RC:
+            # RC send CQE deferred until the hardware ACK (Table 1: no ②/④).
+            self._pending_rc_sends.setdefault(qp.qpn, []).append(wr_id)
+
+    def _complete_send_if_unreliable(self, qp: QueuePair, wr_id: int) -> None:
+        if qp.qp_type == QPType.RC:
+            return
+        self._emit_cqe(qp, Cqe(kind=CqeKind.SEND, qpn=qp.qpn, wr_id=wr_id,
+                               rnic_timestamp_ns=self.clock.read(self.sim.now)))
+
+    def _emit_cqe(self, qp: QueuePair, cqe: Cqe) -> None:
+        if qp.on_cqe is not None:
+            qp.on_cqe(cqe)
+
+    # -- receive path ---------------------------------------------------------
+
+    def _on_fabric_packet(self, packet: Packet, record: DeliveryRecord) -> None:
+        if not isinstance(packet, RoCEPacket):
+            # TCP rides the same physical port but a different traffic
+            # class; hand it to the host TCP stack if one listens.
+            if self.tcp_handler is not None and self.operational:
+                self.tcp_handler(packet, record)
+            return
+        if not self.operational:
+            self._count_drop("rnic_down")
+            return
+        if self.rx_corruption_prob > 0 and self.rng.chance(
+                self.rx_corruption_prob):
+            self._count_drop("rx_corruption")
+            return
+        if not self.gid_index_present or packet.dst_gid != self.gid.value:
+            # Fault #7 as seen from the wire: the GID no longer matches any
+            # table entry, the packet is silently discarded by hardware.
+            self._count_drop("gid_mismatch")
+            return
+
+        if packet.opcode == RoCEOpcode.RC_ACK:
+            self._on_rc_ack(packet)
+            return
+
+        qp = self.qp(packet.dst_qpn)
+        if qp is None or qp.state != QPState.RTS:
+            # QPN reset noise (§4.3.1): the prober used an outdated QPN.
+            self._count_drop("qpn_mismatch")
+            return
+        if qp.qp_type in (QPType.RC, QPType.UC):
+            expected = qp.remote
+            if expected is None or packet.src_qpn != expected.qpn:
+                self._count_drop("qpn_mismatch")
+                return
+
+        self.rx_packets += 1
+        self.rx_bytes += packet.size_bytes
+        if qp.qp_type == QPType.RC:
+            self._send_rc_hw_ack(packet)
+
+        self._emit_cqe(qp, Cqe(
+            kind=CqeKind.RECV, qpn=qp.qpn, wr_id=next(self._wr_ids),
+            rnic_timestamp_ns=self.clock.read(self.sim.now),
+            payload=dict(packet.payload),
+            src_ip=packet.five_tuple.src_ip, src_gid=packet.src_gid,
+            src_qpn=packet.src_qpn, src_port=packet.five_tuple.src_port,
+            opcode=packet.opcode))
+
+    def _send_rc_hw_ack(self, packet: RoCEPacket) -> None:
+        """Hardware-generated RC ACK, echoing the probe's source port (§5)."""
+        ack = RoCEPacket(
+            five_tuple=packet.five_tuple.reversed(),
+            size_bytes=ROCE_HEADER_BYTES + 4,
+            opcode=RoCEOpcode.RC_ACK,
+            src_qpn=packet.dst_qpn, dst_qpn=packet.src_qpn,
+            src_gid=self.gid.value, dst_gid=packet.src_gid)
+        self.sim.call_later(
+            RC_HW_ACK_NS,
+            lambda: self.fabric.inject(ack, self.name)
+            if self.operational else None)
+
+    def _on_rc_ack(self, packet: RoCEPacket) -> None:
+        qp = self.qp(packet.dst_qpn)
+        if qp is None or qp.qp_type != QPType.RC:
+            self._count_drop("stray_rc_ack")
+            return
+        pending = self._pending_rc_sends.get(qp.qpn)
+        if not pending:
+            return
+        wr_id = pending.pop(0)
+        # RC send CQE timestamp is ACK-arrival time, NOT wire departure —
+        # this is exactly why RC cannot provide timestamps ②/④ (Table 1).
+        self._emit_cqe(qp, Cqe(kind=CqeKind.SEND, qpn=qp.qpn, wr_id=wr_id,
+                               rnic_timestamp_ns=self.clock.read(self.sim.now)))

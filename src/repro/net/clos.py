@@ -1,0 +1,123 @@
+"""Three-tier Clos fabric builder.
+
+The evaluation cluster in the paper (§6) is a 3-tier CLOS of Tomahawk-4
+switches with 1:1 oversubscription at every tier.  This builder produces a
+downscaled but structurally identical fabric:
+
+* ``pods`` pods; each pod has ``tors_per_pod`` ToR switches and
+  ``aggs_per_pod`` aggregation switches, fully bipartite within the pod.
+* ``spines`` spine switches; every aggregation switch uplinks to every
+  spine (a full-bisection spine plane).
+* ``hosts_per_tor`` hosts per ToR, ``rnics_per_host`` RNICs per host.
+  In the (default) single-rail layout all RNICs of a host land on the same
+  ToR; the rail-optimized alternative lives in :mod:`repro.net.rail`.
+
+Naming is positional and stable (``pod0-tor1``, ``pod2-agg0``, ``spine3``,
+``host5-rnic0``) so tests can address devices symbolically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.topology import Tier, Topology
+
+
+@dataclass(frozen=True)
+class ClosParams:
+    """Shape of a 3-tier Clos fabric."""
+
+    pods: int = 2
+    tors_per_pod: int = 2
+    aggs_per_pod: int = 2
+    spines: int = 2
+    hosts_per_tor: int = 4
+    rnics_per_host: int = 1
+    host_link_gbps: float = 400.0
+    fabric_link_gbps: float = 400.0
+
+    def __post_init__(self) -> None:
+        for name in ("pods", "tors_per_pod", "aggs_per_pod", "spines",
+                     "hosts_per_tor", "rnics_per_host"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+    @property
+    def total_hosts(self) -> int:
+        return self.pods * self.tors_per_pod * self.hosts_per_tor
+
+    @property
+    def total_rnics(self) -> int:
+        return self.total_hosts * self.rnics_per_host
+
+
+@dataclass
+class ClosFabricPlan:
+    """The built topology plus the host/RNIC layout tables."""
+
+    params: ClosParams
+    topology: Topology
+    # host name -> list of RNIC port names (in rnic-index order)
+    host_rnics: dict[str, list[str]] = field(default_factory=dict)
+    # RNIC port name -> ToR switch name
+    rnic_tor: dict[str, str] = field(default_factory=dict)
+
+    def rnics_under_tor(self, tor: str) -> list[str]:
+        """All RNIC port names attached to a given ToR, sorted."""
+        return sorted(r for r, t in self.rnic_tor.items() if t == tor)
+
+    def host_of(self, rnic: str) -> str:
+        """The host a given RNIC port belongs to."""
+        return rnic.split("-rnic")[0]
+
+    def tors(self) -> list[str]:
+        """All ToR switch names, sorted."""
+        return self.topology.switches(Tier.TOR)
+
+    def parallel_paths_between_tors(self) -> int:
+        """Number of equal-cost paths between two ToRs in different pods.
+
+        Used as ``N`` in Equation 1: a flow leaving a ToR picks one of
+        ``aggs_per_pod`` aggs, then one of ``spines`` spines, giving
+        ``aggs_per_pod * spines`` distinct cross-pod paths (the downstream
+        agg is determined by the destination pod's wiring... one choice per
+        tier with per-switch hashing; the down-direction agg is also an ECMP
+        choice at the spine).
+        """
+        return self.params.aggs_per_pod * self.params.spines
+
+
+def build_clos(params: ClosParams) -> ClosFabricPlan:
+    """Construct the Clos topology described by ``params``."""
+    topo = Topology(name="clos")
+    plan = ClosFabricPlan(params=params, topology=topo)
+
+    spines = [f"spine{s}" for s in range(params.spines)]
+    for spine in spines:
+        topo.add_switch(spine, Tier.SPINE)
+
+    host_index = 0
+    for p in range(params.pods):
+        aggs = [f"pod{p}-agg{a}" for a in range(params.aggs_per_pod)]
+        for agg in aggs:
+            topo.add_switch(agg, Tier.AGG)
+            for spine in spines:
+                topo.add_cable(agg, spine,
+                               rate_gbps=params.fabric_link_gbps)
+        for t in range(params.tors_per_pod):
+            tor = f"pod{p}-tor{t}"
+            topo.add_switch(tor, Tier.TOR)
+            for agg in aggs:
+                topo.add_cable(tor, agg, rate_gbps=params.fabric_link_gbps)
+            for _h in range(params.hosts_per_tor):
+                host = f"host{host_index}"
+                host_index += 1
+                rnics = []
+                for r in range(params.rnics_per_host):
+                    rnic = f"{host}-rnic{r}"
+                    topo.add_host_port(rnic)
+                    topo.add_cable(rnic, tor, rate_gbps=params.host_link_gbps)
+                    rnics.append(rnic)
+                    plan.rnic_tor[rnic] = tor
+                plan.host_rnics[host] = rnics
+    return plan

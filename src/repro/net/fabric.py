@@ -1,0 +1,246 @@
+"""Packet forwarding over the topology.
+
+The :class:`Fabric` walks packets hop by hop so that drops happen at the
+right link (which is what Algorithm 1's voting localises), queue delays are
+sampled at traversal time, and TTL semantics work for traceroute.
+
+Packets are injected at a source host port; at each node the next hop is the
+ECMP choice for the packet's outer 5-tuple.  Every hop applies, in order:
+
+1. physical link state (down -> drop, unless routing already converged
+   around the link, in which case ECMP never offered it),
+2. PFC deadlock (traffic through a deadlocked link is blocked; from the
+   endpoint's perspective that is a drop),
+3. random corruption drops (damaged fiber / dusty optics, fault #2),
+4. silent per-5-tuple drops (the "certain 5-tuples" problem §4.1),
+5. lossy-queue overflow (PFC unconfigured / bad headroom, fault #9),
+6. ingress ACL at the downstream switch (fault #8).
+
+Delivery invokes the receiver registered for the destination host port —
+normally the RNIC model, which applies its own (host-side) fault logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Optional
+
+from repro.net.ecmp import pick_next_hop
+from repro.net.packet import TC_ROCE, Packet
+from repro.net.topology import DirectedLink, Topology
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStream
+
+SWITCH_FORWARD_LATENCY_NS = 450  # ASIC pipeline latency per switch hop
+
+
+class DropReason(Enum):
+    """Why the fabric dropped a packet."""
+
+    LINK_DOWN = "link_down"
+    PFC_DEADLOCK = "pfc_deadlock"
+    CORRUPTION = "corruption"
+    SILENT_DROP = "silent_drop"
+    QUEUE_OVERFLOW = "queue_overflow"
+    ACL_DENY = "acl_deny"
+    NO_ROUTE = "no_route"
+    TTL_EXPIRED = "ttl_expired"
+
+
+@dataclass(slots=True)
+class DropRecord:
+    """One dropped packet: when, where, why."""
+
+    time_ns: int
+    packet: Packet
+    reason: DropReason
+    link: Optional[str]      # "src->dst" of the offending directed link
+    node: Optional[str]      # node at which the drop was decided
+
+
+@dataclass(slots=True)
+class DeliveryRecord:
+    """Bookkeeping attached to a delivered packet."""
+
+    time_ns: int
+    path: tuple[str, ...]    # node names traversed, inclusive of endpoints
+
+
+class Fabric:
+    """Forwards packets over a :class:`Topology` inside a simulation."""
+
+    def __init__(self, sim: Simulator, topology: Topology, rng: RngStream):
+        self.sim = sim
+        self.topology = topology
+        self.rng = rng
+        # InfiniBand-style Adaptive Routing (paper §7.5): every packet may
+        # take any parallel path, independent of its 5-tuple.  Probing
+        # still detects problems, but traced paths stop matching the
+        # packets that died — the stated localisation limitation.
+        self.adaptive_routing = False
+        self._receivers: dict[str, Callable[[Packet, DeliveryRecord], None]] = {}
+        self._ip_to_port: dict[str, str] = {}
+        self._drop_listeners: list[Callable[[DropRecord], None]] = []
+        self.drops: list[DropRecord] = []
+        self.max_drop_log = 100_000
+        self.packets_delivered = 0
+        self.packets_injected = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def register_ip(self, ip: str, host_port: str) -> None:
+        """Bind an IP address to a host port vertex."""
+        if host_port not in self.topology.nodes:
+            raise KeyError(f"unknown host port: {host_port}")
+        self._ip_to_port[ip] = host_port
+
+    def attach_receiver(
+            self, host_port: str,
+            receiver: Callable[[Packet, DeliveryRecord], None]) -> None:
+        """Register the packet sink for a host port (usually an RNIC)."""
+        if host_port not in self.topology.nodes:
+            raise KeyError(f"unknown host port: {host_port}")
+        self._receivers[host_port] = receiver
+
+    def add_drop_listener(
+            self, listener: Callable[[DropRecord], None]) -> None:
+        """Subscribe to drop events (used by tests and fault assertions)."""
+        self._drop_listeners.append(listener)
+
+    def port_for_ip(self, ip: str) -> Optional[str]:
+        """Host port bound to ``ip``, if any."""
+        return self._ip_to_port.get(ip)
+
+    # -- sending -----------------------------------------------------------
+
+    def inject(self, packet: Packet, src_port: str) -> None:
+        """Send ``packet`` into the fabric from ``src_port``."""
+        self.packets_injected += 1
+        packet.sent_at_ns = self.sim.now
+        dst_port = self._ip_to_port.get(packet.five_tuple.dst_ip)
+        if dst_port is None:
+            self._drop(packet, DropReason.NO_ROUTE, link=None, node=src_port)
+            return
+        self._forward(packet, src_port, dst_port, path=[src_port])
+
+    def _forward(self, packet: Packet, node: str, dst_port: str,
+                 path: list[str]) -> None:
+        if node == dst_port:
+            self._deliver(packet, path)
+            return
+        candidates = self.topology.next_hops(node, dst_port)
+        if not candidates:
+            self._drop(packet, DropReason.NO_ROUTE, link=None, node=node)
+            return
+        if self.adaptive_routing and len(candidates) > 1:
+            next_node = self.rng.choice(candidates)
+        else:
+            next_node = pick_next_hop(packet.five_tuple, node, candidates)
+        link = self.topology.link(node, next_node)
+        now = self.sim.now
+        is_roce = packet.traffic_class == TC_ROCE
+
+        reason = self._check_link(packet, link, now, is_roce)
+        if reason is not None:
+            self._drop(packet, reason, link=link.name, node=node)
+            return
+
+        next_is_switch = self.topology.nodes[next_node].is_switch
+        if next_is_switch:
+            if not self.topology.nodes[next_node].acl.permits(packet.five_tuple):
+                self._drop(packet, DropReason.ACL_DENY, link=link.name,
+                           node=next_node)
+                return
+            packet.ttl -= 1
+            if packet.ttl <= 0:
+                self._drop(packet, DropReason.TTL_EXPIRED, link=link.name,
+                           node=next_node)
+                return
+
+        delay = link.traversal_delay_ns(now, packet.size_bytes,
+                                        roce_queue=is_roce)
+        if next_is_switch:
+            delay += SWITCH_FORWARD_LATENCY_NS
+        link.packets_forwarded += 1
+        path.append(next_node)
+        self.sim.call_later(
+            delay, lambda: self._forward(packet, next_node, dst_port, path))
+
+    def _check_link(self, packet: Packet, link: DirectedLink,
+                    now: int, is_roce: bool) -> Optional[DropReason]:
+        """Apply the per-hop drop rules; return a reason or None.
+
+        PFC deadlock and lossy-RoCE-queue overflow affect only the RoCE
+        traffic class: a TCP probe sails through a PFC-deadlocked link,
+        which is precisely why TCP Pingmesh cannot detect those problems
+        (§2.4).  Physical faults (down links, corruption) hit both classes.
+        """
+        if not link.up:
+            return DropReason.LINK_DOWN
+        if is_roce and link.pfc_deadlocked:
+            return DropReason.PFC_DEADLOCK
+        if link.corruption_drop_prob > 0 and self.rng.chance(
+                link.corruption_drop_prob):
+            link.crc_errors += 1   # the counter operators would inspect
+            return DropReason.CORRUPTION
+        if (link.silent_drop_predicate is not None
+                and link.silent_drop_predicate(packet.five_tuple)):
+            return DropReason.SILENT_DROP
+        if is_roce:
+            overflow = link.congestion_drop_prob(now)
+            if overflow > 0 and self.rng.chance(overflow):
+                return DropReason.QUEUE_OVERFLOW
+        return None
+
+    def _deliver(self, packet: Packet, path: list[str]) -> None:
+        self.packets_delivered += 1
+        receiver = self._receivers.get(path[-1])
+        if receiver is None:
+            return  # host port exists but nothing listens; silently absorbed
+        receiver(packet, DeliveryRecord(self.sim.now, tuple(path)))
+
+    def _drop(self, packet: Packet, reason: DropReason, *,
+              link: Optional[str], node: Optional[str]) -> None:
+        record = DropRecord(self.sim.now, packet, reason, link, node)
+        if len(self.drops) < self.max_drop_log:
+            self.drops.append(record)
+        for listener in self._drop_listeners:
+            listener(record)
+
+    # -- path computation (control plane) -----------------------------------
+
+    def path_of(self, five_tuple, src_port: str,
+                dst_port: Optional[str] = None,
+                *, respect_down: bool = False) -> list[str]:
+        """The node sequence the flow's packets take right now.
+
+        This mirrors the per-switch ECMP choices of the data path; it is
+        used by the traffic layer to map fluid flows onto links and by the
+        traceroute service.  With ``respect_down`` the walk stops at a down
+        link (what a real traceroute would observe).
+        """
+        if dst_port is None:
+            dst_port = self._ip_to_port.get(five_tuple.dst_ip)
+            if dst_port is None:
+                raise KeyError(f"no host port for {five_tuple.dst_ip}")
+        path = [src_port]
+        node = src_port
+        guard = 0
+        while node != dst_port:
+            guard += 1
+            if guard > 64:
+                raise RuntimeError(f"routing loop toward {dst_port}")
+            candidates = self.topology.next_hops(node, dst_port)
+            if not candidates:
+                break
+            next_node = pick_next_hop(five_tuple, node, candidates)
+            if respect_down and not self.topology.link(node, next_node).up:
+                break
+            path.append(next_node)
+            node = next_node
+        return path
+
+    def links_of_path(self, path: list[str]) -> list[DirectedLink]:
+        """Directed links along a node path."""
+        return [self.topology.link(a, b) for a, b in zip(path, path[1:])]

@@ -1,0 +1,607 @@
+"""Fault injection: the 14 root causes of Table 2, plus scheduling.
+
+Every fault knows its ground truth — Table 2 row, category, the device or
+link at fault, and whether the paper marks it service-failing (*) — so
+experiments can score the Analyzer's detection and localisation accuracy
+against what was actually injected (Figure 6).
+
+Faults are injected/cleared against a :class:`~repro.cluster.Cluster`; the
+:class:`FaultManager` schedules activation windows on the simulator and
+keeps the ground-truth registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.cluster import Cluster
+from repro.net.addresses import FiveTuple
+from repro.sim.engine import PeriodicTask
+from repro.sim.units import MILLISECOND, SECOND
+
+# Time for routing to converge around a cleanly failed link.  Flapping
+# faster than this leaves the link in ECMP and black-holes hashed flows.
+ROUTING_CONVERGENCE_NS = 3 * SECOND
+
+
+class ProblemCategory(Enum):
+    """Table 2 root-cause categories."""
+
+    HARDWARE_FAILURE = "hardware_failure"
+    MISCONFIGURATION = "misconfiguration"
+    NETWORK_CONGESTION = "network_congestion"
+    INTRA_HOST_BOTTLENECK = "intra_host_bottleneck"
+
+
+class LocusKind(Enum):
+    """What kind of component the fault lives on."""
+
+    RNIC = "rnic"
+    SWITCH = "switch"
+    LINK = "link"
+    HOST = "host"
+
+
+@dataclass
+class GroundTruth:
+    """What was actually injected; the scoring key for Figure 6."""
+
+    fault_id: str
+    table2_row: int
+    category: ProblemCategory
+    locus_kind: LocusKind
+    locus: str
+    causes_service_failure: bool = False
+    active: bool = False
+
+
+class Fault:
+    """Base class: subclasses override ``_inject`` and ``_clear``."""
+
+    table2_row: int = 0
+    category = ProblemCategory.HARDWARE_FAILURE
+    locus_kind = LocusKind.LINK
+    causes_service_failure = False
+
+    def __init__(self, cluster: Cluster, locus: str, *,
+                 fault_id: Optional[str] = None):
+        self.cluster = cluster
+        self.locus = locus
+        self.ground_truth = GroundTruth(
+            fault_id=fault_id or f"{type(self).__name__}:{locus}",
+            table2_row=self.table2_row, category=self.category,
+            locus_kind=self.locus_kind, locus=locus,
+            causes_service_failure=self.causes_service_failure)
+
+    def inject(self) -> None:
+        """Activate the fault (idempotent)."""
+        if self.ground_truth.active:
+            return
+        self.ground_truth.active = True
+        self._inject()
+
+    def clear(self) -> None:
+        """Deactivate the fault (idempotent)."""
+        if not self.ground_truth.active:
+            return
+        self.ground_truth.active = False
+        self._clear()
+
+    def _inject(self) -> None:
+        raise NotImplementedError
+
+    def _clear(self) -> None:
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------------
+# #1 — RNIC or switch port flapping
+# --------------------------------------------------------------------------
+
+class SwitchPortFlapping(Fault):
+    """Table 2 #1 (switch side): a cable's state oscillates up/down.
+
+    The flap period is far below routing convergence, so ECMP keeps
+    offering the link and flows hashed onto it lose packets during every
+    down phase — the Figure 1 (top) scenario.
+    """
+
+    table2_row = 1
+    category = ProblemCategory.HARDWARE_FAILURE
+    locus_kind = LocusKind.LINK
+
+    def __init__(self, cluster: Cluster, a: str, b: str, *,
+                 period_ns: int = 400 * MILLISECOND,
+                 down_fraction: float = 0.5):
+        super().__init__(cluster, f"{a}<->{b}")
+        if not 0.0 < down_fraction < 1.0:
+            raise ValueError("down_fraction must be in (0, 1)")
+        self.pair = cluster.topology.link_pair(a, b)
+        self.period_ns = period_ns
+        self.down_fraction = down_fraction
+        self._task: Optional[PeriodicTask] = None
+        self._phase_down = False
+
+    def _inject(self) -> None:
+        half = max(1, round(self.period_ns * self.down_fraction))
+        self._phase_down = True
+        self.pair.up = False
+        self.pair.mark_transition(self.cluster.sim.now)
+        self._task = self.cluster.sim.every(half, self._toggle, delay=half)
+
+    def _toggle(self) -> None:
+        self._phase_down = not self._phase_down
+        self.pair.up = not self._phase_down
+        self.pair.mark_transition(self.cluster.sim.now)
+        assert self._task is not None
+        if self._phase_down:
+            self._task.set_interval(
+                max(1, round(self.period_ns * self.down_fraction)))
+        else:
+            self._task.set_interval(
+                max(1, round(self.period_ns * (1 - self.down_fraction))))
+
+    def _clear(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+        self.pair.up = True
+
+
+class RnicFlapping(Fault):
+    """Table 2 #1 (RNIC side): the NIC port oscillates — Figure 1 (bottom)."""
+
+    table2_row = 1
+    category = ProblemCategory.HARDWARE_FAILURE
+    locus_kind = LocusKind.RNIC
+
+    def __init__(self, cluster: Cluster, rnic_name: str, *,
+                 period_ns: int = 400 * MILLISECOND,
+                 down_fraction: float = 0.5):
+        super().__init__(cluster, rnic_name)
+        self.rnic = cluster.rnic(rnic_name)
+        self.period_ns = period_ns
+        self.down_fraction = down_fraction
+        self._task: Optional[PeriodicTask] = None
+        self._phase_down = False
+
+    def _inject(self) -> None:
+        half = max(1, round(self.period_ns * self.down_fraction))
+        self._phase_down = True
+        self.rnic.flap_down = True
+        self.rnic.last_flap_ns = self.cluster.sim.now
+        self._task = self.cluster.sim.every(half, self._toggle, delay=half)
+
+    def _toggle(self) -> None:
+        self._phase_down = not self._phase_down
+        self.rnic.flap_down = self._phase_down
+        self.rnic.last_flap_ns = self.cluster.sim.now
+        assert self._task is not None
+        fraction = (self.down_fraction if self._phase_down
+                    else 1 - self.down_fraction)
+        self._task.set_interval(max(1, round(self.period_ns * fraction)))
+
+    def _clear(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+        self.rnic.flap_down = False
+
+
+# --------------------------------------------------------------------------
+# #2 — packet corruption (fiber damage, dusty optics)
+# --------------------------------------------------------------------------
+
+class LinkCorruption(Fault):
+    """Table 2 #2 (in-network): a cable corrupts a fraction of packets."""
+
+    table2_row = 2
+    category = ProblemCategory.HARDWARE_FAILURE
+    locus_kind = LocusKind.LINK
+
+    def __init__(self, cluster: Cluster, a: str, b: str, *,
+                 drop_prob: float = 0.05):
+        super().__init__(cluster, f"{a}<->{b}")
+        if not 0.0 < drop_prob <= 1.0:
+            raise ValueError("drop_prob must be in (0, 1]")
+        self.links = [cluster.topology.link(a, b), cluster.topology.link(b, a)]
+        self.drop_prob = drop_prob
+
+    def _inject(self) -> None:
+        for link in self.links:
+            link.corruption_drop_prob = self.drop_prob
+
+    def _clear(self) -> None:
+        for link in self.links:
+            link.corruption_drop_prob = 0.0
+
+
+class RnicCorruption(Fault):
+    """Table 2 #2 (RNIC side): the NIC or its cable corrupts packets."""
+
+    table2_row = 2
+    category = ProblemCategory.HARDWARE_FAILURE
+    locus_kind = LocusKind.RNIC
+
+    def __init__(self, cluster: Cluster, rnic_name: str, *,
+                 drop_prob: float = 0.05):
+        super().__init__(cluster, rnic_name)
+        self.rnic = cluster.rnic(rnic_name)
+        self.drop_prob = drop_prob
+
+    def _inject(self) -> None:
+        self.rnic.rx_corruption_prob = self.drop_prob
+        self.rnic.tx_corruption_prob = self.drop_prob
+
+    def _clear(self) -> None:
+        self.rnic.rx_corruption_prob = 0.0
+        self.rnic.tx_corruption_prob = 0.0
+
+
+# --------------------------------------------------------------------------
+# #3 / #4 — accidental RNIC / host down  (service-failing *)
+# --------------------------------------------------------------------------
+
+class RnicDown(Fault):
+    """Table 2 #3: the RNIC dies. Marked (*) — breaks service connections."""
+
+    table2_row = 3
+    category = ProblemCategory.HARDWARE_FAILURE
+    locus_kind = LocusKind.RNIC
+    causes_service_failure = True
+
+    def __init__(self, cluster: Cluster, rnic_name: str):
+        super().__init__(cluster, rnic_name)
+        self.rnic = cluster.rnic(rnic_name)
+
+    def _inject(self) -> None:
+        self.rnic.admin_up = False
+
+    def _clear(self) -> None:
+        self.rnic.admin_up = True
+
+
+class HostDown(Fault):
+    """Table 2 #4: the whole host dies (Agent stops uploading too)."""
+
+    table2_row = 4
+    category = ProblemCategory.HARDWARE_FAILURE
+    locus_kind = LocusKind.HOST
+    causes_service_failure = True
+
+    def __init__(self, cluster: Cluster, host_name: str):
+        super().__init__(cluster, host_name)
+        self.host = cluster.hosts[host_name]
+
+    def _inject(self) -> None:
+        self.host.set_down()
+
+    def _clear(self) -> None:
+        self.host.set_up()
+
+
+# --------------------------------------------------------------------------
+# #5 — PFC deadlock  (service-failing *)
+# --------------------------------------------------------------------------
+
+class PfcDeadlock(Fault):
+    """Table 2 #5: two ports pause each other forever; the link is dead to
+    traffic while physically up, so routing never converges around it."""
+
+    table2_row = 5
+    category = ProblemCategory.HARDWARE_FAILURE
+    locus_kind = LocusKind.LINK
+    causes_service_failure = True
+
+    def __init__(self, cluster: Cluster, a: str, b: str):
+        super().__init__(cluster, f"{a}<->{b}")
+        self.links = [cluster.topology.link(a, b), cluster.topology.link(b, a)]
+
+    def _inject(self) -> None:
+        for link in self.links:
+            link.pfc_deadlocked = True
+
+    def _clear(self) -> None:
+        for link in self.links:
+            link.pfc_deadlocked = False
+
+
+# --------------------------------------------------------------------------
+# #6 / #7 — RNIC misconfigurations  (service-failing *)
+# --------------------------------------------------------------------------
+
+class RnicRoutingMisconfig(Fault):
+    """Table 2 #6: the post-boot RoCE routing script failed; the RNIC
+    cannot send anything."""
+
+    table2_row = 6
+    category = ProblemCategory.MISCONFIGURATION
+    locus_kind = LocusKind.RNIC
+    causes_service_failure = True
+
+    def __init__(self, cluster: Cluster, rnic_name: str):
+        super().__init__(cluster, rnic_name)
+        self.rnic = cluster.rnic(rnic_name)
+
+    def _inject(self) -> None:
+        self.rnic.routing_configured = False
+
+    def _clear(self) -> None:
+        self.rnic.routing_configured = True
+
+
+class RnicGidIndexMissing(Fault):
+    """Table 2 #7: the RoCEv2 GID index disappeared; the RNIC neither
+    matches inbound GIDs nor can source outbound packets."""
+
+    table2_row = 7
+    category = ProblemCategory.MISCONFIGURATION
+    locus_kind = LocusKind.RNIC
+    causes_service_failure = True
+
+    def __init__(self, cluster: Cluster, rnic_name: str):
+        super().__init__(cluster, rnic_name)
+        self.rnic = cluster.rnic(rnic_name)
+
+    def _inject(self) -> None:
+        self.rnic.gid_index_present = False
+
+    def _clear(self) -> None:
+        self.rnic.gid_index_present = True
+
+
+# --------------------------------------------------------------------------
+# #8 — switch ACL misconfiguration  (service-failing *)
+# --------------------------------------------------------------------------
+
+class SwitchAclError(Fault):
+    """Table 2 #8: a tenant-isolation ACL wrongly denies some src/dst."""
+
+    table2_row = 8
+    category = ProblemCategory.MISCONFIGURATION
+    locus_kind = LocusKind.SWITCH
+    causes_service_failure = True
+
+    def __init__(self, cluster: Cluster, switch_name: str, *,
+                 src_ip: Optional[str] = None, dst_ip: Optional[str] = None):
+        super().__init__(cluster, switch_name)
+        self.switch = cluster.topology.node(switch_name)
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+        self._rule = None
+
+    def _inject(self) -> None:
+        self._rule = self.switch.acl.deny(self.src_ip, self.dst_ip)
+
+    def _clear(self) -> None:
+        if self._rule is not None:
+            self.switch.acl.remove(self._rule)
+            self._rule = None
+
+
+# --------------------------------------------------------------------------
+# #9 — PFC unconfigured / bad headroom
+# --------------------------------------------------------------------------
+
+class PfcHeadroomMisconfig(Fault):
+    """Table 2 #9: the RoCE queue is effectively lossy on this cable;
+    packets drop during heavy congestion (and only then)."""
+
+    table2_row = 9
+    category = ProblemCategory.MISCONFIGURATION
+    locus_kind = LocusKind.LINK
+
+    def __init__(self, cluster: Cluster, a: str, b: str):
+        super().__init__(cluster, f"{a}<->{b}")
+        self.links = [cluster.topology.link(a, b), cluster.topology.link(b, a)]
+
+    def _inject(self) -> None:
+        for link in self.links:
+            link.pfc_headroom_ok = False
+
+    def _clear(self) -> None:
+        for link in self.links:
+            link.pfc_headroom_ok = True
+
+
+# --------------------------------------------------------------------------
+# #10 / #11 — network congestion
+# --------------------------------------------------------------------------
+
+class LinkOverload(Fault):
+    """Extra fluid load on one directed link.
+
+    Stands in for Table 2 #10 (ECMP hash-collision uplink congestion) and
+    #11 (inter-service interference), which in production arise from
+    traffic, not device state.  Workload-driven congestion also exists in
+    :mod:`repro.services`; this fault is the controlled-dose variant used
+    by localisation experiments.
+    """
+
+    table2_row = 10
+    category = ProblemCategory.NETWORK_CONGESTION
+    locus_kind = LocusKind.LINK
+
+    def __init__(self, cluster: Cluster, src: str, dst: str, *,
+                 extra_gbps: float, table2_row: int = 10):
+        super().__init__(cluster, f"{src}->{dst}")
+        self.table2_row = table2_row
+        self.ground_truth.table2_row = table2_row
+        self.link = cluster.topology.link(src, dst)
+        self.extra_gbps = extra_gbps
+        self._baseline = 0.0
+
+    def _inject(self) -> None:
+        now = self.cluster.sim.now
+        self._baseline = self.link.offered_load_gbps
+        self.link.set_offered_load(now, self._baseline + self.extra_gbps)
+
+    def _clear(self) -> None:
+        now = self.cluster.sim.now
+        reduced = max(0.0, self.link.offered_load_gbps - self.extra_gbps)
+        self.link.set_offered_load(now, reduced)
+
+
+# --------------------------------------------------------------------------
+# #12 — CPU overload
+# --------------------------------------------------------------------------
+
+class CpuOverload(Fault):
+    """Table 2 #12: the host CPU is pinned; processing delay inflates and
+    the Agent's responder starves (the Figure 6-right false-positive
+    mechanism)."""
+
+    table2_row = 12
+    category = ProblemCategory.INTRA_HOST_BOTTLENECK
+    locus_kind = LocusKind.HOST
+
+    def __init__(self, cluster: Cluster, host_name: str, *,
+                 load: float = 0.96):
+        super().__init__(cluster, host_name)
+        self.host = cluster.hosts[host_name]
+        self.load = load
+        self._previous = 0.0
+
+    def _inject(self) -> None:
+        self._previous = self.host.cpu.load
+        self.host.cpu.set_load(self.load)
+
+    def _clear(self) -> None:
+        self.host.cpu.set_load(self._previous)
+
+
+# --------------------------------------------------------------------------
+# #13 / #14 — intra-host bandwidth degradation -> PFC storm
+# --------------------------------------------------------------------------
+
+class PcieDowngrade(Fault):
+    """Table 2 #13: the RNIC's PCIe link degrades; the NIC cannot drain at
+    line rate, emits PFC pauses, and the ToR port backs up — traffic toward
+    this RNIC sees large extra delay (Figure 8 right)."""
+
+    table2_row = 13
+    category = ProblemCategory.INTRA_HOST_BOTTLENECK
+    locus_kind = LocusKind.RNIC
+
+    def __init__(self, cluster: Cluster, rnic_name: str, *,
+                 degraded_pcie_gbps: float = 32.0,
+                 pause_delay_ns: int = 300_000):
+        super().__init__(cluster, rnic_name)
+        self.rnic = cluster.rnic(rnic_name)
+        tor = cluster.tor_of(rnic_name)
+        self.downlink = cluster.topology.link(tor, rnic_name)
+        self.degraded_pcie_gbps = degraded_pcie_gbps
+        self.pause_delay_ns = pause_delay_ns
+        self._orig_pcie = self.rnic.pcie_gbps
+
+    def _inject(self) -> None:
+        self._orig_pcie = self.rnic.pcie_gbps
+        self.rnic.pcie_gbps = self.degraded_pcie_gbps
+        self.downlink.pause_delay_ns = self.pause_delay_ns
+
+    def _clear(self) -> None:
+        self.rnic.pcie_gbps = self._orig_pcie
+        self.downlink.pause_delay_ns = 0
+
+
+class RnicAcsMisconfig(PcieDowngrade):
+    """Table 2 #14: wrong ACS/ATS configuration — same PFC-storm signature
+    as a PCIe downgrade, different root cause (and category row)."""
+
+    table2_row = 14
+    category = ProblemCategory.INTRA_HOST_BOTTLENECK
+
+
+# --------------------------------------------------------------------------
+# Extra in-network fault shapes used by §4.1 and ablations
+# --------------------------------------------------------------------------
+
+class LinkFailure(Fault):
+    """Clean persistent link-down: routing converges around it after
+    ROUTING_CONVERGENCE_NS (the window during which probes still die)."""
+
+    table2_row = 1
+    category = ProblemCategory.HARDWARE_FAILURE
+    locus_kind = LocusKind.LINK
+
+    def __init__(self, cluster: Cluster, a: str, b: str):
+        super().__init__(cluster, f"{a}<->{b}")
+        self.pair = cluster.topology.link_pair(a, b)
+
+    def _inject(self) -> None:
+        self.pair.up = False
+        self.cluster.sim.call_later(ROUTING_CONVERGENCE_NS, self._converge)
+
+    def _converge(self) -> None:
+        if not self.pair.up:
+            self.pair.routed_around = True
+            self.cluster.topology.invalidate_routes()
+
+    def _clear(self) -> None:
+        self.pair.up = True
+        if self.pair.routed_around:
+            self.pair.routed_around = False
+            self.cluster.topology.invalidate_routes()
+
+
+class SilentDrop(Fault):
+    """Silent per-5-tuple drops (§4.1): only certain 5-tuples die, which is
+    why the Controller rotates inter-ToR 5-tuples hourly."""
+
+    table2_row = 2
+    category = ProblemCategory.HARDWARE_FAILURE
+    locus_kind = LocusKind.LINK
+
+    def __init__(self, cluster: Cluster, src: str, dst: str, *,
+                 match_port_mod: int = 8, match_port_rem: int = 3):
+        super().__init__(cluster, f"{src}->{dst}")
+        self.link = cluster.topology.link(src, dst)
+        self.mod = match_port_mod
+        self.rem = match_port_rem
+
+    def matches(self, five_tuple: FiveTuple) -> bool:
+        """The 'certain 5-tuples' predicate."""
+        return five_tuple.src_port % self.mod == self.rem
+
+    def _inject(self) -> None:
+        self.link.silent_drop_predicate = self.matches
+
+    def _clear(self) -> None:
+        self.link.silent_drop_predicate = None
+
+
+# --------------------------------------------------------------------------
+# Scheduling
+# --------------------------------------------------------------------------
+
+class FaultManager:
+    """Schedules fault windows and keeps the ground-truth registry."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self.faults: list[Fault] = []
+
+    def schedule(self, fault: Fault, *, start_ns: int,
+                 end_ns: Optional[int] = None) -> Fault:
+        """Inject at ``start_ns``; clear at ``end_ns`` if given."""
+        self.faults.append(fault)
+        self.cluster.sim.call_at(start_ns, fault.inject)
+        if end_ns is not None:
+            if end_ns <= start_ns:
+                raise ValueError("end_ns must follow start_ns")
+            self.cluster.sim.call_at(end_ns, fault.clear)
+        return fault
+
+    def inject_now(self, fault: Fault) -> Fault:
+        """Immediate injection."""
+        self.faults.append(fault)
+        fault.inject()
+        return fault
+
+    def ground_truths(self) -> list[GroundTruth]:
+        """All registered ground truths."""
+        return [f.ground_truth for f in self.faults]
+
+    def active_ground_truths(self) -> list[GroundTruth]:
+        """Ground truths of currently active faults."""
+        return [f.ground_truth for f in self.faults if f.ground_truth.active]

@@ -1,0 +1,141 @@
+"""PFC pause propagation (the mechanics behind Table 2 #13/#14).
+
+The paper (and its companion work, Hostping) describes the chain: an
+intra-host bottleneck (downgraded PCIe, bad ACS/ATS config) leaves the
+RNIC unable to drain at line rate; the RNIC emits PFC pause frames; the
+ToR port buffers and, when its headroom fills, pauses *its* upstream
+ports; congestion spreads backwards — a PFC storm whose visible symptom
+is a high P99 network RTT toward the victim (Figure 8 right).
+
+The default substrate models the storm's *effect* with a static pause
+delay installed by the fault (enough for every headline experiment).
+This engine is the mechanistic, opt-in alternative: it periodically
+derives pause pressure from actual drain deficits and traffic, so the
+storm emerges — and subsides — with the workload.
+
+Model per evaluation tick:
+
+1. victim detection: for each RNIC, ``deficit = inbound_demand -
+   drain_capacity`` where drain is ``min(pcie_gbps, link_gbps)``;
+2. a positive deficit pauses the ToR->RNIC link for
+   ``deficit / inbound_demand`` of each second (pause duty), which the
+   queue model sees as added delay;
+3. one tier of backpressure: each upstream link feeding a paused port
+   inherits a fraction of the pause duty proportional to how much of its
+   traffic heads to the paused port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.sim.engine import PeriodicTask
+from repro.sim.units import MILLISECOND
+
+if TYPE_CHECKING:
+    from repro.cluster import Cluster
+
+# How much one-second pause duty converts to added per-packet delay.
+# A fully paused port (duty 1.0) would add ~1 ms to every traversal.
+PAUSE_DUTY_TO_DELAY_NS = 1_000_000
+# Fraction of pause pressure inherited one tier upstream.
+UPSTREAM_INHERITANCE = 0.5
+
+
+@dataclass
+class PauseState:
+    """Current pause pressure on one directed link."""
+
+    link_name: str
+    duty: float               # fraction of time paused, [0, 1]
+    source: str               # the victim RNIC that caused it
+
+
+class PfcPropagationEngine:
+    """Derives pause delays from drain deficits; opt-in substrate service."""
+
+    def __init__(self, cluster: "Cluster", *,
+                 tick_ns: int = 50 * MILLISECOND):
+        self.cluster = cluster
+        self.tick_ns = tick_ns
+        self._task: PeriodicTask | None = None
+        # Links whose pause_delay this engine owns (never fight faults).
+        self._owned: set[tuple[str, str]] = set()
+        self.pause_states: list[PauseState] = []
+
+    def start(self) -> None:
+        """Begin periodic evaluation."""
+        if self._task is None:
+            self._task = self.cluster.sim.every(self.tick_ns, self.evaluate)
+
+    def stop(self) -> None:
+        """Stop and clear all engine-owned pause pressure."""
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+        self._clear_owned()
+
+    def _clear_owned(self) -> None:
+        for key in self._owned:
+            self.cluster.topology.links[key].pause_delay_ns = 0
+        self._owned.clear()
+        self.pause_states = []
+
+    # -- the model ----------------------------------------------------------------
+
+    def _inbound_demand_gbps(self, rnic_name: str) -> float:
+        """Offered load on the ToR->RNIC downlink (fluid traffic)."""
+        tor = self.cluster.tor_of(rnic_name)
+        return self.cluster.topology.link(tor, rnic_name).offered_load_gbps
+
+    def evaluate(self) -> list[PauseState]:
+        """One tick: recompute every engine-owned pause delay."""
+        self._clear_owned()
+        topo = self.cluster.topology
+        states: list[PauseState] = []
+
+        for rnic in self.cluster.all_rnics():
+            demand = self._inbound_demand_gbps(rnic.name)
+            if demand <= 0:
+                continue
+            drain = min(rnic.pcie_gbps, rnic.link_gbps)
+            deficit = demand - drain
+            if deficit <= 0:
+                continue
+            duty = min(1.0, deficit / demand)
+            tor = self.cluster.tor_of(rnic.name)
+            downlink = topo.link(tor, rnic.name)
+            downlink.pause_delay_ns += round(duty * PAUSE_DUTY_TO_DELAY_NS)
+            self._owned.add((tor, rnic.name))
+            states.append(PauseState(link_name=downlink.name, duty=duty,
+                                     source=rnic.name))
+
+            # One tier of backpressure: upstream links feeding this ToR
+            # inherit pressure proportional to their share of the ToR's
+            # inbound traffic (approximated as uniform over active feeds).
+            feeders = [n for n in topo.neighbors(tor)
+                       if topo.nodes[n].is_switch]
+            active = [n for n in feeders
+                      if topo.link(n, tor).offered_load_gbps > 0]
+            for feeder in active or feeders:
+                uplink = topo.link(feeder, tor)
+                share = duty * UPSTREAM_INHERITANCE / max(1, len(
+                    active or feeders))
+                uplink.pause_delay_ns += round(
+                    share * PAUSE_DUTY_TO_DELAY_NS)
+                self._owned.add((feeder, tor))
+                states.append(PauseState(link_name=uplink.name,
+                                         duty=share, source=rnic.name))
+        self.pause_states = states
+        return states
+
+    # -- observability ---------------------------------------------------------------
+
+    def storming(self) -> bool:
+        """Whether any pause pressure currently exists."""
+        return bool(self.pause_states)
+
+    def victims(self) -> set[str]:
+        """RNICs currently causing pause pressure."""
+        return {s.source for s in self.pause_states}

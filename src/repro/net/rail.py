@@ -1,0 +1,89 @@
+"""Rail-optimized two-tier fabric builder (paper §7.4, Figure 12).
+
+In a rail-optimized cluster each host has ``rails`` NICs; NIC ``i`` of every
+host connects to rail switch ``i``.  All rail switches uplink to all spine
+switches in full bisection.  Consequently traffic between two NICs *on the
+same host* must traverse the top tier — which is why same-host cross-rail
+probing covers all cluster links without a Controller-generated pinglist,
+and why one-way probing (no ACKs) is possible there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.topology import Tier, Topology
+
+
+@dataclass(frozen=True)
+class RailParams:
+    """Shape of a two-tier rail-optimized fabric."""
+
+    hosts: int = 4
+    rails: int = 4
+    spines: int = 2
+    host_link_gbps: float = 400.0
+    fabric_link_gbps: float = 400.0
+
+    def __post_init__(self) -> None:
+        for name in ("hosts", "rails", "spines"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.rails < 2:
+            raise ValueError("rail-optimized fabric needs >= 2 rails for "
+                             "same-host cross-rail probing")
+
+
+@dataclass
+class RailFabricPlan:
+    """The built rail topology plus layout tables."""
+
+    params: RailParams
+    topology: Topology
+    host_rnics: dict[str, list[str]] = field(default_factory=dict)
+    rnic_rail: dict[str, str] = field(default_factory=dict)
+
+    def rail_switches(self) -> list[str]:
+        """All rail (ToR-tier) switch names, sorted."""
+        return self.topology.switches(Tier.TOR)
+
+    def cross_rail_pairs(self, host: str) -> list[tuple[str, str]]:
+        """Ordered same-host RNIC pairs on different rails."""
+        rnics = self.host_rnics[host]
+        return [(a, b) for a in rnics for b in rnics if a != b]
+
+    def parallel_paths_cross_rail(self) -> int:
+        """ECMP path count for same-host cross-rail traffic.
+
+        The path is rnic_i -> rail_i -> spine -> rail_j -> rnic_j; the only
+        ECMP choice is the spine, so N = spines.
+        """
+        return self.params.spines
+
+
+def build_rail(params: RailParams) -> RailFabricPlan:
+    """Construct the rail-optimized topology described by ``params``."""
+    topo = Topology(name="rail")
+    plan = RailFabricPlan(params=params, topology=topo)
+
+    spines = [f"spine{s}" for s in range(params.spines)]
+    for spine in spines:
+        topo.add_switch(spine, Tier.SPINE)
+
+    rails = [f"rail{r}" for r in range(params.rails)]
+    for rail in rails:
+        topo.add_switch(rail, Tier.TOR)
+        for spine in spines:
+            topo.add_cable(rail, spine, rate_gbps=params.fabric_link_gbps)
+
+    for h in range(params.hosts):
+        host = f"host{h}"
+        rnics = []
+        for r in range(params.rails):
+            rnic = f"{host}-rnic{r}"
+            topo.add_host_port(rnic)
+            topo.add_cable(rnic, rails[r], rate_gbps=params.host_link_gbps)
+            rnics.append(rnic)
+            plan.rnic_rail[rnic] = rails[r]
+        plan.host_rnics[host] = rnics
+    return plan

@@ -1,0 +1,447 @@
+"""Topology graph: nodes, directed links, and the link queue model.
+
+The graph has two node kinds: *switches* and *host ports* (one host port per
+RNIC).  Links are directed — the paper's probing requirements ("more than 10
+probes per second per **direction**", §5) and Algorithm 1's voting both work
+per direction — and bidirectional physical cables are simply two directed
+links that share fault state through a :class:`LinkPair`.
+
+Queue model
+-----------
+Service traffic is fluid: the traffic layer assigns each directed link an
+*offered background load* in Gbps.  A link integrates its queue occupancy
+lazily: whenever a discrete packet traverses (or the load changes), the
+occupancy is advanced from the last update using ``(offered - capacity)``.
+A discrete packet then experiences::
+
+    delay = propagation + serialization + queue_bytes * 8 / rate
+
+This hybrid keeps month-scale scenarios tractable while giving probes the
+queue-delay tails that Figures 5, 8, 10, 11 and 13 depend on.
+
+Lossless behaviour: with PFC enabled the queue saturates at the buffer limit
+and packets are delayed, not dropped.  With PFC unconfigured or headroom
+misconfigured (fault #9), packets arriving at a saturated queue are dropped
+with a probability proportional to the overload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Iterable, Optional
+
+from repro.net.addresses import FiveTuple
+from repro.sim.units import serialization_delay_ns
+
+
+class NodeKind(Enum):
+    """What a graph vertex represents."""
+
+    SWITCH = "switch"
+    HOST_PORT = "host_port"
+
+
+class Tier(Enum):
+    """Where a node sits in the fabric (Clos naming)."""
+
+    HOST = 0
+    TOR = 1
+    AGG = 2
+    SPINE = 3
+
+
+@dataclass
+class AclRule:
+    """A deny rule: drop packets matching src/dst IP (None = wildcard)."""
+
+    src_ip: Optional[str] = None
+    dst_ip: Optional[str] = None
+
+    def matches(self, five_tuple: FiveTuple) -> bool:
+        if self.src_ip is not None and five_tuple.src_ip != self.src_ip:
+            return False
+        if self.dst_ip is not None and five_tuple.dst_ip != self.dst_ip:
+            return False
+        return True
+
+
+class Acl:
+    """Per-switch access control list (default: permit everything)."""
+
+    def __init__(self) -> None:
+        self._deny_rules: list[AclRule] = []
+
+    def deny(self, src_ip: Optional[str] = None,
+             dst_ip: Optional[str] = None) -> AclRule:
+        """Install a deny rule and return it (for later removal)."""
+        rule = AclRule(src_ip, dst_ip)
+        self._deny_rules.append(rule)
+        return rule
+
+    def remove(self, rule: AclRule) -> None:
+        """Remove a previously installed rule (no-op if absent)."""
+        if rule in self._deny_rules:
+            self._deny_rules.remove(rule)
+
+    def clear(self) -> None:
+        """Remove all deny rules."""
+        self._deny_rules.clear()
+
+    def permits(self, five_tuple: FiveTuple) -> bool:
+        """Whether the packet passes the ACL."""
+        return not any(rule.matches(five_tuple) for rule in self._deny_rules)
+
+    @property
+    def rule_count(self) -> int:
+        return len(self._deny_rules)
+
+
+class TracerouteLimiter:
+    """Switch-CPU rate limit on traceroute (ICMP time-exceeded) replies.
+
+    Data-center switches throttle punted packets; the paper limits Agent's
+    Traceroute frequency for this reason (§4.2.3).  The limiter is a simple
+    token bucket refilled continuously.
+    """
+
+    def __init__(self, responses_per_second: float = 100.0,
+                 burst: float = 20.0):
+        if responses_per_second <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = responses_per_second
+        self.burst = burst
+        self._tokens = burst
+        self._last_ns = 0
+        self.responses_sent = 0
+        self.responses_suppressed = 0
+
+    def allow(self, now_ns: int) -> bool:
+        """Consume a token if available; return whether the reply is sent."""
+        elapsed = max(0, now_ns - self._last_ns)
+        self._last_ns = max(self._last_ns, now_ns)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate / 1e9)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self.responses_sent += 1
+            return True
+        self.responses_suppressed += 1
+        return False
+
+
+@dataclass
+class Node:
+    """A vertex in the topology graph."""
+
+    name: str
+    kind: NodeKind
+    tier: Tier
+    acl: Acl = field(default_factory=Acl)
+    traceroute: TracerouteLimiter = field(default_factory=TracerouteLimiter)
+
+    @property
+    def is_switch(self) -> bool:
+        return self.kind == NodeKind.SWITCH
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+@dataclass
+class LinkPair:
+    """Shared physical-cable state for the two directions of a cable."""
+
+    name: str
+    up: bool = True
+    # Set when routing has converged around a down link: ECMP excludes it.
+    routed_around: bool = False
+    # Last up/down transition (flap detection for transports).
+    last_transition_ns: int = -(1 << 62)
+    # Lifetime transition count (the "port flap counter" operators read).
+    transition_count: int = 0
+
+    def mark_transition(self, now_ns: int) -> None:
+        """Record an up/down state change at ``now_ns``."""
+        self.last_transition_ns = now_ns
+        self.transition_count += 1
+
+    def flapped_recently(self, now_ns: int,
+                         window_ns: int = 2_000_000_000) -> bool:
+        """Whether the cable changed state within the last ``window_ns``.
+
+        RDMA transports experience a flapping cable as packet loss across
+        the whole window, not just at sampling instants.
+        """
+        return now_ns - self.last_transition_ns <= window_ns
+
+
+class DirectedLink:
+    """One direction of a cable, with queue state and fault knobs."""
+
+    def __init__(self, src: str, dst: str, pair: LinkPair, *,
+                 rate_gbps: float = 400.0, propagation_ns: int = 500,
+                 buffer_bytes: int = 16 * 1024 * 1024):
+        if rate_gbps <= 0:
+            raise ValueError(f"rate must be positive: {rate_gbps}")
+        self.src = src
+        self.dst = dst
+        self.pair = pair
+        self.rate_gbps = rate_gbps
+        self.propagation_ns = propagation_ns
+        self.buffer_bytes = buffer_bytes
+
+        # Fault knobs (driven by repro.net.faults)
+        self.corruption_drop_prob = 0.0
+        self.silent_drop_predicate: Optional[Callable[[FiveTuple], bool]] = None
+        self.pfc_enabled = True
+        self.pfc_headroom_ok = True
+        self.pfc_deadlocked = False
+        # Extra fixed delay, e.g. PFC storm pause pressure (Figure 8 right).
+        self.pause_delay_ns = 0
+
+        # Fluid queue state
+        self.offered_load_gbps = 0.0
+        self.queue_bytes = 0.0
+        self._queue_updated_ns = 0
+
+        # Counters for assertions and SLA accounting
+        self.packets_forwarded = 0
+        self.packets_dropped = 0
+        # CRC error counter, as a switch would expose for this port.
+        self.crc_errors = 0
+
+    @property
+    def name(self) -> str:
+        return f"{self.src}->{self.dst}"
+
+    @property
+    def up(self) -> bool:
+        """Physical state, shared with the reverse direction."""
+        return self.pair.up
+
+    def advance_queue(self, now_ns: int) -> None:
+        """Integrate fluid queue occupancy up to ``now_ns``."""
+        dt = now_ns - self._queue_updated_ns
+        if dt <= 0:
+            return
+        net_gbps = self.offered_load_gbps - self.rate_gbps
+        # Gbps == bits/ns, so bytes delta = net * dt / 8.
+        self.queue_bytes += net_gbps * dt / 8.0
+        self.queue_bytes = min(max(self.queue_bytes, 0.0),
+                               float(self.buffer_bytes))
+        self._queue_updated_ns = now_ns
+
+    def set_offered_load(self, now_ns: int, load_gbps: float) -> None:
+        """Update the fluid background load (traffic layer hook)."""
+        if load_gbps < 0:
+            raise ValueError(f"load must be non-negative: {load_gbps}")
+        self.advance_queue(now_ns)
+        self.offered_load_gbps = load_gbps
+
+    def utilization(self) -> float:
+        """Offered load over capacity (may exceed 1.0 when congested)."""
+        return self.offered_load_gbps / self.rate_gbps
+
+    def queue_delay_ns(self, now_ns: int) -> int:
+        """Queue wait a packet entering now would experience."""
+        self.advance_queue(now_ns)
+        return round(self.queue_bytes * 8.0 / self.rate_gbps)
+
+    def traversal_delay_ns(self, now_ns: int, size_bytes: int, *,
+                           roce_queue: bool = True) -> int:
+        """Total one-hop latency for a discrete packet entering now.
+
+        The fluid queue and PFC pause pressure live in the *RoCE* traffic
+        class; TCP rides a separate, lightly loaded queue (§2.4), so
+        non-RoCE packets see only propagation + serialization.
+        """
+        delay = (self.propagation_ns
+                 + serialization_delay_ns(size_bytes, self.rate_gbps))
+        if roce_queue:
+            delay += self.queue_delay_ns(now_ns) + self.pause_delay_ns
+        return delay
+
+    def congestion_drop_prob(self, now_ns: int) -> float:
+        """Probability a packet is dropped by a *lossy* saturated queue.
+
+        Zero whenever PFC is healthy (lossless), or the queue is not full.
+        With PFC unconfigured/mis-headroomed (fault #9), overload spills.
+        """
+        if self.pfc_enabled and self.pfc_headroom_ok:
+            return 0.0
+        self.advance_queue(now_ns)
+        if self.queue_bytes < self.buffer_bytes * 0.98:
+            return 0.0
+        overload = self.offered_load_gbps / self.rate_gbps
+        if overload <= 1.0:
+            return 0.0
+        # Fraction of arrivals that cannot be served nor buffered.
+        return min(1.0, 1.0 - 1.0 / overload)
+
+
+class Topology:
+    """The fabric graph plus per-destination ECMP next-hop tables."""
+
+    def __init__(self, name: str = "fabric"):
+        self.name = name
+        self.nodes: dict[str, Node] = {}
+        self.links: dict[tuple[str, str], DirectedLink] = {}
+        self._adjacency: dict[str, list[str]] = {}
+        self._next_hops: dict[str, dict[str, list[str]]] = {}
+        self._routes_dirty = True
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, name: str, kind: NodeKind, tier: Tier) -> Node:
+        """Add a vertex; names must be unique."""
+        if name in self.nodes:
+            raise ValueError(f"duplicate node name: {name}")
+        node = Node(name=name, kind=kind, tier=tier)
+        self.nodes[name] = node
+        self._adjacency[name] = []
+        self._routes_dirty = True
+        return node
+
+    def add_switch(self, name: str, tier: Tier) -> Node:
+        """Add a switch vertex."""
+        return self.add_node(name, NodeKind.SWITCH, tier)
+
+    def add_host_port(self, name: str) -> Node:
+        """Add a host-port (RNIC attachment) vertex."""
+        return self.add_node(name, NodeKind.HOST_PORT, Tier.HOST)
+
+    def add_cable(self, a: str, b: str, *, rate_gbps: float = 400.0,
+                  propagation_ns: int = 500,
+                  buffer_bytes: int = 16 * 1024 * 1024) -> LinkPair:
+        """Add a bidirectional cable as two directed links."""
+        for end in (a, b):
+            if end not in self.nodes:
+                raise ValueError(f"unknown node: {end}")
+        if (a, b) in self.links:
+            raise ValueError(f"duplicate cable: {a} <-> {b}")
+        pair = LinkPair(name=f"{a}<->{b}")
+        for src, dst in ((a, b), (b, a)):
+            self.links[(src, dst)] = DirectedLink(
+                src, dst, pair, rate_gbps=rate_gbps,
+                propagation_ns=propagation_ns, buffer_bytes=buffer_bytes)
+            self._adjacency[src].append(dst)
+        self._routes_dirty = True
+        return pair
+
+    # -- accessors ---------------------------------------------------------
+
+    def node(self, name: str) -> Node:
+        """Look up a vertex."""
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise KeyError(f"unknown node: {name}") from None
+
+    def link(self, src: str, dst: str) -> DirectedLink:
+        """Look up a directed link."""
+        try:
+            return self.links[(src, dst)]
+        except KeyError:
+            raise KeyError(f"no link {src} -> {dst}") from None
+
+    def link_pair(self, a: str, b: str) -> LinkPair:
+        """Shared cable state for the a<->b cable."""
+        return self.link(a, b).pair
+
+    def neighbors(self, name: str) -> list[str]:
+        """Adjacent node names."""
+        return list(self._adjacency[name])
+
+    def host_ports(self) -> list[str]:
+        """All host-port vertex names, sorted."""
+        return sorted(n for n, node in self.nodes.items()
+                      if node.kind == NodeKind.HOST_PORT)
+
+    def switches(self, tier: Optional[Tier] = None) -> list[str]:
+        """All switch names, optionally filtered by tier, sorted."""
+        return sorted(
+            n for n, node in self.nodes.items()
+            if node.is_switch and (tier is None or node.tier == tier))
+
+    def tor_of(self, host_port: str) -> str:
+        """The ToR switch a host port hangs off (its unique neighbor)."""
+        neighbors = self._adjacency.get(host_port, [])
+        tors = [n for n in neighbors if self.nodes[n].is_switch]
+        if len(tors) != 1:
+            raise ValueError(
+                f"host port {host_port} has {len(tors)} switch neighbors")
+        return tors[0]
+
+    def all_directed_links(self) -> Iterable[DirectedLink]:
+        """Every directed link."""
+        return self.links.values()
+
+    def switch_links(self) -> list[DirectedLink]:
+        """Directed links where both endpoints are switches."""
+        return [l for l in self.links.values()
+                if self.nodes[l.src].is_switch and self.nodes[l.dst].is_switch]
+
+    # -- routing -----------------------------------------------------------
+
+    def _rebuild_routes(self) -> None:
+        """BFS from every host port to build ECMP next-hop tables.
+
+        ``_next_hops[dst][node]`` lists all neighbors of ``node`` that lie on
+        a shortest path toward host port ``dst``.  Down links that routing
+        has converged around (``routed_around``) are excluded; freshly-down
+        links are not, which is how flapping causes black-holed packets.
+        """
+        self._next_hops = {}
+
+        def usable(a: str, b: str) -> bool:
+            # Routed-around links are withdrawn from the routing domain,
+            # exactly as a converged IGP would withdraw a failed adjacency
+            # (this also redirects *upstream* choices, e.g. a spine stops
+            # sending pod traffic to an agg whose ToR downlink is out).
+            return not self.links[(a, b)].pair.routed_around
+
+        for dst in self.host_ports():
+            dist = {dst: 0}
+            frontier = [dst]
+            while frontier:
+                nxt: list[str] = []
+                for node in frontier:
+                    for neigh in self._adjacency[node]:
+                        if neigh not in dist and usable(neigh, node):
+                            dist[neigh] = dist[node] + 1
+                            nxt.append(neigh)
+                frontier = nxt
+            table: dict[str, list[str]] = {}
+            for node in self.nodes:
+                if node == dst or node not in dist:
+                    continue
+                hops = [neigh for neigh in self._adjacency[node]
+                        if dist.get(neigh, 1 << 30) == dist[node] - 1
+                        and usable(node, neigh)]
+                table[node] = sorted(hops)
+            self._next_hops[dst] = table
+        self._routes_dirty = False
+
+    def invalidate_routes(self) -> None:
+        """Force next-hop recomputation (after topology edits)."""
+        self._routes_dirty = True
+
+    def next_hops(self, node: str, dst: str) -> list[str]:
+        """ECMP candidate next hops from ``node`` toward host port ``dst``.
+
+        Candidates whose link has been *converged around* are filtered; a
+        link that is down but not yet converged around remains a candidate
+        (packets hashed onto it black-hole), matching real fabrics between
+        failure and reconvergence.
+        """
+        if self._routes_dirty:
+            self._rebuild_routes()
+        table = self._next_hops.get(dst)
+        if table is None:
+            raise KeyError(f"unknown destination host port: {dst}")
+        candidates = table.get(node, [])
+        live = [h for h in candidates
+                if not self.links[(node, h)].pair.routed_around]
+        # If everything is routed around, fall back to raw candidates so the
+        # packet visibly dies on a dead link rather than vanishing silently.
+        return live if live else candidates

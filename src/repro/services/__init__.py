@@ -1,0 +1,21 @@
+"""Service workloads: DML training, storage loading, traffic, CC models."""
+
+from repro.services.congestion import CUSTOM_CC, DCQCN, CcModel
+from repro.services.dml import (CommPattern, DmlConfig, DmlConnection,
+                                DmlJob)
+from repro.services.storage import LoadResult, ModelLoadPhase
+from repro.services.traffic import Flow, TrafficEngine
+
+__all__ = [
+    "CcModel",
+    "DCQCN",
+    "CUSTOM_CC",
+    "DmlJob",
+    "DmlConfig",
+    "DmlConnection",
+    "CommPattern",
+    "ModelLoadPhase",
+    "LoadResult",
+    "Flow",
+    "TrafficEngine",
+]

@@ -1,0 +1,43 @@
+"""Congestion-control models (paper §7.3, Figure 11 right).
+
+The simulation does not run per-packet CC state machines; what the figures
+need is the *steady-state signature* a CC algorithm leaves on a congested
+link: how much standing queue it maintains (tail-RTT driver) and what
+fraction of capacity it converts into goodput (throughput driver).
+
+* **DCQCN** (the commodity-RNIC default) reacts to ECN after queues have
+  already built and oscillates around a substantial standing queue.
+* **The paper's self-developed CC** keeps queues near-empty and utilisation
+  slightly higher — Figure 11 (right) shows it reducing tail RTT and
+  improving training throughput, which these two parameters reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CcModel:
+    """Steady-state congestion-control signature."""
+
+    name: str
+    # Fraction of the bottleneck buffer occupied as standing queue when the
+    # offered load exceeds capacity.
+    congested_queue_fill: float
+    # Fraction of link capacity converted to goodput under congestion.
+    goodput_efficiency: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.congested_queue_fill <= 1.0:
+            raise ValueError("queue fill must be in [0, 1]")
+        if not 0.0 < self.goodput_efficiency <= 1.0:
+            raise ValueError("goodput efficiency must be in (0, 1]")
+
+
+DCQCN = CcModel(name="dcqcn", congested_queue_fill=0.60,
+                goodput_efficiency=0.90)
+
+# The paper's self-developed algorithm: near-empty queues, higher goodput.
+CUSTOM_CC = CcModel(name="custom", congested_queue_fill=0.06,
+                    goodput_efficiency=0.97)

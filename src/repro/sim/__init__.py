@@ -1,0 +1,26 @@
+"""Deterministic discrete-event simulation kernel.
+
+Everything in the substrate and in R-Pingmesh itself runs on a single
+:class:`~repro.sim.engine.Simulator` with integer-nanosecond time and named
+RNG streams, so scenario runs are exactly reproducible for a given seed.
+"""
+
+from repro.sim.engine import (EventHandle, PeriodicTask, SimulationError,
+                              Simulator)
+from repro.sim.rng import RngRegistry, RngStream, derive_seed
+from repro.sim.stats import PercentileTracker, RateMeter, TimeSeries
+from repro.sim import units
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "EventHandle",
+    "PeriodicTask",
+    "RngRegistry",
+    "RngStream",
+    "derive_seed",
+    "PercentileTracker",
+    "TimeSeries",
+    "RateMeter",
+    "units",
+]

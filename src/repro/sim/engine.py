@@ -1,0 +1,221 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is a classic event-heap scheduler.  Components schedule callbacks
+at absolute or relative times; the engine pops events in (time, sequence)
+order so simultaneous events run in the order they were scheduled, which
+makes every run bit-for-bit reproducible for a given seed.
+
+Design notes
+------------
+* Callbacks, not coroutines.  A callback scheduler is both faster and easier
+  to reason about for the probe/respond/analyze loops this package runs, and
+  it avoids the generator-trampoline machinery of a process-based kernel.
+* Events can be cancelled.  Cancellation is O(1): the handle is flagged and
+  skipped when popped (lazy deletion), which is the standard heapq idiom.
+* Periodic tasks are first-class because almost everything in R-Pingmesh is
+  periodic: probing threads, pinglist refreshes, analysis periods.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation engine."""
+
+
+@dataclass(order=True)
+class _Event:
+    time: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Opaque handle to a scheduled event, usable for cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    @property
+    def time(self) -> int:
+        """Absolute simulation time the event fires at."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been cancelled."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from running.  Safe to call more than once."""
+        self._event.cancelled = True
+
+
+class PeriodicTask:
+    """A callback re-armed at a fixed interval until stopped.
+
+    The callback may inspect :attr:`runs` (number of completed firings) and
+    may call :meth:`stop` from inside itself to terminate the cycle.
+    """
+
+    def __init__(self, sim: "Simulator", interval: int,
+                 callback: Callable[[], None], *, jitter: int = 0):
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive, got {interval}")
+        self._sim = sim
+        self._interval = interval
+        self._callback = callback
+        self._jitter = jitter
+        self._stopped = False
+        self._handle: Optional[EventHandle] = None
+        self.runs = 0
+
+    @property
+    def interval(self) -> int:
+        """Current re-arm interval in nanoseconds."""
+        return self._interval
+
+    @property
+    def stopped(self) -> bool:
+        """Whether the task has been stopped."""
+        return self._stopped
+
+    def set_interval(self, interval: int) -> None:
+        """Change the interval used for subsequent firings."""
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive, got {interval}")
+        self._interval = interval
+
+    def start(self, *, delay: Optional[int] = None) -> "PeriodicTask":
+        """Arm the first firing ``delay`` ns from now (default: one interval)."""
+        first = self._interval if delay is None else delay
+        self._handle = self._sim.call_later(first, self._fire)
+        return self
+
+    def stop(self) -> None:
+        """Stop the cycle; a pending firing is cancelled."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        self.runs += 1
+        if self._stopped:  # callback may have stopped us
+            return
+        delay = self._interval
+        if self._jitter:
+            delay += self._sim.rng_jitter(self._jitter)
+        self._handle = self._sim.call_later(max(1, delay), self._fire)
+
+
+class Simulator:
+    """The event loop.
+
+    A single :class:`Simulator` owns simulated time for one scenario.  All
+    substrate objects (fabric, hosts, RNICs) and R-Pingmesh modules hold a
+    reference to the same simulator.
+    """
+
+    def __init__(self, *, seed: int = 0):
+        self._heap: list[_Event] = []
+        self._seq = itertools.count()
+        self._now = 0
+        self._running = False
+        self.seed = seed
+        # Simple deterministic jitter source decoupled from component RNGs.
+        self._jitter_state = (seed * 2654435761 + 1) & 0xFFFFFFFF
+        self.events_processed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    def call_at(self, time: int, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time} < now {self._now}")
+        event = _Event(time, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def call_later(self, delay: int, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.call_at(self._now + delay, callback)
+
+    def every(self, interval: int, callback: Callable[[], None], *,
+              delay: Optional[int] = None, jitter: int = 0) -> PeriodicTask:
+        """Create and start a :class:`PeriodicTask`."""
+        return PeriodicTask(self, interval, callback, jitter=jitter).start(delay=delay)
+
+    def run_until(self, time: int) -> None:
+        """Process events until simulated time reaches ``time``.
+
+        The clock is always advanced to ``time`` even if the heap drains
+        early, so back-to-back ``run_until`` calls observe contiguous time.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot run backwards: {time} < now {self._now}")
+        if self._running:
+            raise SimulationError("run_until called re-entrantly")
+        self._running = True
+        try:
+            while self._heap and self._heap[0].time <= time:
+                event = heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback()
+                self.events_processed += 1
+            self._now = time
+        finally:
+            self._running = False
+
+    def run_for(self, duration: int) -> None:
+        """Process events for ``duration`` ns of simulated time."""
+        self.run_until(self._now + duration)
+
+    def run_all(self, *, limit: int = 50_000_000) -> None:
+        """Drain the event heap completely (bounded by ``limit`` events)."""
+        if self._running:
+            raise SimulationError("run_all called re-entrantly")
+        self._running = True
+        processed = 0
+        try:
+            while self._heap:
+                event = heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback()
+                self.events_processed += 1
+                processed += 1
+                if processed >= limit:
+                    raise SimulationError(
+                        f"run_all exceeded {limit} events; runaway schedule?")
+        finally:
+            self._running = False
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def rng_jitter(self, bound: int) -> int:
+        """Deterministic jitter in ``[0, bound)`` for periodic task spacing."""
+        self._jitter_state = (self._jitter_state * 1103515245 + 12345) & 0x7FFFFFFF
+        return self._jitter_state % bound if bound > 0 else 0

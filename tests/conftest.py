@@ -1,0 +1,42 @@
+"""Shared fixtures: small clusters that keep test runtimes low."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.net.clos import ClosParams
+from repro.net.rail import RailParams
+
+
+@pytest.fixture
+def small_clos() -> Cluster:
+    """2 pods x 2 ToRs x 2 aggs, 2 spines, 3 hosts/ToR, 1 RNIC/host."""
+    return Cluster.clos(
+        ClosParams(pods=2, tors_per_pod=2, aggs_per_pod=2, spines=2,
+                   hosts_per_tor=3),
+        seed=42)
+
+
+@pytest.fixture
+def tiny_clos() -> Cluster:
+    """1 pod x 2 ToRs, minimal — for fast unit-level integration."""
+    return Cluster.clos(
+        ClosParams(pods=1, tors_per_pod=2, aggs_per_pod=2, spines=1,
+                   hosts_per_tor=2),
+        seed=7)
+
+
+@pytest.fixture
+def multi_rnic_clos() -> Cluster:
+    """Hosts with 2 RNICs each (agent-CPU false-positive scenarios)."""
+    return Cluster.clos(
+        ClosParams(pods=1, tors_per_pod=2, aggs_per_pod=2, spines=1,
+                   hosts_per_tor=2, rnics_per_host=2),
+        seed=11)
+
+
+@pytest.fixture
+def small_rail() -> Cluster:
+    """Rail-optimized: 3 hosts x 4 rails, 2 spines."""
+    return Cluster.rail(RailParams(hosts=3, rails=4, spines=2), seed=5)

@@ -1,0 +1,77 @@
+"""Unit tests for the ablation switches in config."""
+
+from repro.core.config import RPingmeshConfig
+from repro.core.records import ProbeKind
+from repro.core.system import RPingmesh
+from repro.net.faults import RnicFlapping, LinkFailure
+from repro.sim.units import seconds
+
+from tests.core.test_analyzer import make_analyzer, probe_result, upload
+
+
+class TestTorMeshFilterFlag:
+    def test_disabled_filter_skips_rnic_detection(self, small_clos):
+        analyzer, _ = make_analyzer(small_clos,
+                                    tor_mesh_rnic_filter_enabled=False)
+        small_clos.sim.run_until(seconds(20))
+        tor = small_clos.tor_of("host1-rnic0")
+        peers = small_clos.rnics_under_tor(tor)
+        results = []
+        for prober in peers:
+            if prober == "host1-rnic0":
+                continue
+            for _ in range(10):
+                results.append(probe_result(
+                    small_clos, prober, "host1-rnic0", timeout=True,
+                    issued_at=seconds(19)))
+        upload(analyzer, small_clos, "host0", results)
+        window = analyzer.analyze()
+        # Without the filter nothing is attributed to the RNIC...
+        assert window.anomalous_rnics == set()
+        # ...and the timeouts leak into the switch-network analysis.
+        report = analyzer.sla.latest()
+        assert report.cluster.timeouts_switch == len(results)
+
+    def test_default_filter_enabled(self):
+        assert RPingmeshConfig().tor_mesh_rnic_filter_enabled
+
+
+class TestContinuousTracingFlag:
+    def test_on_demand_paths_traced_after_failure(self, tiny_clos):
+        config = RPingmeshConfig(continuous_path_tracing=False)
+        system = RPingmesh(tiny_clos, config)
+        captured = []
+        system.analyzer.add_upload_listener(
+            lambda b: captured.extend(b.results))
+        system.start()
+        tiny_clos.sim.run_for(seconds(5))
+        # Successful probes carry no paths in on-demand mode.
+        ok = [r for r in captured if not r.timeout]
+        assert ok
+        assert all(r.probe_path is None for r in ok)
+
+        LinkFailure(tiny_clos, "pod0-tor0", "pod0-agg0").inject()
+        tiny_clos.sim.run_for(seconds(10))
+        timeouts = [r for r in captured if r.timeout]
+        assert timeouts
+        # Timeouts DO get a (post-failure) trace attached.
+        assert any(r.probe_path is not None for r in timeouts)
+
+    def test_continuous_paths_present_on_success(self, tiny_clos):
+        system = RPingmesh(tiny_clos)
+        captured = []
+        system.analyzer.add_upload_listener(
+            lambda b: captured.extend(b.results))
+        system.start()
+        tiny_clos.sim.run_for(seconds(5))
+        ok = [r for r in captured if not r.timeout
+              and r.kind == ProbeKind.INTER_TOR]
+        assert ok
+        assert all(r.probe_path is not None for r in ok)
+
+
+class TestCpuFpFlag:
+    def test_disabled_by_config(self, small_clos):
+        analyzer, _ = make_analyzer(small_clos,
+                                    cpu_fp_filter_enabled=False)
+        assert not analyzer.config.cpu_fp_filter_enabled

@@ -1,0 +1,150 @@
+"""Unit tests for hierarchical aggregation (§7.4) and INT/ERSPAN tracing."""
+
+import pytest
+
+from repro.core.aggregation import HierarchicalAggregator, TierAggregate
+from repro.core.records import ProbeKind
+from repro.core.sla import MIN_SAMPLES_FOR_AGGREGATION
+from repro.net.addresses import roce_five_tuple
+from repro.net.telemetry import (ErspanTracer, IntTracer,
+                                 localize_congestion_with_int)
+from tests.core.test_analyzer import probe_result
+
+
+class TestHierarchicalAggregation:
+    def _cluster_results(self, cluster, n_per_target=30, bad=None):
+        results = []
+        names = cluster.rnic_names()
+        for target in names:
+            prober = names[0] if target != names[0] else names[1]
+            for i in range(n_per_target):
+                results.append(probe_result(
+                    cluster, prober, target,
+                    timeout=(target == bad and i % 2 == 0)))
+        return results
+
+    def test_cluster_tiers_present(self, small_clos):
+        agg = HierarchicalAggregator(small_clos)
+        tiers = agg.aggregate_cluster_monitoring(
+            self._cluster_results(small_clos))
+        assert set(tiers) == {"server", "tor", "cluster"}
+        assert len(tiers["tor"]) == len(small_clos.tors())
+        assert "cluster" in tiers["cluster"]
+
+    def test_counts_roll_up(self, small_clos):
+        agg = HierarchicalAggregator(small_clos)
+        tiers = agg.aggregate_cluster_monitoring(
+            self._cluster_results(small_clos, n_per_target=10))
+        total = tiers["cluster"]["cluster"].probes
+        assert total == sum(a.probes for a in tiers["server"].values())
+        assert total == sum(a.probes for a in tiers["tor"].values())
+
+    def test_bad_server_visible_at_server_tier(self, small_clos):
+        agg = HierarchicalAggregator(small_clos)
+        bad = small_clos.rnic_names()[3]
+        tiers = agg.aggregate_cluster_monitoring(
+            self._cluster_results(small_clos, bad=bad))
+        bad_host = small_clos.host_of_rnic(bad).name
+        assert tiers["server"][bad_host].drop_rate == pytest.approx(0.5)
+
+    def test_service_tracing_has_no_tor_tier(self, small_clos):
+        agg = HierarchicalAggregator(small_clos)
+        tiers = agg.aggregate_service_tracing([])
+        assert "tor" not in tiers
+
+    def test_the_two_server_illusion(self, small_clos):
+        """§7.4's example: 2 service servers under a ToR, one down ->
+        the per-ToR cell shows 50% drops but flags itself unreliable."""
+        agg = HierarchicalAggregator(small_clos)
+        names = small_clos.rnics_under_tor(small_clos.tors()[0])[:2]
+        results = []
+        for i, target in enumerate(names):
+            prober = small_clos.rnic_names()[-1]
+            results.append(probe_result(
+                small_clos, prober, target,
+                kind=ProbeKind.SERVICE_TRACING, timeout=(i == 0)))
+        misleading = agg.misleading_tor_aggregates(results)
+        cell = misleading[0]
+        assert cell.drop_rate == pytest.approx(0.5)   # looks terrible...
+        assert not cell.reliable                      # ...but is untrusted
+        assert cell.probes < MIN_SAMPLES_FOR_AGGREGATION
+
+    def test_tier_aggregate_rtt(self):
+        cell = TierAggregate(tier="server", entity="h")
+        assert cell.rtt_p99() is None
+        cell.rtt.extend([1.0, 2.0, 100.0])
+        assert cell.rtt_p99() == 100.0
+
+
+class TestErspanTracer:
+    def test_trace_complete_without_rate_limit(self, small_clos):
+        tracer = ErspanTracer(small_clos.fabric)
+        src = "host0-rnic0"
+        dst = "host6-rnic0"
+        ft = roce_five_tuple(small_clos.rnic(src).ip,
+                             small_clos.rnic(dst).ip, 7000)
+        # Exhaust every switch's traceroute budget first: ERSPAN is immune.
+        for node in small_clos.topology.nodes.values():
+            if node.is_switch:
+                while node.traceroute.allow(0):
+                    pass
+        record = tracer.trace(ft, src, dst)
+        assert record.complete
+
+    def test_trace_truncates_on_down_link(self, small_clos):
+        tracer = ErspanTracer(small_clos.fabric)
+        src = "host0-rnic0"
+        dst = "host1-rnic0"
+        small_clos.topology.link_pair(src, small_clos.tor_of(src)).up = False
+        ft = roce_five_tuple(small_clos.rnic(src).ip,
+                             small_clos.rnic(dst).ip, 7000)
+        record = tracer.trace(ft, src, dst)
+        assert not record.reached
+
+
+class TestIntTracer:
+    def _congest(self, cluster, a, b, queue_bytes=4_000_000):
+        link = cluster.topology.link(a, b)
+        link.set_offered_load(cluster.sim.now, link.rate_gbps)
+        link.queue_bytes = queue_bytes
+        return link
+
+    def test_metadata_per_hop(self, small_clos):
+        tracer = IntTracer(small_clos.fabric)
+        src, dst = "host0-rnic0", "host6-rnic0"
+        ft = roce_five_tuple(small_clos.rnic(src).ip,
+                             small_clos.rnic(dst).ip, 7000)
+        record = tracer.trace_with_telemetry(ft, src, dst)
+        assert len(record.hops) == len(record.path.known_links())
+        assert all(h.egress_queue_bytes == 0.0 for h in record.hops)
+
+    def test_hottest_hop_finds_congested_queue(self, small_clos):
+        tracer = IntTracer(small_clos.fabric)
+        src, dst = "host0-rnic0", "host6-rnic0"
+        ft = roce_five_tuple(small_clos.rnic(src).ip,
+                             small_clos.rnic(dst).ip, 7000)
+        path = small_clos.fabric.path_of(ft, src)
+        self._congest(small_clos, path[1], path[2])
+        record = tracer.trace_with_telemetry(ft, src, dst)
+        assert record.hottest_hop().node == path[1]
+
+    def test_congestion_localization(self, small_clos):
+        tracer = IntTracer(small_clos.fabric)
+        src, dst = "host0-rnic0", "host6-rnic0"
+        src_ip = small_clos.rnic(src).ip
+        dst_ip = small_clos.rnic(dst).ip
+        flows = [(roce_five_tuple(src_ip, dst_ip, p), src)
+                 for p in range(7000, 7010)]
+        path = small_clos.fabric.path_of(flows[0][0], src)
+        self._congest(small_clos, path[1], path[2])
+        suspect = localize_congestion_with_int(tracer, flows)
+        assert suspect == f"{path[1]}->{path[2]}"
+
+    def test_pathtracer_contract(self, small_clos):
+        """IntTracer can drop in anywhere a PathTracer is expected."""
+        tracer = IntTracer(small_clos.fabric)
+        src, dst = "host0-rnic0", "host1-rnic0"
+        ft = roce_five_tuple(small_clos.rnic(src).ip,
+                             small_clos.rnic(dst).ip, 7000)
+        record = tracer.trace(ft, src, dst)
+        assert record.reached

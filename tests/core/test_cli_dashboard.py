@@ -1,0 +1,106 @@
+"""Tests for the CLI and the text dashboard."""
+
+import pytest
+
+from repro.cli import FAULTS, build_parser, main
+from repro.core.dashboard import (render_analyzer_state, render_problem,
+                                  render_sla_window)
+from repro.core.records import Priority, Problem, ProblemCategory
+from repro.core.sla import SlaWindow
+from repro.core.system import RPingmesh
+from repro.sim.units import seconds
+
+
+class TestDashboard:
+    def test_render_empty_window(self):
+        window = SlaWindow("cluster", 0, 20)
+        text = render_sla_window(window)
+        assert "[cluster]" in text
+        assert "UNRELIABLE" in text  # zero samples
+
+    def test_render_populated_window(self):
+        window = SlaWindow("service", 0, 20)
+        window.probes_total = 100
+        window.probes_ok = 99
+        window.timeouts_switch = 1
+        window.rtt.extend([5000.0, 6000.0, 7000.0])
+        text = render_sla_window(window)
+        assert "switch_drop=0.0100" in text
+        assert "rtt" in text
+        assert "UNRELIABLE" not in text
+
+    def test_render_problem_line(self):
+        problem = Problem(
+            category=ProblemCategory.SWITCH_NETWORK_PROBLEM,
+            locus="tor0->agg0", detected_at_ns=0, window_start_ns=0,
+            evidence_count=12, from_service_tracing=True,
+            priority=Priority.P0)
+        line = render_problem(problem)
+        assert "[P0]" in line
+        assert "tor0->agg0" in line
+        assert "service-tracing" in line
+
+    def test_render_analyzer_state(self, tiny_clos):
+        system = RPingmesh(tiny_clos)
+        system.start()
+        tiny_clos.sim.run_for(seconds(25))
+        text = render_analyzer_state(system.analyzer)
+        assert "analysis window" in text
+        assert "verdict" in text
+        assert "INNOCENT" in text
+
+    def test_render_before_any_window(self, tiny_clos):
+        system = RPingmesh(tiny_clos)
+        text = render_analyzer_state(system.analyzer)
+        assert "no analysis windows yet" in text
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fault_registry_names(self):
+        assert "flap-port" in FAULTS
+        assert "pfc-deadlock" in FAULTS
+
+    def test_monitor_command(self, capsys):
+        code = main(["monitor", "--seed", "3", "--duration", "25"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "analysis window" in out
+        assert "INNOCENT" in out
+
+    def test_inject_command(self, capsys):
+        code = main(["inject", "--fault", "corrupt-link",
+                     "--duration", "45", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ground truth" in out
+        assert "switch_network_problem" in out
+
+    def test_inject_unknown_fault_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["inject", "--fault", "gremlins"])
+
+    def test_catalog_selected_rows(self, capsys):
+        code = main(["catalog", "--rows", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "row  3" in out
+        assert "ok" in out
+
+
+class TestCliTriage:
+    def test_triage_switch_drops_scenario(self, capsys):
+        code = main(["triage", "--scenario", "switch_drops", "--seed", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "network innocent: False" in out
+
+    def test_triage_compute_bug_scenario(self, capsys):
+        code = main(["triage", "--scenario", "compute_bug", "--seed", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "service degraded: True" in out
+        assert "network innocent: True" in out

@@ -1,0 +1,116 @@
+"""Unit tests for the Controller: registry, pinglists, rotation."""
+
+import pytest
+
+from repro.core.config import RPingmeshConfig
+from repro.core.records import ProbeKind
+from repro.core.system import RPingmesh
+from repro.sim.units import SECOND, minutes, seconds
+
+
+@pytest.fixture
+def system(small_clos):
+    sys_ = RPingmesh(small_clos)
+    sys_.start()
+    return sys_
+
+
+class TestRegistry:
+    def test_all_rnics_registered_at_start(self, system):
+        assert system.controller.registered_rnics() \
+            == system.cluster.rnic_names()
+
+    def test_comm_info_matches_rnic(self, system):
+        info = system.controller.comm_info("host0-rnic0")
+        rnic = system.cluster.rnic("host0-rnic0")
+        assert info.ip == rnic.ip
+        assert info.gid == rnic.gid.value
+
+    def test_resolve_ip(self, system):
+        rnic = system.cluster.rnic("host3-rnic0")
+        name, info = system.controller.resolve_ip(rnic.ip)
+        assert name == "host3-rnic0"
+        assert info.qpn == system.controller.current_qpn("host3-rnic0")
+
+    def test_resolve_unknown_ip(self, system):
+        assert system.controller.resolve_ip("203.0.113.1") is None
+
+    def test_unregistered_lookup_raises(self, small_clos):
+        from repro.core.controller import Controller
+        from repro.sim.rng import RngStream
+        controller = Controller(small_clos, RPingmeshConfig(),
+                                RngStream(0, "c"))
+        with pytest.raises(KeyError):
+            controller.comm_info("host0-rnic0")
+
+
+class TestPinglistGeneration:
+    def test_parallel_paths_clos(self, system):
+        # aggs_per_pod=2 * spines=2
+        assert system.controller.parallel_paths() == 4
+
+    def test_inter_tor_interval_scales_with_entries(self, system):
+        controller = system.controller
+        few = controller.inter_tor_interval_ns(2)
+        many = controller.inter_tor_interval_ns(20)
+        assert few > many  # more entries -> each thread tick comes sooner
+
+    def test_interval_guarantees_link_rate(self, system):
+        """k tuples per ToR at the computed rate gives >= target pps/link."""
+        controller = system.controller
+        config = system.config
+        n = controller.parallel_paths()
+        k = controller.tuples_per_tor()
+        entries = 5
+        interval = controller.inter_tor_interval_ns(entries)
+        rate_per_tuple = 1e9 / (interval * entries)
+        expected_per_link = rate_per_tuple * k / n
+        assert expected_per_link >= config.target_link_pps * 0.99
+
+    def test_refresh_pushes_updated_qpn_after_restart(self, system):
+        cluster = system.cluster
+        agent0 = system.agents["host0"]
+        agent0.restart()
+        new_qpn = system.controller.current_qpn("host0-rnic0")
+        # Peer under the same ToR still has the stale QPN...
+        tor = cluster.tor_of("host0-rnic0")
+        peer_rnic = [r for r in cluster.rnics_under_tor(tor)
+                     if r != "host0-rnic0"][0]
+        peer_agent = system.agent_for_rnic(peer_rnic)
+        stale = [e for e in peer_agent.pinglist(peer_rnic,
+                                                ProbeKind.TOR_MESH)
+                 if e.target_rnic == "host0-rnic0"]
+        assert stale[0].target.qpn != new_qpn
+        # ...until the 5-minute refresh lands.
+        cluster.sim.run_for(minutes(5) + seconds(1))
+        fresh = [e for e in peer_agent.pinglist(peer_rnic,
+                                                ProbeKind.TOR_MESH)
+                 if e.target_rnic == "host0-rnic0"]
+        assert fresh[0].target.qpn == new_qpn
+
+
+class TestRotation:
+    def test_rotation_changes_some_tuples(self, system):
+        controller = system.controller
+        before = list(controller._inter_tor_tuples)
+        controller.rotate_tuples()
+        after = controller._inter_tor_tuples
+        assert len(before) == len(after)
+        changed = sum(1 for x, y in zip(before, after) if x != y)
+        expected = max(1, round(len(before) * system.config.rotation_fraction))
+        assert changed <= expected
+        assert changed >= 1
+
+    def test_rotation_keeps_sources(self, system):
+        """Rotation re-rolls destination and port, never the source RNIC."""
+        controller = system.controller
+        before = [src for src, _, _ in controller._inter_tor_tuples]
+        controller.rotate_tuples()
+        after = [src for src, _, _ in controller._inter_tor_tuples]
+        assert before == after
+
+    def test_hourly_rotation_scheduled(self, system):
+        cluster = system.cluster
+        assert system.controller.rotations == 0
+        cluster.sim.run_for(3600 * SECOND + seconds(2))
+        assert system.controller.rotations >= 1

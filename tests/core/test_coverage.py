@@ -1,0 +1,101 @@
+"""Unit tests for Equation 1 (ECMP path coverage)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.coverage import (expected_paths_covered, miss_probability,
+                                 required_tuples)
+from repro.sim.rng import RngStream
+
+
+class TestMissProbability:
+    def test_one_path_zero_tuples(self):
+        assert miss_probability(1, 0) == 1.0
+
+    def test_one_path_one_tuple(self):
+        assert miss_probability(1, 1) == 0.0
+
+    def test_two_paths_one_tuple_always_misses(self):
+        assert miss_probability(2, 1) == pytest.approx(1.0)
+
+    def test_known_value_two_paths_two_tuples(self):
+        # P(miss) = 2 * (1/2)^2 = 0.5
+        assert miss_probability(2, 2) == pytest.approx(0.5)
+
+    def test_decreasing_in_k(self):
+        values = [miss_probability(8, k) for k in range(8, 100, 5)]
+        assert values == sorted(values, reverse=True)
+
+    def test_bounds(self):
+        for n in (1, 4, 16, 64):
+            for k in (0, n, 3 * n, 10 * n):
+                assert 0.0 <= miss_probability(n, k) <= 1.0
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            miss_probability(0, 5)
+        with pytest.raises(ValueError):
+            miss_probability(5, -1)
+
+    def test_matches_monte_carlo(self):
+        """Validate the closed form against simulation of ECMP hashing."""
+        rng = RngStream(0, "mc")
+        n, k, trials = 6, 20, 4000
+        misses = 0
+        for _ in range(trials):
+            covered = {rng.randint(0, n - 1) for _ in range(k)}
+            if len(covered) < n:
+                misses += 1
+        analytic = miss_probability(n, k)
+        assert misses / trials == pytest.approx(analytic, abs=0.03)
+
+
+class TestRequiredTuples:
+    def test_single_path(self):
+        assert required_tuples(1, 0.99) == 1
+
+    def test_k_at_least_n(self):
+        for n in (2, 4, 8, 16):
+            assert required_tuples(n, 0.99) >= n
+
+    def test_is_minimal(self):
+        for n in (2, 4, 8, 16, 32):
+            k = required_tuples(n, 0.99)
+            assert miss_probability(n, k) <= 0.01
+            assert miss_probability(n, k - 1) > 0.01
+
+    def test_grows_with_n(self):
+        ks = [required_tuples(n, 0.99) for n in (2, 4, 8, 16, 32, 64)]
+        assert ks == sorted(ks)
+
+    def test_grows_with_p(self):
+        assert required_tuples(8, 0.999) > required_tuples(8, 0.9)
+
+    def test_paper_operating_point_reasonable(self):
+        """At P=0.99 the k/N ratio is a small constant (coupon collector)."""
+        k = required_tuples(16, 0.99)
+        assert 16 < k < 16 * 10
+
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            required_tuples(4, 0.0)
+        with pytest.raises(ValueError):
+            required_tuples(4, 1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=128))
+    def test_always_terminates_with_valid_k(self, n):
+        k = required_tuples(n, 0.99)
+        assert k >= n
+        assert miss_probability(n, k) <= 0.01
+
+
+class TestExpectedCoverage:
+    def test_zero_tuples(self):
+        assert expected_paths_covered(8, 0) == 0.0
+
+    def test_many_tuples_approaches_n(self):
+        assert expected_paths_covered(8, 1000) == pytest.approx(8.0)
+
+    def test_single_tuple_covers_one(self):
+        assert expected_paths_covered(8, 1) == pytest.approx(1.0)

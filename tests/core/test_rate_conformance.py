@@ -1,0 +1,92 @@
+"""Probe-rate conformance with §5's operating parameters."""
+
+from collections import Counter
+
+from repro.core.records import ProbeKind
+from repro.core.system import RPingmesh
+from repro.services.dml import CommPattern, DmlConfig, DmlJob
+from repro.sim.units import MILLISECOND, seconds
+
+
+def _capture(system):
+    captured = []
+    system.analyzer.add_upload_listener(
+        lambda batch: captured.extend(batch.results))
+    return captured
+
+
+class TestTorMeshRate:
+    def test_ten_probes_per_second_per_rnic(self, small_clos):
+        """§5: 'The ToR-mesh probing frequency is 10 packets per second'
+        (per RNIC, jitter included)."""
+        system = RPingmesh(small_clos)
+        captured = _capture(system)
+        system.start()
+        small_clos.sim.run_for(seconds(30))
+        per_prober = Counter(
+            r.prober_rnic for r in captured
+            if r.kind == ProbeKind.TOR_MESH)
+        duration = 30
+        for rnic in small_clos.rnic_names():
+            rate = per_prober[rnic] / duration
+            assert 6 <= rate <= 12, f"{rnic}: {rate} pps"
+
+
+class TestServiceTracingRate:
+    def test_ten_millisecond_interval(self, small_clos):
+        """§5: 'the probing interval in Service Tracing is 10ms'."""
+        system = RPingmesh(small_clos)
+        captured = _capture(system)
+        system.start()
+        job = DmlJob(small_clos, small_clos.rnic_names()[:4],
+                     DmlConfig(pattern=CommPattern.ALLREDUCE,
+                               compute_time_ns=300 * MILLISECOND,
+                               data_gbits_per_cycle=2.0))
+        small_clos.sim.run_for(seconds(2))
+        job.start()
+        mark = small_clos.sim.now
+        small_clos.sim.run_for(seconds(20))
+        service = [r for r in captured
+                   if r.kind == ProbeKind.SERVICE_TRACING
+                   and r.issued_at_ns >= mark]
+        # 4 probing RNICs x ~100 probes/s x 20 s, with jitter.
+        rate = len(service) / 20
+        assert 4 * 100 * 0.6 <= rate <= 4 * 100 * 1.3
+
+
+class TestUploadCadence:
+    def test_uploads_every_five_seconds(self, tiny_clos):
+        system = RPingmesh(tiny_clos)
+        upload_times = []
+        system.analyzer.add_upload_listener(
+            lambda batch: upload_times.append(
+                (batch.host, batch.uploaded_at_ns)))
+        system.start()
+        tiny_clos.sim.run_for(seconds(21))
+        per_host = Counter(host for host, _ in upload_times)
+        for host in tiny_clos.hosts:
+            assert per_host[host] == 4  # t=5,10,15,20
+
+    def test_no_result_double_counting(self, tiny_clos):
+        """Every probe appears in exactly one upload batch."""
+        system = RPingmesh(tiny_clos)
+        seqs = []
+        system.analyzer.add_upload_listener(
+            lambda batch: seqs.extend(r.seq for r in batch.results))
+        system.start()
+        tiny_clos.sim.run_for(seconds(30))
+        assert len(seqs) == len(set(seqs))
+
+    def test_downed_host_stops_uploading(self, tiny_clos):
+        system = RPingmesh(tiny_clos)
+        uploads = []
+        system.analyzer.add_upload_listener(
+            lambda batch: uploads.append((batch.host,
+                                          batch.uploaded_at_ns)))
+        system.start()
+        tiny_clos.sim.run_for(seconds(10))
+        tiny_clos.hosts["host0"].set_down()
+        mark = tiny_clos.sim.now
+        tiny_clos.sim.run_for(seconds(15))
+        late = [t for host, t in uploads if host == "host0" and t > mark]
+        assert late == []

@@ -1,0 +1,90 @@
+"""Unit tests for record types and configuration validation."""
+
+import pytest
+
+from repro.core.config import RPingmeshConfig
+from repro.core.records import (PinglistEntry, Priority, ProbeKind,
+                                ProbeResult, Problem, ProblemCategory)
+from repro.host.rnic import CommInfo
+from repro.net.addresses import roce_five_tuple
+from repro.sim.units import MILLISECOND, SECOND
+
+
+class TestConfig:
+    def test_defaults_match_paper_section5(self):
+        config = RPingmeshConfig()
+        assert config.probe_timeout_ns == 500 * MILLISECOND
+        assert config.probe_payload_bytes == 50
+        assert config.upload_interval_ns == 5 * SECOND
+        assert config.analysis_period_ns == 20 * SECOND
+        assert config.tor_mesh_pps == 10.0
+        assert config.service_probe_interval_ns == 10 * MILLISECOND
+        assert config.rotation_fraction == 0.20
+        assert config.rnic_timeout_threshold == 0.10
+        assert config.rnic_quarantine_ns == 60 * SECOND
+        assert config.coverage_probability == 0.99
+
+    def test_tor_mesh_interval(self):
+        assert RPingmeshConfig().tor_mesh_interval_ns() == 100 * MILLISECOND
+
+    def test_validation_rejects_bad_values(self):
+        bad = RPingmeshConfig(probe_timeout_ns=0)
+        with pytest.raises(ValueError):
+            bad.validate()
+        bad = RPingmeshConfig(rnic_timeout_threshold=1.5)
+        with pytest.raises(ValueError):
+            bad.validate()
+        bad = RPingmeshConfig(rotation_fraction=0.0)
+        with pytest.raises(ValueError):
+            bad.validate()
+        bad = RPingmeshConfig(analysis_period_ns=1 * SECOND)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_default_validates(self):
+        RPingmeshConfig().validate()
+
+
+class TestProbeKind:
+    def test_cluster_monitoring_membership(self):
+        assert ProbeKind.TOR_MESH.is_cluster_monitoring
+        assert ProbeKind.INTER_TOR.is_cluster_monitoring
+        assert not ProbeKind.SERVICE_TRACING.is_cluster_monitoring
+
+
+class TestProbeResult:
+    def test_success_is_not_timeout(self):
+        result = ProbeResult(
+            kind=ProbeKind.TOR_MESH, seq=1, prober_rnic="a",
+            prober_host="h", target_rnic="b", target_ip="1.2.3.4",
+            target_qpn=7, five_tuple=roce_five_tuple("1.1.1.1", "1.2.3.4",
+                                                     5000),
+            issued_at_ns=0, timeout=False)
+        assert result.success
+        result.timeout = True
+        assert not result.success
+
+
+class TestProblem:
+    def test_dedup_key(self):
+        a = Problem(category=ProblemCategory.RNIC_PROBLEM, locus="x",
+                    detected_at_ns=0, window_start_ns=0, evidence_count=1,
+                    from_service_tracing=False)
+        b = Problem(category=ProblemCategory.RNIC_PROBLEM, locus="x",
+                    detected_at_ns=999, window_start_ns=980,
+                    evidence_count=5, from_service_tracing=True)
+        assert a.key() == b.key()
+
+    def test_priority_values(self):
+        assert Priority.P0.value == "P0"
+        assert Priority.P2.value == "P2"
+
+
+class TestPinglistEntry:
+    def test_frozen(self):
+        entry = PinglistEntry(kind=ProbeKind.TOR_MESH, target_rnic="r",
+                              target=CommInfo("1.1.1.1", "::ffff:1.1.1.1",
+                                              5),
+                              src_port=2000)
+        with pytest.raises(AttributeError):
+            entry.src_port = 3000

@@ -1,0 +1,121 @@
+"""Unit tests for automated mitigation (§7.5 #2/#3)."""
+
+import pytest
+
+from repro.core.records import Priority, Problem, ProblemCategory
+from repro.core.remediation import (RemediationPolicy, Remediator)
+from repro.net.faults import RnicDown
+from repro.services.dml import CommPattern, DmlConfig, DmlJob
+from repro.sim.units import MILLISECOND, seconds
+
+
+def problem(locus, *, priority=Priority.P1, evidence=20,
+            category=ProblemCategory.SWITCH_NETWORK_PROBLEM):
+    return Problem(category=category, locus=locus, detected_at_ns=0,
+                   window_start_ns=0, evidence_count=evidence,
+                   from_service_tracing=False, priority=priority)
+
+
+class TestLinkIsolation:
+    def test_p0_isolated_immediately(self, small_clos):
+        remediator = Remediator(small_clos)
+        action = remediator.consider(
+            problem("pod0-tor0->pod0-agg0", priority=Priority.P0))
+        assert action.kind == "isolate_link"
+        assert small_clos.topology.link_pair("pod0-tor0",
+                                             "pod0-agg0").routed_around
+
+    def test_isolation_reroutes_traffic(self, small_clos):
+        remediator = Remediator(small_clos)
+        remediator.consider(problem("pod0-tor0->pod0-agg0",
+                                    priority=Priority.P0))
+        hops = small_clos.topology.next_hops("pod0-tor0", "host6-rnic0")
+        assert "pod0-agg0" not in hops
+
+    def test_p2_requires_persistence(self, small_clos):
+        remediator = Remediator(
+            small_clos, RemediationPolicy(p2_persistence_windows=3))
+        for i in range(2):
+            action = remediator.consider(
+                problem("pod0-tor0->pod0-agg0", priority=Priority.P2))
+            assert action.kind == "declined"
+        action = remediator.consider(
+            problem("pod0-tor0->pod0-agg0", priority=Priority.P2))
+        assert action.kind == "isolate_link"
+
+    def test_thin_evidence_declined(self, small_clos):
+        remediator = Remediator(small_clos,
+                                RemediationPolicy(min_evidence=10))
+        action = remediator.consider(
+            problem("pod0-tor0->pod0-agg0", priority=Priority.P0,
+                    evidence=3))
+        assert action.kind == "declined"
+        assert not small_clos.topology.link_pair("pod0-tor0",
+                                                 "pod0-agg0").routed_around
+
+    def test_unlocalized_declined(self, small_clos):
+        remediator = Remediator(small_clos)
+        action = remediator.consider(
+            problem("unlocalized", priority=Priority.P0))
+        assert action.kind == "declined"
+
+    def test_non_switch_problems_ignored(self, small_clos):
+        remediator = Remediator(small_clos)
+        action = remediator.consider(
+            problem("host0-rnic0", priority=Priority.P0,
+                    category=ProblemCategory.RNIC_PROBLEM))
+        assert action is None
+
+    def test_idempotent_per_link(self, small_clos):
+        remediator = Remediator(small_clos)
+        remediator.consider(problem("pod0-tor0->pod0-agg0",
+                                    priority=Priority.P0))
+        again = remediator.consider(problem("pod0-agg0->pod0-tor0",
+                                            priority=Priority.P0))
+        assert again is None  # reverse direction already covered
+
+    def test_deisolate(self, small_clos):
+        remediator = Remediator(small_clos)
+        remediator.consider(problem("pod0-tor0->pod0-agg0",
+                                    priority=Priority.P0))
+        remediator.deisolate("pod0-tor0->pod0-agg0")
+        assert not small_clos.topology.link_pair(
+            "pod0-tor0", "pod0-agg0").routed_around
+        assert remediator.isolated_links == set()
+
+    def test_deisolate_bad_locus(self, small_clos):
+        with pytest.raises(ValueError):
+            Remediator(small_clos).deisolate("not-a-link")
+
+
+class TestRnicIsolationInJob:
+    def test_job_survives_with_rnic_removed(self, small_clos):
+        """§7.5 #3: isolate the dead RNIC inside the service instead of
+        failing/restarting the training task."""
+        job = DmlJob(small_clos, small_clos.rnic_names()[:6],
+                     DmlConfig(pattern=CommPattern.ALL2ALL,
+                               compute_time_ns=200 * MILLISECOND,
+                               data_gbits_per_cycle=2.0))
+        job.start()
+        small_clos.sim.run_for(seconds(5))
+        healthy = job.current_throughput()
+
+        RnicDown(small_clos, "host0-rnic0").inject()
+        remediator = Remediator(small_clos)
+        action = remediator.isolate_rnic_in_job(job, "host0-rnic0")
+        assert action.kind == "isolate_rnic"
+        small_clos.sim.run_for(seconds(15))
+        # Task did not fail; throughput recovers near (n-1)/n of healthy.
+        assert not job.task_failed
+        assert job.current_throughput() > 0.5 * healthy
+
+    def test_isolation_counts_connections(self, small_clos):
+        job = DmlJob(small_clos, small_clos.rnic_names()[:6],
+                     DmlConfig(pattern=CommPattern.ALL2ALL,
+                               compute_time_ns=200 * MILLISECOND,
+                               data_gbits_per_cycle=2.0))
+        job.start()
+        remediator = Remediator(small_clos)
+        action = remediator.isolate_rnic_in_job(job, "host0-rnic0")
+        # All2All with 6 ranks: 5 outgoing + 5 incoming connections.
+        assert "10 connections" in action.reason

@@ -1,0 +1,90 @@
+"""Safety properties of the residual CPU-noise rule (§6).
+
+The rule suppresses timeouts concentrated on ONE host (starved Agent).
+These tests pin the guards that keep it from eating genuine evidence.
+"""
+
+from repro.core.records import ProbeKind, ProblemCategory
+from repro.sim.units import seconds
+
+from tests.core.test_analyzer import make_analyzer, probe_result, upload
+
+
+def test_fabric_fault_spread_across_hosts_not_suppressed(small_clos):
+    """Timeouts spread over many prober/target hosts stay switch evidence."""
+    analyzer, _ = make_analyzer(small_clos)
+    small_clos.sim.run_until(seconds(20))
+    names = small_clos.rnic_names()
+    results = []
+    for i in range(12):
+        prober = names[i % 4]
+        target = names[6 + (i % 4)]
+        results.append(probe_result(
+            small_clos, prober, target, timeout=True,
+            kind=ProbeKind.INTER_TOR, issued_at=seconds(19)))
+    upload(analyzer, small_clos, "host0", results)
+    analyzer.analyze()
+    report = analyzer.sla.latest()
+    assert report.cluster.timeouts_switch == 12
+    assert report.cluster.timeouts_non_network == 0
+
+
+def test_single_host_concentration_without_delay_evidence(small_clos):
+    """One single-RNIC host concentrating all timeouts, healthy delay
+    samples: NOT suppressed (could be a genuine host-link problem)."""
+    analyzer, _ = make_analyzer(small_clos)
+    small_clos.sim.run_until(seconds(20))
+    results = []
+    for prober in small_clos.rnic_names()[6:9]:
+        for _ in range(4):
+            results.append(probe_result(
+                small_clos, prober, "host0-rnic0", timeout=True,
+                kind=ProbeKind.INTER_TOR, issued_at=seconds(19)))
+    # Healthy successes elsewhere give normal delay samples for host0.
+    for _ in range(10):
+        results.append(probe_result(
+            small_clos, "host1-rnic0", "host0-rnic0",
+            responder_proc=5_000, issued_at=seconds(19)))
+    upload(analyzer, small_clos, "host0", results)
+    window = analyzer.analyze()
+    assert "host0" not in window.cpu_noise_hosts
+
+
+def test_starved_host_with_delay_evidence_suppressed(small_clos):
+    """Same concentration but with abnormal processing delay: noise."""
+    analyzer, _ = make_analyzer(small_clos)
+    small_clos.sim.run_until(seconds(20))
+    results = []
+    for prober in small_clos.rnic_names()[6:9]:
+        for _ in range(4):
+            results.append(probe_result(
+                small_clos, prober, "host0-rnic0", timeout=True,
+                kind=ProbeKind.INTER_TOR, issued_at=seconds(19)))
+    for _ in range(10):
+        results.append(probe_result(
+            small_clos, "host1-rnic0", "host0-rnic0",
+            responder_proc=5_000_000, issued_at=seconds(19)))
+    upload(analyzer, small_clos, "host0", results)
+    window = analyzer.analyze()
+    assert "host0" in window.cpu_noise_hosts
+    report = analyzer.sla.latest()
+    assert report.cluster.timeouts_switch == 0
+
+
+def test_multi_rnic_total_starvation_suppressed(multi_rnic_clos):
+    """Both RNICs of one host in the residual pool, zero delay samples
+    (total starvation): the multi-RNIC fallback convicts the CPU."""
+    analyzer, _ = make_analyzer(multi_rnic_clos)
+    multi_rnic_clos.sim.run_until(seconds(20))
+    results = []
+    for target in ("host0-rnic0", "host0-rnic1"):
+        for prober in ("host2-rnic0", "host3-rnic0"):
+            for _ in range(3):
+                results.append(probe_result(
+                    multi_rnic_clos, prober, target, timeout=True,
+                    kind=ProbeKind.INTER_TOR, issued_at=seconds(19)))
+    upload(analyzer, multi_rnic_clos, "host0", results)
+    window = analyzer.analyze()
+    assert "host0" in window.cpu_noise_hosts
+    cats = window.problem_categories()
+    assert ProblemCategory.SWITCH_NETWORK_PROBLEM not in cats

@@ -1,0 +1,166 @@
+"""Unit tests for the root-cause advisor (§7.5 #1)."""
+
+import pytest
+
+from repro.core.records import Priority, Problem, ProblemCategory
+from repro.core.rootcause import RootCauseAdvisor
+from repro.net.faults import (CpuOverload, LinkCorruption, PcieDowngrade,
+                              PfcDeadlock, PfcHeadroomMisconfig,
+                              RnicCorruption, RnicDown, RnicFlapping,
+                              RnicGidIndexMissing, RnicRoutingMisconfig,
+                              SwitchAclError, SwitchPortFlapping)
+from repro.sim.units import seconds
+
+
+def problem(locus, category, **kwargs):
+    defaults = dict(detected_at_ns=0, window_start_ns=0, evidence_count=10,
+                    from_service_tracing=False, priority=Priority.P1)
+    defaults.update(kwargs)
+    return Problem(category=category, locus=locus, **defaults)
+
+
+@pytest.fixture
+def advisor(small_clos):
+    return RootCauseAdvisor(small_clos)
+
+
+class TestLinkDiagnosis:
+    def test_flapping_port(self, small_clos, advisor):
+        fault = SwitchPortFlapping(small_clos, "pod0-tor0", "pod0-agg0")
+        fault.inject()
+        small_clos.sim.run_for(seconds(5))
+        diagnosis = advisor.diagnose(problem(
+            "pod0-tor0->pod0-agg0",
+            ProblemCategory.SWITCH_NETWORK_PROBLEM))
+        assert diagnosis.best.table2_row == 1
+        assert "flapping" in diagnosis.best.cause
+
+    def test_crc_errors_point_to_corruption(self, small_clos, advisor):
+        LinkCorruption(small_clos, "pod0-tor0", "pod0-agg0",
+                       drop_prob=0.5).inject()
+        # Simulate traffic hitting the corrupted link.
+        link = small_clos.topology.link("pod0-tor0", "pod0-agg0")
+        link.crc_errors = 37
+        diagnosis = advisor.diagnose(problem(
+            "pod0-tor0->pod0-agg0",
+            ProblemCategory.SWITCH_NETWORK_PROBLEM))
+        assert diagnosis.best.table2_row == 2
+        assert "37 CRC errors" in diagnosis.best.evidence
+
+    def test_pfc_deadlock(self, small_clos, advisor):
+        PfcDeadlock(small_clos, "pod0-agg0", "spine0").inject()
+        diagnosis = advisor.diagnose(problem(
+            "pod0-agg0->spine0",
+            ProblemCategory.SWITCH_NETWORK_PROBLEM))
+        assert diagnosis.best.table2_row == 5
+
+    def test_headroom_misconfig(self, small_clos, advisor):
+        PfcHeadroomMisconfig(small_clos, "pod0-tor0", "pod0-agg0").inject()
+        diagnosis = advisor.diagnose(problem(
+            "pod0-tor0->pod0-agg0",
+            ProblemCategory.SWITCH_NETWORK_PROBLEM))
+        assert any(h.table2_row == 9 for h in diagnosis.hypotheses)
+
+    def test_acl_rules_surface(self, small_clos, advisor):
+        SwitchAclError(small_clos, "pod0-agg0", src_ip="1.2.3.4").inject()
+        diagnosis = advisor.diagnose(problem(
+            "pod0-tor0->pod0-agg0",
+            ProblemCategory.SWITCH_NETWORK_PROBLEM))
+        assert any(h.table2_row == 8 for h in diagnosis.hypotheses)
+
+    def test_healthy_link_unknown(self, small_clos, advisor):
+        diagnosis = advisor.diagnose(problem(
+            "pod0-tor0->pod0-agg0",
+            ProblemCategory.SWITCH_NETWORK_PROBLEM))
+        assert diagnosis.best.table2_row == 0
+        assert "unknown" in diagnosis.best.cause
+
+
+class TestRnicDiagnosis:
+    def test_rnic_down(self, small_clos, advisor):
+        RnicDown(small_clos, "host0-rnic0").inject()
+        diagnosis = advisor.diagnose(problem(
+            "host0-rnic0", ProblemCategory.RNIC_PROBLEM))
+        assert diagnosis.best.table2_row == 3
+
+    def test_rnic_flapping(self, small_clos, advisor):
+        fault = RnicFlapping(small_clos, "host0-rnic0")
+        fault.inject()
+        small_clos.sim.run_for(seconds(2))
+        fault.clear()
+        diagnosis = advisor.diagnose(problem(
+            "host0-rnic0", ProblemCategory.RNIC_PROBLEM))
+        assert any(h.table2_row == 1 for h in diagnosis.hypotheses)
+
+    def test_routing_misconfig_via_counters(self, small_clos, advisor):
+        RnicRoutingMisconfig(small_clos, "host0-rnic0").inject()
+        rnic = small_clos.rnic("host0-rnic0")
+        rnic.local_drops["routing_unconfigured"] = 12
+        diagnosis = advisor.diagnose(problem(
+            "host0-rnic0", ProblemCategory.RNIC_PROBLEM))
+        assert diagnosis.best.table2_row == 6
+
+    def test_gid_missing_via_counters(self, small_clos, advisor):
+        RnicGidIndexMissing(small_clos, "host0-rnic0").inject()
+        rnic = small_clos.rnic("host0-rnic0")
+        rnic.local_drops["gid_mismatch"] = 30
+        diagnosis = advisor.diagnose(problem(
+            "host0-rnic0", ProblemCategory.RNIC_PROBLEM))
+        assert diagnosis.best.table2_row == 7
+
+    def test_rnic_corruption(self, small_clos, advisor):
+        RnicCorruption(small_clos, "host0-rnic0", drop_prob=0.3).inject()
+        rnic = small_clos.rnic("host0-rnic0")
+        rnic.local_drops["rx_corruption"] = 15
+        diagnosis = advisor.diagnose(problem(
+            "host0-rnic0", ProblemCategory.RNIC_PROBLEM))
+        assert diagnosis.best.table2_row == 2
+
+
+class TestLatencyDiagnosis:
+    def test_pcie_downgrade(self, small_clos, advisor):
+        PcieDowngrade(small_clos, "host1-rnic0").inject()
+        diagnosis = advisor.diagnose(problem(
+            "host1-rnic0", ProblemCategory.HIGH_RTT))
+        assert diagnosis.best.table2_row == 13
+
+    def test_congested_link(self, small_clos, advisor):
+        link = small_clos.topology.link("pod0-tor0", "pod0-agg0")
+        link.set_offered_load(0, link.rate_gbps)
+        link.queue_bytes = 5_000_000
+        diagnosis = advisor.diagnose(problem(
+            "pod0-tor0->pod0-agg0", ProblemCategory.HIGH_RTT))
+        assert diagnosis.best.table2_row == 10
+
+    def test_cpu_overload(self, small_clos, advisor):
+        CpuOverload(small_clos, "host0", load=0.9).inject()
+        diagnosis = advisor.diagnose(problem(
+            "host0", ProblemCategory.HIGH_PROCESSING_DELAY))
+        assert diagnosis.best.table2_row == 12
+
+    def test_host_down(self, small_clos, advisor):
+        diagnosis = advisor.diagnose(problem(
+            "host0", ProblemCategory.HOST_DOWN))
+        assert diagnosis.best.table2_row == 4
+
+
+class TestRanking:
+    def test_multiple_hypotheses_ranked(self, small_clos, advisor):
+        """Flapping + corruption on the same cable: both surface, ranked."""
+        SwitchPortFlapping(small_clos, "pod0-tor0", "pod0-agg0").inject()
+        small_clos.sim.run_for(seconds(5))
+        link = small_clos.topology.link("pod0-tor0", "pod0-agg0")
+        link.crc_errors = 5
+        diagnosis = advisor.diagnose(problem(
+            "pod0-tor0->pod0-agg0",
+            ProblemCategory.SWITCH_NETWORK_PROBLEM))
+        rows = [h.table2_row for h in diagnosis.hypotheses]
+        assert 1 in rows and 2 in rows
+        confidences = [h.confidence for h in diagnosis.hypotheses]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_str_rendering(self, small_clos, advisor):
+        RnicDown(small_clos, "host0-rnic0").inject()
+        diagnosis = advisor.diagnose(problem(
+            "host0-rnic0", ProblemCategory.RNIC_PROBLEM))
+        assert "#3" in str(diagnosis.best)

@@ -1,0 +1,109 @@
+"""Unit tests for SLA windows, reports, and history."""
+
+import pytest
+
+from repro.core.sla import (MIN_SAMPLES_FOR_AGGREGATION, SlaHistory,
+                            SlaReport, SlaWindow)
+
+
+def window(**kwargs):
+    defaults = dict(scope="cluster", window_start_ns=0,
+                    window_end_ns=20_000_000_000)
+    defaults.update(kwargs)
+    return SlaWindow(**defaults)
+
+
+class TestSlaWindow:
+    def test_drop_rates(self):
+        w = window()
+        w.probes_total = 100
+        w.timeouts_rnic = 5
+        w.timeouts_switch = 10
+        w.timeouts_non_network = 3
+        assert w.rnic_drop_rate == 0.05
+        assert w.switch_drop_rate == 0.10
+        assert w.drop_rate == 0.15  # non-network excluded
+
+    def test_zero_probes_zero_rates(self):
+        w = window()
+        assert w.drop_rate == 0.0
+        assert w.rnic_drop_rate == 0.0
+
+    def test_reliability_guard(self):
+        """§7.4: tiny samples must be flagged unreliable."""
+        w = window()
+        w.probes_total = MIN_SAMPLES_FOR_AGGREGATION - 1
+        assert not w.reliable
+        w.probes_total = MIN_SAMPLES_FOR_AGGREGATION
+        assert w.reliable
+
+    def test_two_server_illusion(self):
+        """The §7.4 example: 1 of 2 servers fails -> 50% 'ToR drop rate'
+        that must not be trusted."""
+        w = window()
+        w.probes_total = 2
+        w.timeouts_rnic = 1
+        assert w.rnic_drop_rate == 0.5
+        assert not w.reliable  # the defence against the illusion
+
+    def test_percentiles_none_when_empty(self):
+        w = window()
+        assert w.rtt_percentiles() is None
+        assert w.processing_percentiles() is None
+
+    def test_percentiles_populated(self):
+        w = window()
+        w.rtt.extend([1.0, 2.0, 3.0])
+        assert w.rtt_percentiles()["p50"] == 2.0
+
+
+class TestSlaReport:
+    def test_scopes_auto_created(self):
+        report = SlaReport(0, 20_000_000_000)
+        assert report.cluster.scope == "cluster"
+        assert report.service.scope == "service"
+
+
+class TestSlaHistory:
+    def _report(self, start, drop=0.0, rtt=None):
+        report = SlaReport(start, start + 20)
+        report.cluster.probes_total = 100
+        report.cluster.timeouts_switch = round(drop * 100)
+        if rtt is not None:
+            report.cluster.rtt.extend(rtt)
+        return report
+
+    def test_series_drop_rate(self):
+        history = SlaHistory()
+        history.append(self._report(0, drop=0.0))
+        history.append(self._report(20, drop=0.1))
+        series = history.series("cluster", "drop_rate")
+        assert series == [(0, 0.0), (20, pytest.approx(0.1))]
+
+    def test_series_skips_windows_without_samples(self):
+        history = SlaHistory()
+        history.append(self._report(0))                    # no rtt samples
+        history.append(self._report(20, rtt=[5.0, 7.0]))
+        series = history.series("cluster", "rtt_p50")
+        assert len(series) == 1
+        assert series[0][0] == 20
+
+    def test_series_unknown_metric(self):
+        history = SlaHistory()
+        history.append(self._report(0))
+        with pytest.raises(ValueError):
+            history.series("cluster", "bogus")
+
+    def test_latest(self):
+        history = SlaHistory()
+        assert history.latest() is None
+        history.append(self._report(0))
+        history.append(self._report(20))
+        assert history.latest().window_start_ns == 20
+
+    def test_bounded(self):
+        history = SlaHistory(max_windows=3)
+        for i in range(5):
+            history.append(self._report(i * 20))
+        assert len(history.reports) == 3
+        assert history.reports[0].window_start_ns == 40

@@ -1,0 +1,133 @@
+"""Unit + integration tests for problem lifecycle tracking."""
+
+import json
+
+import pytest
+
+from repro.core.analyzer import WindowAnalysis
+from repro.core.records import Priority, Problem, ProblemCategory
+from repro.core.system import RPingmesh
+from repro.core.tracker import ProblemTracker, TicketState
+from repro.net.faults import LinkCorruption
+from repro.sim.units import seconds
+
+
+def window_with(problems, start=0, end=20_000_000_000):
+    w = WindowAnalysis(window_start_ns=start, window_end_ns=end)
+    w.problems = problems
+    return w
+
+
+def problem(locus, *, category=ProblemCategory.SWITCH_NETWORK_PROBLEM,
+            at=10_000_000_000, evidence=5, priority=Priority.P2,
+            service=False):
+    return Problem(category=category, locus=locus, detected_at_ns=at,
+                   window_start_ns=at - 10, evidence_count=evidence,
+                   from_service_tracing=service, priority=priority)
+
+
+class TestTicketLifecycle:
+    def test_first_verdict_opens_ticket(self):
+        tracker = ProblemTracker()
+        opened = tracker.observe_window(window_with([problem("l1")]))
+        assert len(opened) == 1
+        assert opened[0].state == TicketState.OPEN
+        assert tracker.ticket_count() == 1
+
+    def test_repeat_verdicts_dedup(self):
+        tracker = ProblemTracker()
+        for i in range(5):
+            tracker.observe_window(window_with(
+                [problem("l1", at=(i + 1) * 20_000_000_000)]))
+        assert tracker.ticket_count() == 1
+        ticket = tracker.tickets[0]
+        assert ticket.windows_seen == 5
+        assert ticket.total_evidence == 25
+
+    def test_quiet_windows_resolve(self):
+        tracker = ProblemTracker(resolve_after_windows=2)
+        tracker.observe_window(window_with([problem("l1")]))
+        tracker.observe_window(window_with([], start=20, end=40))
+        assert tracker.tickets[0].state == TicketState.OPEN
+        tracker.observe_window(window_with([], start=40, end=60))
+        assert tracker.tickets[0].state == TicketState.RESOLVED
+        assert tracker.tickets[0].resolved_at_ns == 60
+
+    def test_reappearance_opens_new_ticket(self):
+        tracker = ProblemTracker(resolve_after_windows=1)
+        tracker.observe_window(window_with([problem("l1")]))
+        tracker.observe_window(window_with([]))
+        tracker.observe_window(window_with([problem("l1")]))
+        assert tracker.ticket_count() == 2
+
+    def test_distinct_loci_distinct_tickets(self):
+        tracker = ProblemTracker()
+        tracker.observe_window(window_with([problem("l1"), problem("l2")]))
+        assert tracker.ticket_count() == 2
+
+    def test_priority_escalates_never_deescalates(self):
+        tracker = ProblemTracker()
+        tracker.observe_window(window_with([problem("l1",
+                                                    priority=Priority.P2)]))
+        tracker.observe_window(window_with([problem("l1",
+                                                    priority=Priority.P0)]))
+        tracker.observe_window(window_with([problem("l1",
+                                                    priority=Priority.P1)]))
+        assert tracker.tickets[0].worst_priority == Priority.P0
+
+    def test_noise_categories_not_ticketed(self):
+        tracker = ProblemTracker()
+        tracker.observe_window(window_with([
+            problem("l1", category=ProblemCategory.QPN_RESET)]))
+        assert tracker.ticket_count() == 0
+
+    def test_duration(self):
+        tracker = ProblemTracker(resolve_after_windows=1)
+        tracker.observe_window(window_with([problem("l1", at=100)]))
+        tracker.observe_window(window_with([problem("l1", at=200)]))
+        tracker.observe_window(window_with([], end=300))
+        assert tracker.tickets[0].duration_ns == 200
+
+    def test_bad_config(self):
+        with pytest.raises(ValueError):
+            ProblemTracker(resolve_after_windows=0)
+
+
+class TestExport:
+    def test_jsonl_round_trip(self):
+        tracker = ProblemTracker()
+        tracker.observe_window(window_with(
+            [problem("l1", priority=Priority.P0, service=True)]))
+        lines = tracker.export_jsonl().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["locus"] == "l1"
+        assert record["worst_priority"] == "P0"
+        assert record["from_service_tracing"] is True
+        assert record["state"] == "open"
+
+
+class TestLiveIntegration:
+    def test_fault_window_produces_one_ticket(self, small_clos):
+        """A 40 s fault spanning two analysis windows = ONE ticket that
+        opens, stays open, and resolves after the fault clears."""
+        system = RPingmesh(small_clos)
+        tracker = ProblemTracker(resolve_after_windows=2)
+        tracker.attach(system.analyzer)
+        system.start()
+        small_clos.sim.run_for(seconds(25))
+        fault = LinkCorruption(small_clos, "pod0-tor0", "pod0-agg0",
+                               drop_prob=0.6)
+        fault.inject()
+        small_clos.sim.run_for(seconds(45))
+        switch_tickets = [t for t in tracker.tickets
+                          if t.category
+                          == ProblemCategory.SWITCH_NETWORK_PROBLEM]
+        assert switch_tickets
+        guilty = {"pod0-tor0->pod0-agg0", "pod0-agg0->pod0-tor0"}
+        main = [t for t in switch_tickets if t.locus in guilty]
+        assert len(main) == 1          # deduplicated across windows
+        assert main[0].windows_seen >= 2
+        fault.clear()
+        small_clos.sim.run_for(seconds(90))
+        assert main[0].state == TicketState.RESOLVED

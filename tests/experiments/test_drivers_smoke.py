@@ -1,0 +1,88 @@
+"""Smoke tests for the experiment drivers (tiny parameterisations).
+
+The benchmarks run the full-size versions; these keep the drivers healthy
+under plain ``pytest tests/`` with second-scale runtimes.
+"""
+
+import pytest
+
+from repro.experiments import (eq01_coverage, fig01_flapping,
+                               fig08_bottlenecks, fig12_rail,
+                               tab01_qp_types, tab02_catalog)
+from repro.experiments.common import (default_cluster_params, deploy,
+                                      fmt_pct, fmt_us)
+
+
+class TestCommon:
+    def test_deploy_starts_system(self):
+        deployment = deploy(seed=1, warmup_ns=1_000_000_000)
+        assert deployment.system.controller.registered_rnics()
+        assert deployment.cluster.sim.now == 1_000_000_000
+
+    def test_default_params(self):
+        params = default_cluster_params(hosts_per_tor=5)
+        assert params.hosts_per_tor == 5
+        assert params.pods == 2
+
+    def test_formatters(self):
+        assert fmt_us(1500.0) == "1.5us"
+        assert fmt_us(None) == "-"
+        assert fmt_pct(0.85) == "85.0%"
+
+
+class TestFig01:
+    def test_unknown_fault_kind(self):
+        with pytest.raises(ValueError):
+            fig01_flapping.run("gremlins")
+
+    def test_short_run_shapes(self):
+        result = fig01_flapping.run("switch_port", healthy_s=6, faulty_s=10,
+                                    recovery_s=6)
+        assert result.healthy_mean_gbps > 0
+        assert result.faulty_mean_gbps < result.healthy_mean_gbps
+        assert len(result.times_s) == len(result.throughput_gbps)
+
+
+class TestTab01:
+    def test_rows_complete(self):
+        result = tab01_qp_types.run(peers=10)
+        assert set(result.rows) == {"rc", "uc", "ud"}
+        assert result.row("ud").qps_needed_for_m_peers == 1
+
+
+class TestTab02:
+    def test_row_out_of_range(self):
+        with pytest.raises(IndexError):
+            tab02_catalog.run_row(15, fault_s=5)
+
+    def test_one_failure_row(self):
+        outcome = tab02_catalog.run_row(3, fault_s=45)
+        assert outcome.detected
+        assert outcome.service_failed  # (*) row
+
+    def test_one_bottleneck_row(self):
+        outcome = tab02_catalog.run_row(12, fault_s=45)
+        assert outcome.detected
+        assert outcome.signal_matches
+        assert not outcome.service_failed
+
+
+class TestEq01:
+    def test_small_sweep(self):
+        result = eq01_coverage.run(path_counts=(2, 4), trials=50)
+        assert len(result.rows) == 2
+        assert result.fabric_k >= result.fabric_paths_observed
+
+
+class TestFig08:
+    def test_cpu_overload_driver(self):
+        result = fig08_bottlenecks.run_cpu_overload(baseline_s=40,
+                                                    overload_s=40)
+        assert set(result.overloaded_hosts) <= result.detected_hosts
+
+
+class TestFig12:
+    def test_rail_driver(self):
+        result = fig12_rail.run(hosts=2, rails=2, spines=2)
+        assert result.coverage == 1.0
+        assert result.faulty_timeout_rate > result.healthy_timeout_rate

@@ -1,0 +1,56 @@
+"""Unit tests for the experiment export helpers."""
+
+import csv
+import io
+
+import pytest
+
+from repro.experiments import export
+from repro.experiments.fig01_flapping import FlappingResult
+
+
+class TestCsv:
+    def test_series_to_csv(self):
+        text = export.series_to_csv(("a", "b"), [(1, 2), (3, 4)])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_write_csv_creates_dirs(self, tmp_path):
+        path = export.write_csv(tmp_path / "deep" / "file.csv",
+                                ("x",), [(1,)])
+        assert path.exists()
+        assert "x" in path.read_text()
+
+    def test_export_fig01(self, tmp_path):
+        result = FlappingResult(
+            fault_kind="switch_port", healthy_mean_gbps=100.0,
+            faulty_mean_gbps=10.0, recovered_mean_gbps=95.0,
+            min_faulty_gbps=5.0, times_s=[0.0, 1.0],
+            throughput_gbps=[100.0, 10.0])
+        path = export.export_fig01(result, tmp_path)
+        content = path.read_text()
+        assert "time_s,throughput_gbps" in content
+        assert "1.0,10.0" in content
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert export.sparkline([]) == ""
+
+    def test_flat_series(self):
+        line = export.sparkline([5.0, 5.0, 5.0])
+        assert line == "▁▁▁"
+
+    def test_min_max_mapping(self):
+        line = export.sparkline([0.0, 100.0])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_resampling_caps_width(self):
+        line = export.sparkline(list(range(1000)), width=40)
+        assert len(line) == 40
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = export.sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        levels = [export._SPARK_LEVELS.index(c) for c in line]
+        assert levels == sorted(levels)

@@ -1,0 +1,103 @@
+"""Unit tests for clocks and the CPU model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.host.clockmodel import Clock, random_clock
+from repro.host.cpu import CpuModel, STARVATION_LOAD
+from repro.sim.rng import RngStream
+from repro.sim.units import MILLISECOND, SECOND
+
+
+class TestClock:
+    def test_zero_clock_is_identity(self):
+        clock = Clock()
+        assert clock.read(12345) == 12345
+
+    def test_offset(self):
+        clock = Clock(offset_ns=1000)
+        assert clock.read(0) == 1000
+        assert clock.read(500) == 1500
+
+    def test_drift(self):
+        clock = Clock(drift_ppm=100.0)  # +100 us per second
+        assert clock.read(SECOND) == SECOND + 100_000
+
+    def test_same_clock_differences_cancel_offset(self):
+        """The paper's RTT algebra relies on same-clock subtraction."""
+        clock = Clock(offset_ns=987654321, drift_ppm=0.0)
+        t_a, t_b = 1000, 51000
+        assert clock.read(t_b) - clock.read(t_a) == t_b - t_a
+
+    @given(st.integers(min_value=-10**12, max_value=10**12),
+           st.floats(min_value=-100, max_value=100),
+           st.integers(min_value=0, max_value=10**10))
+    def test_read_is_monotone_in_time(self, offset, drift, t):
+        clock = Clock(offset_ns=offset, drift_ppm=drift)
+        assert clock.read(t + 1000) >= clock.read(t)
+
+    def test_random_clock_within_bounds(self):
+        rng = RngStream(0, "clk")
+        for _ in range(20):
+            clock = random_clock(rng, max_offset_s=10, max_drift_ppm=50)
+            assert abs(clock.offset_ns) <= 10 * SECOND
+            assert abs(clock.drift_ppm) <= 50
+
+
+class TestCpuModel:
+    def _cpu(self, load=0.1):
+        cpu = CpuModel(RngStream(0, "cpu"))
+        cpu.set_load(load)
+        return cpu
+
+    def test_delay_positive(self):
+        cpu = self._cpu()
+        assert all(cpu.processing_delay_ns() > 0 for _ in range(100))
+
+    def test_load_clamped(self):
+        cpu = self._cpu()
+        cpu.set_load(1.5)
+        assert cpu.load == 0.99
+        cpu.set_load(-1)
+        assert cpu.load == 0.0
+
+    def test_delay_grows_with_load(self):
+        light = self._cpu(0.1)
+        heavy = self._cpu(0.9)
+        mean_light = sum(light.processing_delay_ns()
+                         for _ in range(500)) / 500
+        mean_heavy = sum(heavy.processing_delay_ns()
+                         for _ in range(500)) / 500
+        assert mean_heavy > 4 * mean_light
+
+    def test_overloaded_flag(self):
+        cpu = self._cpu(STARVATION_LOAD + 0.01)
+        assert cpu.overloaded
+        assert not self._cpu(0.5).overloaded
+
+    def test_no_stall_when_healthy(self):
+        cpu = self._cpu(0.5)
+        assert all(cpu.starvation_stall_ns(t * MILLISECOND * 200) == 0
+                   for t in range(50))
+
+    def test_stalls_when_overloaded(self):
+        cpu = self._cpu(0.97)
+        stalls = [cpu.starvation_stall_ns(t * 200 * MILLISECOND)
+                  for t in range(200)]
+        assert any(s > 500 * MILLISECOND for s in stalls)
+
+    def test_stall_window_shared_in_time(self):
+        """Two calls inside the same stall window both see the stall —
+        this is what makes multi-RNIC timeouts simultaneous (Fig 6)."""
+        cpu = self._cpu(0.97)
+        t = 0
+        stall = 0
+        while stall == 0:
+            t += 200 * MILLISECOND
+            stall = cpu.starvation_stall_ns(t)
+        # A second caller 1 ms later is inside the same window.
+        assert cpu.starvation_stall_ns(t + MILLISECOND) >= stall - MILLISECOND
+
+    def test_bad_base_delay(self):
+        with pytest.raises(ValueError):
+            CpuModel(RngStream(0, "x"), base_delay_ns=0)

@@ -1,0 +1,126 @@
+"""Unit tests for the verbs layer and eBPF QP tracing."""
+
+import pytest
+
+from repro.host.ebpf import QpEventKind
+from repro.host.rnic import CommInfo, QPState, QPType
+from repro.host.verbs import VerbsError
+
+
+def _peers(cluster):
+    a = cluster.rnic("host0-rnic0")
+    b = cluster.rnic("host1-rnic0")
+    return a, b, cluster.host_of_rnic(a.name), cluster.host_of_rnic(b.name)
+
+
+class TestVerbs:
+    def test_connect_sets_five_tuple(self, tiny_clos):
+        a, b, host_a, _ = _peers(tiny_clos)
+        qp = host_a.verbs.create_qp(a, QPType.RC)
+        ft = host_a.verbs.connect_qp(
+            a, qp, CommInfo(b.ip, b.gid.value, 77), 12345)
+        assert qp.state == QPState.RTS
+        assert ft.src_ip == a.ip
+        assert ft.dst_ip == b.ip
+        assert ft.src_port == 12345
+        assert ft.is_roce
+
+    def test_connect_ud_rejected(self, tiny_clos):
+        a, b, host_a, _ = _peers(tiny_clos)
+        qp = host_a.verbs.create_qp(a, QPType.UD)
+        with pytest.raises(VerbsError):
+            host_a.verbs.connect_qp(a, qp, CommInfo(b.ip, b.gid.value, 1), 1)
+
+    def test_connect_destroyed_rejected(self, tiny_clos):
+        a, b, host_a, _ = _peers(tiny_clos)
+        qp = host_a.verbs.create_qp(a, QPType.RC)
+        host_a.verbs.destroy_qp(a, qp)
+        with pytest.raises(VerbsError):
+            host_a.verbs.connect_qp(a, qp, CommInfo(b.ip, b.gid.value, 1), 1)
+
+    def test_reroute_changes_src_port_only(self, tiny_clos):
+        a, b, host_a, _ = _peers(tiny_clos)
+        qp = host_a.verbs.create_qp(a, QPType.RC)
+        host_a.verbs.connect_qp(a, qp, CommInfo(b.ip, b.gid.value, 7), 1111)
+        ft = host_a.verbs.reroute_qp(a, qp, 2222)
+        assert ft.src_port == 2222
+        assert qp.remote.qpn == 7
+
+    def test_reroute_unconnected_rejected(self, tiny_clos):
+        a, _, host_a, _ = _peers(tiny_clos)
+        qp = host_a.verbs.create_qp(a, QPType.RC)
+        with pytest.raises(VerbsError):
+            host_a.verbs.reroute_qp(a, qp, 2222)
+
+
+class TestEbpfTracing:
+    def test_connect_emits_modify_event(self, tiny_clos):
+        a, b, host_a, _ = _peers(tiny_clos)
+        events = []
+        host_a.tracer.attach(events.append)
+        qp = host_a.verbs.create_qp(a, QPType.RC)
+        host_a.verbs.connect_qp(a, qp, CommInfo(b.ip, b.gid.value, 9), 3333)
+        assert len(events) == 1
+        event = events[0]
+        assert event.kind == QpEventKind.MODIFY_TO_RTS
+        assert event.rnic_name == a.name
+        assert event.local_qpn == qp.qpn
+        assert event.remote_ip == b.ip
+        assert event.five_tuple.src_port == 3333
+
+    def test_destroy_emits_destroy_event(self, tiny_clos):
+        a, b, host_a, _ = _peers(tiny_clos)
+        events = []
+        host_a.tracer.attach(events.append)
+        qp = host_a.verbs.create_qp(a, QPType.RC)
+        host_a.verbs.connect_qp(a, qp, CommInfo(b.ip, b.gid.value, 9), 3333)
+        host_a.verbs.destroy_qp(a, qp)
+        assert [e.kind for e in events] == [QpEventKind.MODIFY_TO_RTS,
+                                            QpEventKind.DESTROY]
+        assert events[1].five_tuple is not None
+
+    def test_create_emits_nothing(self, tiny_clos):
+        """QP creation is not traced; only modify/destroy are (§4.2.2)."""
+        a, _, host_a, _ = _peers(tiny_clos)
+        events = []
+        host_a.tracer.attach(events.append)
+        host_a.verbs.create_qp(a, QPType.RC)
+        host_a.verbs.create_qp(a, QPType.UD)
+        assert events == []
+
+    def test_detach_stops_delivery(self, tiny_clos):
+        a, b, host_a, _ = _peers(tiny_clos)
+        events = []
+        host_a.tracer.attach(events.append)
+        host_a.tracer.detach(events.append)
+        qp = host_a.verbs.create_qp(a, QPType.RC)
+        host_a.verbs.connect_qp(a, qp, CommInfo(b.ip, b.gid.value, 9), 3333)
+        assert events == []
+
+    def test_tracer_is_per_host(self, tiny_clos):
+        a, b, host_a, host_b = _peers(tiny_clos)
+        events_b = []
+        host_b.tracer.attach(events_b.append)
+        qp = host_a.verbs.create_qp(a, QPType.RC)
+        host_a.verbs.connect_qp(a, qp, CommInfo(b.ip, b.gid.value, 9), 3333)
+        assert events_b == []  # host B's tracer saw nothing of host A
+
+
+class TestHost:
+    def test_rnic_lookup(self, tiny_clos):
+        host = tiny_clos.hosts["host0"]
+        assert host.rnic_by_name("host0-rnic0").name == "host0-rnic0"
+        with pytest.raises(KeyError):
+            host.rnic_by_name("nope")
+
+    def test_read_clock_uses_host_clock(self, tiny_clos):
+        host = tiny_clos.hosts["host0"]
+        tiny_clos.sim.run_until(1000)
+        assert host.read_clock() == host.clock.read(1000)
+
+    def test_host_and_rnic_clocks_differ(self, tiny_clos):
+        """No clock synchronisation anywhere (§4.2.1's premise)."""
+        host = tiny_clos.hosts["host0"]
+        rnic = host.rnics[0]
+        t = 1_000_000
+        assert host.clock.read(t) != rnic.clock.read(t)

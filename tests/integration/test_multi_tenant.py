@@ -1,0 +1,129 @@
+"""Two tenants, shared fabric (§7.1 #11).
+
+"Although ACL isolates servers from different tenants in public clouds,
+traffic from different tenants can still share some network links and
+cause congestion.  R-Pingmesh found that the Service Tracing results from
+two different tenants indicated the same congested link."
+
+We run two DML jobs on disjoint host sets, steer both tenants' flows onto
+one shared spine uplink, and check that each tenant's Service Tracing
+independently indicts that link.
+"""
+
+import pytest
+
+from repro.core.records import ProblemCategory
+from repro.core.system import RPingmesh
+from repro.cluster import Cluster
+from repro.net.addresses import roce_five_tuple
+from repro.net.clos import ClosParams
+from repro.net.ecmp import pick_next_hop
+from repro.net.topology import Tier
+from repro.services.dml import DmlConfig, DmlJob
+from repro.services.traffic import TrafficEngine
+from repro.sim.units import MILLISECOND, seconds
+
+
+@pytest.fixture
+def two_tenant_cluster():
+    return Cluster.clos(
+        ClosParams(pods=2, tors_per_pod=2, aggs_per_pod=2, spines=2,
+                   hosts_per_tor=4),
+        seed=61)
+
+
+def _steer_to_uplink(cluster, job, switch, uplinks, target):
+    """Reroute each connection onto a port hashing to `target` at
+    `switch` (deterministic hash collision, §2.3 case 1)."""
+    for conn in job.connections:
+        src_ip = cluster.rnic(conn.src_rnic).ip
+        dst_ip = cluster.rnic(conn.dst_rnic).ip
+        for port in range(30_000, 65_000):
+            ft = roce_five_tuple(src_ip, dst_ip, port)
+            if pick_next_hop(ft, switch, uplinks) == target:
+                job.reroute_connection(conn, port)
+                break
+
+
+def test_two_tenants_indict_same_shared_link(two_tenant_cluster):
+    cluster = two_tenant_cluster
+    system = RPingmesh(cluster)
+    system.start()
+
+    # Tenant A: pod0-tor0 hosts -> pod1; tenant B: pod0-tor1 -> pod1.
+    tor_a, tor_b = "pod0-tor0", "pod0-tor1"
+    srcs_a = cluster.rnics_under_tor(tor_a)[:3]
+    srcs_b = cluster.rnics_under_tor(tor_b)[:3]
+    dsts_a = cluster.rnics_under_tor("pod1-tor0")[:3]
+    dsts_b = cluster.rnics_under_tor("pod1-tor1")[:3]
+
+    def make_job(srcs, dsts, stream):
+        job = DmlJob(cluster, srcs + dsts,
+                     DmlConfig(compute_time_ns=300 * MILLISECOND,
+                               data_gbits_per_cycle=4.0,
+                               per_flow_demand_gbps=150.0),
+                     traffic=TrafficEngine(cluster))
+        pairs = list(zip(srcs, dsts))
+        job._pairs = lambda: pairs
+        return job
+
+    job_a = make_job(srcs_a, dsts_a, "a")
+    job_b = make_job(srcs_b, dsts_b, "b")
+    cluster.sim.run_for(seconds(3))
+    job_a.start()
+    job_b.start()
+
+    # Both tenants' flows funnel through agg0 and then the SAME shared
+    # agg0->spine0 uplink.
+    agg = "pod0-agg0"
+    spines = sorted(n for n in cluster.topology.neighbors(agg)
+                    if cluster.topology.node(n).tier == Tier.SPINE)
+    shared = spines[0]
+    for job, tor in ((job_a, tor_a), (job_b, tor_b)):
+        uplinks = sorted(n for n in cluster.topology.neighbors(tor)
+                         if cluster.topology.node(n).tier == Tier.AGG)
+        _steer_to_uplink(cluster, job, tor, uplinks, agg)
+    # Second-stage steering: among ports that hash to agg0 at the ToR,
+    # keep only those that also hash to the shared spine at agg0.
+    for job, tor in ((job_a, tor_a), (job_b, tor_b)):
+        for conn in job.connections:
+            src_ip = cluster.rnic(conn.src_rnic).ip
+            dst_ip = cluster.rnic(conn.dst_rnic).ip
+            uplinks = sorted(n for n in cluster.topology.neighbors(tor)
+                             if cluster.topology.node(n).tier == Tier.AGG)
+            for port in range(30_000, 65_000):
+                ft = roce_five_tuple(src_ip, dst_ip, port)
+                if pick_next_hop(ft, tor, uplinks) == agg \
+                        and pick_next_hop(ft, agg, spines) == shared:
+                    job.reroute_connection(conn, port)
+                    break
+
+    cluster.sim.run_for(seconds(60))
+
+    # Each tenant's service tracing must independently see high RTT and
+    # the vote must indict the shared cable.
+    shared_cable = {f"{agg}->{shared}", f"{shared}->{agg}"}
+    indictments = [
+        p.locus for w in system.analyzer.windows for p in w.problems
+        if p.category == ProblemCategory.HIGH_RTT
+        and p.from_service_tracing and "->" in p.locus]
+    assert indictments, "no service-tracing congestion verdicts at all"
+    assert any(locus in shared_cable for locus in indictments), (
+        f"shared link {shared_cable} never indicted; got {indictments}")
+
+    # And the two tenants genuinely shared the link (ground truth).
+    link = cluster.topology.link(agg, shared)
+    demand_a = job_a.traffic.link_demand(agg, shared)
+    demand_b = job_b.traffic.link_demand(agg, shared)
+    # At least at some comm phases both loads land there; check configs
+    # steered correctly by looking at connection paths.
+    paths_a = {tuple(cluster.fabric.path_of(
+        roce_five_tuple(cluster.rnic(c.src_rnic).ip,
+                        cluster.rnic(c.dst_rnic).ip, c.src_port),
+        c.src_rnic)) for c in job_a.connections}
+    paths_b = {tuple(cluster.fabric.path_of(
+        roce_five_tuple(cluster.rnic(c.src_rnic).ip,
+                        cluster.rnic(c.dst_rnic).ip, c.src_port),
+        c.src_rnic)) for c in job_b.connections}
+    assert any((agg, shared) in zip(p, p[1:]) for p in paths_a)
+    assert any((agg, shared) in zip(p, p[1:]) for p in paths_b)

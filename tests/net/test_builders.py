@@ -1,0 +1,116 @@
+"""Unit tests for the Clos and rail-optimized topology builders."""
+
+import pytest
+
+from repro.net.clos import ClosParams, build_clos
+from repro.net.rail import RailParams, build_rail
+from repro.net.topology import Tier
+
+
+class TestClos:
+    def test_counts(self):
+        plan = build_clos(ClosParams(pods=2, tors_per_pod=2, aggs_per_pod=2,
+                                     spines=3, hosts_per_tor=4,
+                                     rnics_per_host=2))
+        topo = plan.topology
+        assert len(topo.switches(Tier.SPINE)) == 3
+        assert len(topo.switches(Tier.AGG)) == 4
+        assert len(topo.switches(Tier.TOR)) == 4
+        assert len(topo.host_ports()) == 2 * 2 * 4 * 2
+        assert plan.params.total_hosts == 16
+        assert plan.params.total_rnics == 32
+
+    def test_wiring_agg_to_all_spines(self):
+        plan = build_clos(ClosParams(pods=2, aggs_per_pod=2, spines=3))
+        topo = plan.topology
+        for agg in topo.switches(Tier.AGG):
+            spines = [n for n in topo.neighbors(agg)
+                      if topo.node(n).tier == Tier.SPINE]
+            assert sorted(spines) == ["spine0", "spine1", "spine2"]
+
+    def test_tor_wired_to_pod_aggs_only(self):
+        plan = build_clos(ClosParams(pods=2, tors_per_pod=2, aggs_per_pod=2))
+        topo = plan.topology
+        aggs = [n for n in topo.neighbors("pod1-tor0")
+                if topo.node(n).tier == Tier.AGG]
+        assert sorted(aggs) == ["pod1-agg0", "pod1-agg1"]
+
+    def test_all_host_rnics_same_tor(self):
+        plan = build_clos(ClosParams(rnics_per_host=4))
+        for host, rnics in plan.host_rnics.items():
+            tors = {plan.rnic_tor[r] for r in rnics}
+            assert len(tors) == 1
+
+    def test_rnics_under_tor(self):
+        plan = build_clos(ClosParams(pods=1, tors_per_pod=2,
+                                     hosts_per_tor=3))
+        under = plan.rnics_under_tor("pod0-tor0")
+        assert len(under) == 3
+        assert all(plan.rnic_tor[r] == "pod0-tor0" for r in under)
+
+    def test_host_of(self):
+        plan = build_clos(ClosParams())
+        assert plan.host_of("host3-rnic0") == "host3"
+
+    def test_parallel_paths(self):
+        plan = build_clos(ClosParams(aggs_per_pod=2, spines=4))
+        assert plan.parallel_paths_between_tors() == 8
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            ClosParams(pods=0)
+        with pytest.raises(ValueError):
+            ClosParams(spines=0)
+
+    def test_cross_pod_path_length(self):
+        """host -> tor -> agg -> spine -> agg -> tor -> host = 7 nodes."""
+        plan = build_clos(ClosParams(pods=2, tors_per_pod=1, hosts_per_tor=1))
+        topo = plan.topology
+        # BFS distance via next_hops chain
+        node, hops = "host0-rnic0", 0
+        dst = "host1-rnic0"
+        while node != dst:
+            node = topo.next_hops(node, dst)[0]
+            hops += 1
+        assert hops == 6
+
+
+class TestRail:
+    def test_counts(self):
+        plan = build_rail(RailParams(hosts=3, rails=4, spines=2))
+        topo = plan.topology
+        assert len(topo.switches(Tier.TOR)) == 4      # rail switches
+        assert len(topo.switches(Tier.SPINE)) == 2
+        assert len(topo.host_ports()) == 12
+
+    def test_rnic_i_on_rail_i(self):
+        plan = build_rail(RailParams(hosts=2, rails=3, spines=1))
+        for host, rnics in plan.host_rnics.items():
+            for i, rnic in enumerate(rnics):
+                assert plan.rnic_rail[rnic] == f"rail{i}"
+
+    def test_cross_rail_pairs(self):
+        plan = build_rail(RailParams(hosts=2, rails=3, spines=1))
+        pairs = plan.cross_rail_pairs("host0")
+        assert len(pairs) == 3 * 2
+        assert all(a != b for a, b in pairs)
+
+    def test_same_host_cross_rail_traverses_spine(self):
+        """Figure 12: inter-rail traffic must use the top tier."""
+        plan = build_rail(RailParams(hosts=2, rails=2, spines=2))
+        topo = plan.topology
+        node, path = "host0-rnic0", ["host0-rnic0"]
+        dst = "host0-rnic1"
+        while node != dst:
+            node = topo.next_hops(node, dst)[0]
+            path.append(node)
+        tiers = [topo.node(n).tier for n in path]
+        assert Tier.SPINE in tiers
+
+    def test_parallel_paths_is_spine_count(self):
+        plan = build_rail(RailParams(spines=5))
+        assert plan.parallel_paths_cross_rail() == 5
+
+    def test_needs_two_rails(self):
+        with pytest.raises(ValueError):
+            RailParams(rails=1)

@@ -1,0 +1,63 @@
+"""Unit tests for ECMP hashing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addresses import roce_five_tuple
+from repro.net.ecmp import ecmp_hash, pick_next_hop
+
+
+def test_hash_deterministic():
+    ft = roce_five_tuple("10.0.0.1", "10.0.0.2", 5555)
+    assert ecmp_hash(ft, "sw") == ecmp_hash(ft, "sw")
+
+
+def test_hash_varies_by_salt():
+    """Per-switch salts prevent hash polarization across tiers."""
+    ft = roce_five_tuple("10.0.0.1", "10.0.0.2", 5555)
+    hashes = {ecmp_hash(ft, f"sw{i}") for i in range(20)}
+    assert len(hashes) > 1
+
+
+def test_hash_varies_by_src_port():
+    """Changing the source port must be able to reroute the flow (§7.3)."""
+    hashes = {ecmp_hash(roce_five_tuple("a", "b", p), "sw")
+              for p in range(2000, 2100)}
+    assert len(hashes) > 50
+
+
+def test_pick_single_candidate():
+    ft = roce_five_tuple("a", "b", 1)
+    assert pick_next_hop(ft, "sw", ["only"]) == "only"
+
+
+def test_pick_empty_candidates_raises():
+    ft = roce_five_tuple("a", "b", 1)
+    with pytest.raises(ValueError):
+        pick_next_hop(ft, "sw", [])
+
+
+def test_pick_is_stable():
+    ft = roce_five_tuple("a", "b", 1)
+    candidates = ["x", "y", "z"]
+    first = pick_next_hop(ft, "sw", candidates)
+    assert all(pick_next_hop(ft, "sw", candidates) == first
+               for _ in range(10))
+
+
+def test_distribution_roughly_uniform():
+    candidates = ["n0", "n1", "n2", "n3"]
+    counts = {c: 0 for c in candidates}
+    for port in range(2000, 4000):
+        ft = roce_five_tuple("10.0.0.1", "10.0.0.2", port)
+        counts[pick_next_hop(ft, "sw", candidates)] += 1
+    for count in counts.values():
+        assert 400 < count < 600  # 2000 flows over 4 paths, expect ~500
+
+
+@given(st.integers(min_value=1024, max_value=65535),
+       st.text(min_size=1, max_size=10))
+def test_pick_always_in_candidates(port, salt):
+    ft = roce_five_tuple("1.2.3.4", "5.6.7.8", port)
+    candidates = ["a", "b", "c"]
+    assert pick_next_hop(ft, salt, candidates) in candidates

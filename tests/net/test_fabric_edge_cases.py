@@ -1,0 +1,103 @@
+"""Fabric edge cases: races between in-flight packets and state changes."""
+
+from repro.net.addresses import roce_five_tuple
+from repro.net.fabric import DropReason
+from repro.net.packet import RoCEPacket
+from repro.sim.units import MICROSECOND, seconds
+
+from tests.net.test_fabric import build_fabric, roce_packet
+
+
+class TestMidFlightStateChanges:
+    def test_link_goes_down_under_inflight_packet(self):
+        """A packet that crossed hop 1 before the failure dies at the
+        failed hop, not retroactively."""
+        sim, topo, fabric = build_fabric()
+        drops = []
+        fabric.add_drop_listener(drops.append)
+        fabric.attach_receiver("b", lambda p, r: None)
+        fabric.inject(roce_packet(), "a")
+        # Let it reach tor1, then fail the next cable segment it will use.
+        sim.run_for(2 * MICROSECOND)
+        ft = roce_five_tuple("10.0.0.1", "10.0.0.2", 5000)
+        path = fabric.path_of(ft, "a")
+        mid = path[2]
+        topo.link_pair(mid, "tor2").up = False
+        sim.run_for(seconds(1))
+        if drops:  # timing-dependent: packet may already be past the link
+            assert drops[0].reason == DropReason.LINK_DOWN
+            assert drops[0].link == f"{mid}->tor2"
+
+    def test_acl_installed_mid_flight(self):
+        sim, topo, fabric = build_fabric()
+        drops = []
+        fabric.add_drop_listener(drops.append)
+        delivered = []
+        fabric.attach_receiver("b", lambda p, r: delivered.append(p))
+        fabric.inject(roce_packet(), "a")
+        sim.run_for(1 * MICROSECOND)
+        topo.node("tor2").acl.deny(src_ip="10.0.0.1")
+        sim.run_for(seconds(1))
+        assert len(drops) == 1
+        assert drops[0].reason == DropReason.ACL_DENY
+        assert delivered == []
+
+    def test_receiver_attached_after_packets_in_flight(self):
+        sim, topo, fabric = build_fabric()
+        fabric.inject(roce_packet(), "a")
+        got = []
+        fabric.attach_receiver("b", lambda p, r: got.append(p))
+        sim.run_for(seconds(1))
+        assert len(got) == 1
+
+
+class TestTtlAndSizeEdges:
+    def test_minimum_ttl_that_reaches(self):
+        """Each switch decrements and drops at zero, so the 3-switch path
+        needs TTL >= 4 (the hop into the last switch must leave TTL 1)."""
+        sim, topo, fabric = build_fabric()
+        got = []
+        drops = []
+        fabric.add_drop_listener(drops.append)
+        fabric.attach_receiver("b", lambda p, r: got.append(p))
+        ok = roce_packet()
+        ok.ttl = 4
+        fabric.inject(ok, "a")
+        short = roce_packet()
+        short.ttl = 3
+        fabric.inject(short, "a")
+        sim.run_for(seconds(1))
+        assert len(got) == 1
+        assert drops[0].reason == DropReason.TTL_EXPIRED
+
+    def test_jumbo_packet_delivered_slower(self):
+        sim, topo, fabric = build_fabric()
+        arrivals = {}
+
+        def receiver(p, rec):
+            arrivals[p.size_bytes] = rec.time_ns
+
+        fabric.attach_receiver("b", receiver)
+        small = roce_packet(src_port=5000)
+        jumbo = RoCEPacket(
+            five_tuple=roce_five_tuple("10.0.0.1", "10.0.0.2", 5000),
+            size_bytes=9000, dst_gid="::ffff:10.0.0.2")
+        fabric.inject(small, "a")
+        fabric.inject(jumbo, "a")
+        sim.run_for(seconds(1))
+        # Same path (same 5-tuple), bigger serialization cost.
+        assert arrivals[9000] > arrivals[small.size_bytes]
+
+
+class TestDropListenerRobustness:
+    def test_multiple_listeners_all_called(self):
+        sim, topo, fabric = build_fabric()
+        counts = [0, 0]
+        fabric.add_drop_listener(lambda r: counts.__setitem__(
+            0, counts[0] + 1))
+        fabric.add_drop_listener(lambda r: counts.__setitem__(
+            1, counts[1] + 1))
+        topo.link_pair("a", "tor1").up = False
+        fabric.inject(roce_packet(), "a")
+        sim.run_for(seconds(1))
+        assert counts == [1, 1]

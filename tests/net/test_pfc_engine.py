@@ -1,0 +1,136 @@
+"""Unit + integration tests for mechanistic PFC pause propagation."""
+
+import pytest
+
+from repro.core.records import ProblemCategory
+from repro.core.system import RPingmesh
+from repro.net.faults import PcieDowngrade
+from repro.net.pfc import PfcPropagationEngine
+from repro.services.traffic import Flow, TrafficEngine
+from repro.net.addresses import roce_five_tuple
+from repro.sim.units import seconds
+
+
+def incast_onto(cluster, victim, demand_per_flow=80.0, senders=5):
+    """Fluid incast toward one RNIC."""
+    engine = TrafficEngine(cluster)
+    sources = [r for r in cluster.rnic_names() if r != victim][:senders]
+    flows = [Flow(
+        five_tuple=roce_five_tuple(cluster.rnic(src).ip,
+                                   cluster.rnic(victim).ip, 9000 + i),
+        src_port_node=src, demand_gbps=demand_per_flow)
+        for i, src in enumerate(sources)]
+    engine.apply(flows)
+    return engine
+
+
+class TestVictimDetection:
+    def test_healthy_rnic_no_pause(self, small_clos):
+        engine = PfcPropagationEngine(small_clos)
+        incast_onto(small_clos, "host0-rnic0")  # 400G demand, 400G drain
+        states = engine.evaluate()
+        assert states == []
+        assert not engine.storming()
+
+    def test_downgraded_rnic_becomes_victim(self, small_clos):
+        engine = PfcPropagationEngine(small_clos)
+        small_clos.rnic("host0-rnic0").pcie_gbps = 50.0
+        incast_onto(small_clos, "host0-rnic0")
+        states = engine.evaluate()
+        assert engine.storming()
+        assert engine.victims() == {"host0-rnic0"}
+        tor = small_clos.tor_of("host0-rnic0")
+        downlink = small_clos.topology.link(tor, "host0-rnic0")
+        assert downlink.pause_delay_ns > 0
+
+    def test_no_traffic_no_storm(self, small_clos):
+        """A downgraded but idle RNIC causes no pause pressure."""
+        engine = PfcPropagationEngine(small_clos)
+        small_clos.rnic("host0-rnic0").pcie_gbps = 50.0
+        assert engine.evaluate() == []
+
+    def test_pressure_scales_with_deficit(self, small_clos):
+        engine = PfcPropagationEngine(small_clos)
+        rnic = small_clos.rnic("host0-rnic0")
+        tor = small_clos.tor_of("host0-rnic0")
+        downlink = small_clos.topology.link(tor, "host0-rnic0")
+
+        rnic.pcie_gbps = 200.0
+        incast_onto(small_clos, "host0-rnic0")
+        engine.evaluate()
+        mild = downlink.pause_delay_ns
+
+        rnic.pcie_gbps = 20.0
+        engine.evaluate()
+        severe = downlink.pause_delay_ns
+        assert severe > mild > 0
+
+    def test_backpressure_reaches_upstream(self, small_clos):
+        engine = PfcPropagationEngine(small_clos)
+        small_clos.rnic("host0-rnic0").pcie_gbps = 20.0
+        incast_onto(small_clos, "host0-rnic0")
+        engine.evaluate()
+        tor = small_clos.tor_of("host0-rnic0")
+        upstream = [small_clos.topology.link(n, tor)
+                    for n in small_clos.topology.neighbors(tor)
+                    if small_clos.topology.nodes[n].is_switch]
+        assert any(l.pause_delay_ns > 0 for l in upstream)
+
+    def test_storm_subsides_with_traffic(self, small_clos):
+        engine = PfcPropagationEngine(small_clos)
+        small_clos.rnic("host0-rnic0").pcie_gbps = 20.0
+        traffic = incast_onto(small_clos, "host0-rnic0")
+        engine.evaluate()
+        assert engine.storming()
+        traffic.clear()
+        engine.evaluate()
+        assert not engine.storming()
+        tor = small_clos.tor_of("host0-rnic0")
+        assert small_clos.topology.link(tor,
+                                        "host0-rnic0").pause_delay_ns == 0
+
+    def test_stop_clears_owned_pressure(self, small_clos):
+        engine = PfcPropagationEngine(small_clos)
+        engine.start()
+        small_clos.rnic("host0-rnic0").pcie_gbps = 20.0
+        incast_onto(small_clos, "host0-rnic0")
+        small_clos.sim.run_for(seconds(1))
+        assert engine.storming()
+        engine.stop()
+        tor = small_clos.tor_of("host0-rnic0")
+        assert small_clos.topology.link(tor,
+                                        "host0-rnic0").pause_delay_ns == 0
+
+
+class TestEmergentFigure8Right:
+    def test_storm_emerges_from_pcie_downgrade_plus_traffic(self,
+                                                            small_clos):
+        """The full mechanistic chain: PCIe downgrade + incast traffic ->
+        pause pressure -> high P99 RTT -> Analyzer flags the victim.
+
+        Same outcome as Figure 8 (right), but with the storm *derived*
+        rather than installed by the fault.
+        """
+        system = RPingmesh(small_clos)
+        system.start()
+        engine = PfcPropagationEngine(small_clos)
+        engine.start()
+        small_clos.sim.run_for(seconds(25))
+        baseline = system.analyzer.sla.latest().cluster \
+            .rtt_percentiles()["p99"]
+
+        # The fault only degrades PCIe; no static pause knob.
+        fault = PcieDowngrade(small_clos, "host1-rnic0",
+                              degraded_pcie_gbps=20.0, pause_delay_ns=0)
+        fault.inject()
+        incast_onto(small_clos, "host1-rnic0")
+        small_clos.sim.run_for(seconds(45))
+        during = system.analyzer.sla.latest().cluster \
+            .rtt_percentiles()["p99"]
+        assert during > 3 * baseline
+        assert engine.victims() == {"host1-rnic0"}
+        detected = any(
+            p.category == ProblemCategory.HIGH_RTT
+            and "host1-rnic0" in p.locus
+            for w in system.analyzer.windows for p in w.problems)
+        assert detected

@@ -1,0 +1,90 @@
+"""Property-based tests on routing and forwarding invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Cluster
+from repro.net.addresses import roce_five_tuple
+from repro.net.clos import ClosParams, build_clos
+from repro.net.rail import RailParams, build_rail
+
+# Build topologies once; hypothesis only varies flows over them.
+_CLOS = build_clos(ClosParams(pods=2, tors_per_pod=2, aggs_per_pod=2,
+                              spines=2, hosts_per_tor=2))
+_RAIL = build_rail(RailParams(hosts=3, rails=3, spines=2))
+
+_CLOS_PORTS = _CLOS.topology.host_ports()
+_RAIL_PORTS = _RAIL.topology.host_ports()
+
+
+def _walk(topology, src, dst, five_tuple):
+    """Follow ECMP choices from src to dst; return the node path."""
+    from repro.net.ecmp import pick_next_hop
+    path = [src]
+    node = src
+    for _ in range(32):
+        if node == dst:
+            return path
+        hops = topology.next_hops(node, dst)
+        node = pick_next_hop(five_tuple, node, hops)
+        path.append(node)
+    raise AssertionError(f"no convergence: {path}")
+
+
+@settings(max_examples=60, deadline=None)
+@given(src=st.sampled_from(_CLOS_PORTS), dst=st.sampled_from(_CLOS_PORTS),
+       port=st.integers(min_value=1024, max_value=65535))
+def test_clos_routing_always_reaches(src, dst, port):
+    if src == dst:
+        return
+    ft = roce_five_tuple("10.0.0.1", "10.0.0.2", port)
+    path = _walk(_CLOS.topology, src, dst, ft)
+    assert path[0] == src
+    assert path[-1] == dst
+    # No loops.
+    assert len(path) == len(set(path))
+    # Valley-free in a Clos: up*, (peak), down* — tiers rise then fall.
+    tiers = [_CLOS.topology.node(n).tier.value for n in path]
+    peak = tiers.index(max(tiers))
+    assert tiers[:peak + 1] == sorted(tiers[:peak + 1])
+    assert tiers[peak:] == sorted(tiers[peak:], reverse=True)
+
+
+@settings(max_examples=60, deadline=None)
+@given(src=st.sampled_from(_RAIL_PORTS), dst=st.sampled_from(_RAIL_PORTS),
+       port=st.integers(min_value=1024, max_value=65535))
+def test_rail_routing_always_reaches(src, dst, port):
+    if src == dst:
+        return
+    ft = roce_five_tuple("10.0.0.1", "10.0.0.2", port)
+    path = _walk(_RAIL.topology, src, dst, ft)
+    assert path[0] == src
+    assert path[-1] == dst
+    assert len(path) == len(set(path))
+
+
+@settings(max_examples=30, deadline=None)
+@given(port=st.integers(min_value=1024, max_value=65535),
+       seed=st.integers(min_value=0, max_value=3))
+def test_fabric_path_deterministic_per_tuple(port, seed):
+    cluster = Cluster.clos(
+        ClosParams(pods=1, tors_per_pod=2, aggs_per_pod=2, spines=1,
+                   hosts_per_tor=1), seed=seed)
+    src = "host0-rnic0"
+    dst_ip = cluster.rnic("host1-rnic0").ip
+    ft = roce_five_tuple(cluster.rnic(src).ip, dst_ip, port)
+    assert cluster.fabric.path_of(ft, src) == cluster.fabric.path_of(ft, src)
+
+
+@settings(max_examples=30, deadline=None)
+@given(ports=st.lists(st.integers(min_value=1024, max_value=65535),
+                      min_size=10, max_size=40, unique=True))
+def test_probe_and_ack_paths_are_walkable(ports):
+    """For any 5-tuple, both the forward and the reversed (ACK) tuple
+    produce complete paths — the invariant Algorithm 1 voting needs."""
+    topo = _CLOS.topology
+    src, dst = _CLOS_PORTS[0], _CLOS_PORTS[-1]
+    for port in ports:
+        forward = roce_five_tuple("10.0.0.1", "10.0.0.9", port)
+        back = forward.reversed()
+        assert _walk(topo, src, dst, forward)[-1] == dst
+        assert _walk(topo, dst, src, back)[-1] == src

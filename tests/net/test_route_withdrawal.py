@@ -1,0 +1,74 @@
+"""Route withdrawal: isolated links must reconverge upstream tiers too."""
+
+from repro.net.addresses import roce_five_tuple
+from repro.net.clos import ClosParams
+from repro.cluster import Cluster
+
+
+def _paths_for_ports(cluster, src, dst, ports):
+    src_ip = cluster.rnic(src).ip
+    dst_ip = cluster.rnic(dst).ip
+    return [tuple(cluster.fabric.path_of(
+        roce_five_tuple(src_ip, dst_ip, p), src)) for p in ports]
+
+
+def test_isolation_withdraws_link_from_all_tiers():
+    """After withdrawing tor0<->agg0, no path touches agg0 for tor0
+    destinations — including the *downstream* direction where the spine
+    must stop offering agg0 (the over-the-top reconvergence a link-local
+    filter cannot provide)."""
+    cluster = Cluster.clos(
+        ClosParams(pods=2, tors_per_pod=2, aggs_per_pod=2, spines=2,
+                   hosts_per_tor=2),
+        seed=3)
+    pair = cluster.topology.link_pair("pod0-tor0", "pod0-agg0")
+    pair.routed_around = True
+    cluster.topology.invalidate_routes()
+
+    # Downstream: flows from pod1 toward a host under pod0-tor0.
+    paths = _paths_for_ports(cluster, "host4-rnic0", "host0-rnic0",
+                             range(20_000, 20_200))
+    for path in paths:
+        links = set(zip(path, path[1:]))
+        assert ("pod0-agg0", "pod0-tor0") not in links
+        assert ("pod0-tor0", "pod0-agg0") not in links
+        assert path[-1] == "host0-rnic0"  # still reachable via agg1
+
+    # Upstream: flows out of pod0-tor0 avoid the withdrawn uplink.
+    paths = _paths_for_ports(cluster, "host0-rnic0", "host4-rnic0",
+                             range(20_000, 20_200))
+    for path in paths:
+        assert "pod0-agg0" not in path[:3]
+
+
+def test_withdrawal_is_reversible():
+    cluster = Cluster.clos(
+        ClosParams(pods=2, tors_per_pod=2, aggs_per_pod=2, spines=2,
+                   hosts_per_tor=2),
+        seed=3)
+    pair = cluster.topology.link_pair("pod0-tor0", "pod0-agg0")
+    pair.routed_around = True
+    cluster.topology.invalidate_routes()
+    pair.routed_around = False
+    cluster.topology.invalidate_routes()
+    paths = _paths_for_ports(cluster, "host0-rnic0", "host4-rnic0",
+                             range(20_000, 20_400))
+    # With the link restored, ~half of outbound flows use agg0 again.
+    via_agg0 = sum(1 for p in paths if "pod0-agg0" in p)
+    assert via_agg0 > len(paths) * 0.3
+
+
+def test_fully_disconnected_destination_yields_no_route():
+    cluster = Cluster.clos(
+        ClosParams(pods=1, tors_per_pod=2, aggs_per_pod=1, spines=1,
+                   hosts_per_tor=1),
+        seed=3)
+    # host0 hangs off pod0-tor0; withdrawing its only uplink cuts pod-wide
+    # reachability toward it from the other ToR.
+    pair = cluster.topology.link_pair("pod0-tor0", "pod0-agg0")
+    pair.routed_around = True
+    cluster.topology.invalidate_routes()
+    hops = cluster.topology.next_hops("pod0-agg0", "host0-rnic0")
+    # The destination is unreachable in the withdrawn routing domain:
+    # packets get an explicit NO_ROUTE drop rather than a silent loop.
+    assert hops == []

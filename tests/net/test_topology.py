@@ -1,0 +1,284 @@
+"""Unit tests for the topology graph, queue model, ACL, traceroute limiter."""
+
+import pytest
+
+from repro.net.addresses import roce_five_tuple
+from repro.net.topology import (Acl, NodeKind, Tier, Topology,
+                                TracerouteLimiter)
+
+
+def _line_topology():
+    """hostA - sw1 - sw2 - hostB."""
+    topo = Topology()
+    topo.add_host_port("hostA")
+    topo.add_switch("sw1", Tier.TOR)
+    topo.add_switch("sw2", Tier.TOR)
+    topo.add_host_port("hostB")
+    topo.add_cable("hostA", "sw1")
+    topo.add_cable("sw1", "sw2")
+    topo.add_cable("sw2", "hostB")
+    return topo
+
+
+class TestGraphConstruction:
+    def test_duplicate_node_rejected(self):
+        topo = Topology()
+        topo.add_switch("s", Tier.TOR)
+        with pytest.raises(ValueError):
+            topo.add_switch("s", Tier.TOR)
+
+    def test_cable_to_unknown_node_rejected(self):
+        topo = Topology()
+        topo.add_switch("s", Tier.TOR)
+        with pytest.raises(ValueError):
+            topo.add_cable("s", "ghost")
+
+    def test_duplicate_cable_rejected(self):
+        topo = _line_topology()
+        with pytest.raises(ValueError):
+            topo.add_cable("sw1", "sw2")
+
+    def test_cable_creates_both_directions(self):
+        topo = _line_topology()
+        assert topo.link("sw1", "sw2").name == "sw1->sw2"
+        assert topo.link("sw2", "sw1").name == "sw2->sw1"
+
+    def test_directions_share_pair_state(self):
+        topo = _line_topology()
+        pair = topo.link_pair("sw1", "sw2")
+        pair.up = False
+        assert not topo.link("sw1", "sw2").up
+        assert not topo.link("sw2", "sw1").up
+
+    def test_unknown_lookups_raise(self):
+        topo = _line_topology()
+        with pytest.raises(KeyError):
+            topo.node("nope")
+        with pytest.raises(KeyError):
+            topo.link("hostA", "hostB")
+
+    def test_host_ports_and_switches(self):
+        topo = _line_topology()
+        assert topo.host_ports() == ["hostA", "hostB"]
+        assert topo.switches() == ["sw1", "sw2"]
+        assert topo.switches(Tier.SPINE) == []
+
+    def test_tor_of(self):
+        topo = _line_topology()
+        assert topo.tor_of("hostA") == "sw1"
+
+    def test_switch_links(self):
+        topo = _line_topology()
+        names = {l.name for l in topo.switch_links()}
+        assert names == {"sw1->sw2", "sw2->sw1"}
+
+
+class TestRouting:
+    def test_next_hops_shortest_path(self):
+        topo = _line_topology()
+        assert topo.next_hops("hostA", "hostB") == ["sw1"]
+        assert topo.next_hops("sw1", "hostB") == ["sw2"]
+        assert topo.next_hops("sw2", "hostB") == ["hostB"]
+
+    def test_ecmp_offers_all_equal_cost_hops(self):
+        topo = Topology()
+        topo.add_host_port("a")
+        topo.add_host_port("b")
+        for s in ("tor1", "tor2", "mid1", "mid2"):
+            topo.add_switch(s, Tier.TOR)
+        topo.add_cable("a", "tor1")
+        topo.add_cable("b", "tor2")
+        topo.add_cable("tor1", "mid1")
+        topo.add_cable("tor1", "mid2")
+        topo.add_cable("mid1", "tor2")
+        topo.add_cable("mid2", "tor2")
+        assert topo.next_hops("tor1", "b") == ["mid1", "mid2"]
+
+    def test_routed_around_link_excluded(self):
+        topo = Topology()
+        topo.add_host_port("a")
+        topo.add_host_port("b")
+        for s in ("tor1", "tor2", "mid1", "mid2"):
+            topo.add_switch(s, Tier.TOR)
+        topo.add_cable("a", "tor1")
+        topo.add_cable("b", "tor2")
+        topo.add_cable("tor1", "mid1")
+        topo.add_cable("tor1", "mid2")
+        topo.add_cable("mid1", "tor2")
+        topo.add_cable("mid2", "tor2")
+        topo.link_pair("tor1", "mid1").routed_around = True
+        assert topo.next_hops("tor1", "b") == ["mid2"]
+
+    def test_down_but_not_converged_still_offered(self):
+        """Freshly-down links black-hole traffic until reconvergence."""
+        topo = _line_topology()
+        topo.link_pair("sw1", "sw2").up = False
+        assert topo.next_hops("sw1", "hostB") == ["sw2"]
+
+    def test_all_routed_around_falls_back_before_reconvergence(self):
+        topo = _line_topology()
+        # Routes computed BEFORE the withdrawal: the stale table still
+        # offers the link, so packets die visibly on it (black-hole
+        # window) rather than vanishing without a drop record.
+        assert topo.next_hops("sw1", "hostB") == ["sw2"]
+        topo.link_pair("sw1", "sw2").routed_around = True
+        assert topo.next_hops("sw1", "hostB") == ["sw2"]
+
+    def test_withdrawal_after_invalidate_removes_route(self):
+        topo = _line_topology()
+        topo.link_pair("sw1", "sw2").routed_around = True
+        topo.invalidate_routes()
+        # Reconverged: the sole path is withdrawn -> explicit no-route.
+        assert topo.next_hops("sw1", "hostB") == []
+
+    def test_unknown_destination_raises(self):
+        topo = _line_topology()
+        with pytest.raises(KeyError):
+            topo.next_hops("sw1", "ghost")
+
+
+class TestQueueModel:
+    def test_no_load_no_queue(self):
+        topo = _line_topology()
+        link = topo.link("sw1", "sw2")
+        assert link.queue_delay_ns(1_000_000) == 0
+
+    def test_overload_builds_queue(self):
+        topo = _line_topology()
+        link = topo.link("sw1", "sw2")          # 400 Gbps default
+        link.set_offered_load(0, 500.0)         # 100 Gbps overload
+        # After 1 ms: 100 Gb/s * 1e6 ns / 8 = 12.5 MB queued (< 16 MB cap)
+        delay = link.queue_delay_ns(1_000_000)
+        expected_bytes = 100 * 1_000_000 / 8
+        assert abs(link.queue_bytes - expected_bytes) < 1.0
+        assert delay == round(expected_bytes * 8 / 400.0)
+
+    def test_queue_caps_at_buffer(self):
+        topo = _line_topology()
+        link = topo.link("sw1", "sw2")
+        link.set_offered_load(0, 800.0)
+        link.advance_queue(10_000_000_000)      # 10 s of overload
+        assert link.queue_bytes == link.buffer_bytes
+
+    def test_queue_drains_when_load_drops(self):
+        topo = _line_topology()
+        link = topo.link("sw1", "sw2")
+        link.set_offered_load(0, 500.0)
+        link.advance_queue(1_000_000)
+        link.set_offered_load(1_000_000, 0.0)
+        link.advance_queue(2_000_000)
+        assert link.queue_bytes == 0.0
+
+    def test_utilization(self):
+        topo = _line_topology()
+        link = topo.link("sw1", "sw2")
+        link.set_offered_load(0, 200.0)
+        assert link.utilization() == 0.5
+
+    def test_negative_load_rejected(self):
+        topo = _line_topology()
+        with pytest.raises(ValueError):
+            topo.link("sw1", "sw2").set_offered_load(0, -1.0)
+
+    def test_traversal_delay_components(self):
+        topo = _line_topology()
+        link = topo.link("sw1", "sw2")
+        base = link.traversal_delay_ns(0, 108)
+        assert base >= link.propagation_ns
+        link.pause_delay_ns = 10_000
+        assert link.traversal_delay_ns(0, 108) == base + 10_000
+
+    def test_tcp_class_skips_roce_queue(self):
+        topo = _line_topology()
+        link = topo.link("sw1", "sw2")
+        link.set_offered_load(0, 500.0)
+        link.advance_queue(1_000_000)
+        link.pause_delay_ns = 50_000
+        roce = link.traversal_delay_ns(1_000_000, 108, roce_queue=True)
+        tcp = link.traversal_delay_ns(1_000_000, 108, roce_queue=False)
+        assert tcp < roce
+
+    def test_lossless_queue_never_drops(self):
+        topo = _line_topology()
+        link = topo.link("sw1", "sw2")
+        link.set_offered_load(0, 800.0)
+        link.advance_queue(10_000_000_000)
+        assert link.congestion_drop_prob(10_000_000_000) == 0.0
+
+    def test_lossy_queue_drops_when_full(self):
+        topo = _line_topology()
+        link = topo.link("sw1", "sw2")
+        link.pfc_headroom_ok = False
+        link.set_offered_load(0, 800.0)
+        link.advance_queue(10_000_000_000)
+        prob = link.congestion_drop_prob(10_000_000_000)
+        assert prob == pytest.approx(1.0 - 400.0 / 800.0)
+
+    def test_lossy_queue_no_drop_below_capacity(self):
+        topo = _line_topology()
+        link = topo.link("sw1", "sw2")
+        link.pfc_headroom_ok = False
+        link.set_offered_load(0, 100.0)
+        assert link.congestion_drop_prob(1_000_000) == 0.0
+
+
+class TestAcl:
+    def test_default_permits(self):
+        acl = Acl()
+        assert acl.permits(roce_five_tuple("a", "b", 1))
+
+    def test_deny_src(self):
+        acl = Acl()
+        acl.deny(src_ip="a")
+        assert not acl.permits(roce_five_tuple("a", "b", 1))
+        assert acl.permits(roce_five_tuple("c", "b", 1))
+
+    def test_deny_pair(self):
+        acl = Acl()
+        acl.deny(src_ip="a", dst_ip="b")
+        assert not acl.permits(roce_five_tuple("a", "b", 1))
+        assert acl.permits(roce_five_tuple("a", "c", 1))
+
+    def test_remove_rule(self):
+        acl = Acl()
+        rule = acl.deny(src_ip="a")
+        acl.remove(rule)
+        assert acl.permits(roce_five_tuple("a", "b", 1))
+        acl.remove(rule)  # idempotent
+
+    def test_clear(self):
+        acl = Acl()
+        acl.deny(src_ip="a")
+        acl.deny(dst_ip="b")
+        acl.clear()
+        assert acl.rule_count == 0
+
+
+class TestTracerouteLimiter:
+    def test_burst_then_throttle(self):
+        limiter = TracerouteLimiter(responses_per_second=10, burst=3)
+        results = [limiter.allow(0) for _ in range(5)]
+        assert results == [True, True, True, False, False]
+
+    def test_refills_over_time(self):
+        limiter = TracerouteLimiter(responses_per_second=10, burst=1)
+        assert limiter.allow(0)
+        assert not limiter.allow(0)
+        # 10/s -> one token per 100 ms
+        assert limiter.allow(100_000_000)
+
+    def test_counts(self):
+        limiter = TracerouteLimiter(responses_per_second=1, burst=1)
+        limiter.allow(0)
+        limiter.allow(0)
+        assert limiter.responses_sent == 1
+        assert limiter.responses_suppressed == 1
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            TracerouteLimiter(responses_per_second=0)
+
+    def test_time_going_backwards_is_tolerated(self):
+        limiter = TracerouteLimiter(responses_per_second=10, burst=1)
+        assert limiter.allow(1_000_000_000)
+        assert not limiter.allow(500_000_000)  # stale clock: no refill

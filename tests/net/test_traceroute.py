@@ -1,0 +1,82 @@
+"""Unit tests for the traceroute service and path records."""
+
+from repro.net.addresses import roce_five_tuple
+from repro.net.traceroute import PathRecord, TracerouteService
+
+from tests.net.test_fabric import build_fabric
+
+
+def _ft(port=7000):
+    return roce_five_tuple("10.0.0.1", "10.0.0.2", port)
+
+
+class TestTrace:
+    def test_complete_trace(self):
+        sim, topo, fabric = build_fabric()
+        tracer = TracerouteService(fabric)
+        record = tracer.trace(_ft(), "a", "b")
+        assert record.reached
+        assert record.complete
+        assert record.hops[0] == "a"
+        assert record.hops[-1] == "b"
+
+    def test_trace_matches_data_path(self):
+        sim, topo, fabric = build_fabric()
+        tracer = TracerouteService(fabric)
+        record = tracer.trace(_ft(), "a", "b")
+        assert list(record.hops) == fabric.path_of(_ft(), "a")
+
+    def test_down_link_truncates_trace(self):
+        sim, topo, fabric = build_fabric()
+        tracer = TracerouteService(fabric)
+        full = tracer.trace(_ft(), "a", "b")
+        mid = full.hops[2]
+        topo.link_pair("tor1", mid).up = False
+        record = tracer.trace(_ft(), "a", "b")
+        assert not record.reached
+        assert len(record.hops) < len(full.hops)
+
+    def test_rate_limited_switch_shows_none(self):
+        sim, topo, fabric = build_fabric()
+        tracer = TracerouteService(fabric)
+        # Exhaust tor1's token bucket.
+        limiter = topo.node("tor1").traceroute
+        while limiter.allow(0):
+            pass
+        record = tracer.trace(_ft(), "a", "b")
+        assert record.hops[1] is None
+        assert not record.complete
+        assert record.reached  # destination still answered
+
+    def test_dst_port_resolved_from_ip(self):
+        sim, topo, fabric = build_fabric()
+        tracer = TracerouteService(fabric)
+        record = tracer.trace(_ft(), "a")
+        assert record.reached
+
+    def test_traces_counted(self):
+        sim, topo, fabric = build_fabric()
+        tracer = TracerouteService(fabric)
+        tracer.trace(_ft(), "a", "b")
+        tracer.trace(_ft(), "a", "b")
+        assert tracer.traces_issued == 2
+
+
+class TestPathRecord:
+    def test_known_links_skips_gaps(self):
+        record = PathRecord(five_tuple=_ft(), traced_at_ns=0,
+                            hops=("a", None, "c", "d"), reached=True)
+        assert record.known_links() == [("c", "d")]
+
+    def test_known_switches_excludes_endpoints(self):
+        record = PathRecord(five_tuple=_ft(), traced_at_ns=0,
+                            hops=("a", "s1", "s2", "b"), reached=True)
+        assert record.known_switches() == ["s1", "s2"]
+
+    def test_complete_requires_reached_and_no_gaps(self):
+        gap = PathRecord(five_tuple=_ft(), traced_at_ns=0,
+                         hops=("a", None, "b"), reached=True)
+        assert not gap.complete
+        unreached = PathRecord(five_tuple=_ft(), traced_at_ns=0,
+                               hops=("a", "s1"), reached=False)
+        assert not unreached.complete

@@ -1,0 +1,217 @@
+"""Unit tests for the DML workload."""
+
+import pytest
+
+from repro.host.ebpf import QpEventKind
+from repro.net.faults import (PfcDeadlock, RnicDown, RnicFlapping,
+                              SwitchPortFlapping, LinkCorruption)
+from repro.services.dml import CommPattern, DmlConfig, DmlJob
+from repro.sim.units import MILLISECOND, SECOND, seconds
+
+
+def fast_config(**overrides):
+    defaults = dict(compute_time_ns=200 * MILLISECOND,
+                    data_gbits_per_cycle=4.0)
+    defaults.update(overrides)
+    return DmlConfig(**defaults)
+
+
+def participants(cluster, n=4):
+    return cluster.rnic_names()[:n]
+
+
+class TestLifecycle:
+    def test_needs_two_participants(self, tiny_clos):
+        with pytest.raises(ValueError):
+            DmlJob(tiny_clos, ["host0-rnic0"])
+
+    def test_allreduce_ring_connection_count(self, tiny_clos):
+        job = DmlJob(tiny_clos, participants(tiny_clos, 4), fast_config())
+        job.start()
+        assert len(job.connections) == 4
+
+    def test_all2all_full_mesh_count(self, tiny_clos):
+        job = DmlJob(tiny_clos, participants(tiny_clos, 4),
+                     fast_config(pattern=CommPattern.ALL2ALL))
+        job.start()
+        assert len(job.connections) == 12
+
+    def test_connections_visible_to_ebpf(self, tiny_clos):
+        events = []
+        tiny_clos.hosts["host0"].tracer.attach(events.append)
+        job = DmlJob(tiny_clos, participants(tiny_clos, 4), fast_config())
+        job.start()
+        modify = [e for e in events if e.kind == QpEventKind.MODIFY_TO_RTS]
+        assert modify  # host0's RNIC participates in the ring
+
+    def test_stop_destroys_qps(self, tiny_clos):
+        events = []
+        tiny_clos.hosts["host0"].tracer.attach(events.append)
+        job = DmlJob(tiny_clos, participants(tiny_clos, 4), fast_config())
+        job.start()
+        tiny_clos.sim.run_for(seconds(1))
+        job.stop()
+        destroys = [e for e in events if e.kind == QpEventKind.DESTROY]
+        assert destroys
+
+    def test_cycles_progress_and_record_throughput(self, tiny_clos):
+        job = DmlJob(tiny_clos, participants(tiny_clos, 4), fast_config())
+        job.start()
+        tiny_clos.sim.run_for(seconds(10))
+        assert job.cycles_completed >= 5
+        assert len(job.throughput) == job.cycles_completed
+        assert job.current_throughput() > 0
+
+
+class TestTrafficCoupling:
+    def test_comm_phase_loads_network(self, tiny_clos):
+        job = DmlJob(tiny_clos, participants(tiny_clos, 4),
+                     fast_config(pattern=CommPattern.ALL2ALL))
+        job.start()
+        saw_load = False
+        for _ in range(100):
+            tiny_clos.sim.run_for(50 * MILLISECOND)
+            if job.in_comm_phase and job.traffic.flows:
+                saw_load = True
+                break
+        assert saw_load
+
+    def test_compute_phase_idles_network(self, tiny_clos):
+        job = DmlJob(tiny_clos, participants(tiny_clos, 4), fast_config())
+        job.start()
+        # Immediately after start we are in the first compute phase.
+        assert not job.in_comm_phase
+        assert job.traffic.flows == []
+
+
+class TestBarrelEffect:
+    def test_flapping_port_collapses_throughput(self, small_clos):
+        """Figure 1 (top): one flapping fabric port drags the whole job."""
+        job = DmlJob(small_clos, participants(small_clos, 8),
+                     fast_config(pattern=CommPattern.ALL2ALL))
+        job.start()
+        small_clos.sim.run_for(seconds(12))
+        healthy = job.throughput.values[-1]
+        fault = SwitchPortFlapping(small_clos, "pod0-tor0", "pod0-agg0")
+        fault.inject()
+        small_clos.sim.run_for(seconds(40))
+        degraded = job.throughput.values[-1]
+        assert degraded < healthy / 5
+
+    def test_flapping_rnic_collapses_throughput(self, small_clos):
+        """Figure 1 (bottom): one flapping RNIC does the same."""
+        job = DmlJob(small_clos, participants(small_clos, 8),
+                     fast_config(pattern=CommPattern.ALL2ALL))
+        job.start()
+        small_clos.sim.run_for(seconds(12))
+        healthy = job.throughput.values[-1]
+        RnicFlapping(small_clos, "host0-rnic0").inject()
+        small_clos.sim.run_for(seconds(40))
+        assert job.throughput.values[-1] < healthy / 5
+
+    def test_corruption_degrades_throughput(self, small_clos):
+        job = DmlJob(small_clos, participants(small_clos, 8),
+                     fast_config(pattern=CommPattern.ALL2ALL))
+        job.start()
+        small_clos.sim.run_for(seconds(12))
+        healthy = job.throughput.values[-1]
+        LinkCorruption(small_clos, "pod0-tor0", "pod0-agg0",
+                       drop_prob=0.05).inject()
+        small_clos.sim.run_for(seconds(30))
+        assert job.throughput.values[-1] < healthy
+
+
+class TestConnectionBreakage:
+    def test_untuned_retransmission_fails_task(self, small_clos):
+        """§7.1 #1: without the retransmission mitigation, a dead path
+        breaks the connection and the training task fails."""
+        job = DmlJob(small_clos, participants(small_clos, 4),
+                     fast_config(retransmission_tuned=False))
+        job.start()
+        small_clos.sim.run_for(seconds(3))
+        RnicDown(small_clos, "host0-rnic0").inject()
+        small_clos.sim.run_for(seconds(10))
+        assert job.task_failed
+        assert job.degraded()
+
+    def test_tuned_retransmission_survives_flapping(self, small_clos):
+        job = DmlJob(small_clos, participants(small_clos, 4),
+                     fast_config(retransmission_tuned=True))
+        job.start()
+        small_clos.sim.run_for(seconds(3))
+        RnicFlapping(small_clos, "host0-rnic0").inject()
+        small_clos.sim.run_for(seconds(30))
+        assert not job.task_failed
+
+    def test_pfc_deadlock_fails_untuned_task(self, small_clos):
+        job = DmlJob(small_clos, participants(small_clos, 8),
+                     fast_config(pattern=CommPattern.ALL2ALL,
+                                 retransmission_tuned=False))
+        job.start()
+        small_clos.sim.run_for(seconds(3))
+        PfcDeadlock(small_clos, "pod0-tor0", "pod0-agg0").inject()
+        small_clos.sim.run_for(seconds(10))
+        assert job.task_failed
+
+
+class TestCheckpoints:
+    def test_checkpoint_pins_cpu(self, tiny_clos):
+        config = fast_config(checkpoint_every_cycles=2,
+                             checkpoint_duration_ns=1 * SECOND)
+        job = DmlJob(tiny_clos, participants(tiny_clos, 4), config)
+        job.start()
+        loads = []
+        for _ in range(200):
+            tiny_clos.sim.run_for(50 * MILLISECOND)
+            loads.append(tiny_clos.hosts["host0"].cpu.load)
+        assert config.checkpoint_cpu_load in loads
+        assert config.compute_cpu_load in loads
+
+
+class TestServiceMonitor:
+    def test_not_degraded_when_healthy(self, tiny_clos):
+        job = DmlJob(tiny_clos, participants(tiny_clos, 4), fast_config())
+        job.start()
+        tiny_clos.sim.run_for(seconds(10))
+        assert not job.degraded()
+
+    def test_degraded_after_collapse(self, small_clos):
+        job = DmlJob(small_clos, participants(small_clos, 8),
+                     fast_config(pattern=CommPattern.ALL2ALL))
+        job.start()
+        small_clos.sim.run_for(seconds(12))
+        RnicFlapping(small_clos, "host0-rnic0").inject()
+        small_clos.sim.run_for(seconds(40))
+        assert job.degraded()
+
+
+class TestComputeDegradation:
+    def test_fig9_signature(self, tiny_clos):
+        """Throughput declines while network demand per cycle shrinks."""
+        job = DmlJob(tiny_clos, participants(tiny_clos, 4), fast_config())
+        job.set_compute_degradation(0.05)
+        job.start()
+        tiny_clos.sim.run_for(seconds(5))
+        early = job.current_throughput()
+        tiny_clos.sim.run_for(seconds(25))
+        late = job.current_throughput()
+        assert late < early
+        assert job.compute_speed_factor < 0.9
+
+    def test_bad_decay_rejected(self, tiny_clos):
+        job = DmlJob(tiny_clos, participants(tiny_clos, 4), fast_config())
+        with pytest.raises(ValueError):
+            job.set_compute_degradation(1.5)
+
+
+class TestReroute:
+    def test_reroute_emits_modify_event(self, tiny_clos):
+        job = DmlJob(tiny_clos, participants(tiny_clos, 4), fast_config())
+        job.start()
+        conn = job.connections[0]
+        events = []
+        host = tiny_clos.host_of_rnic(conn.src_rnic)
+        host.tracer.attach(events.append)
+        job.reroute_connection(conn, 22222)
+        assert conn.src_port == 22222
+        assert events[-1].five_tuple.src_port == 22222

@@ -1,0 +1,59 @@
+"""Unit tests for model loading (storage) and CC model parameters."""
+
+import pytest
+
+from repro.services.congestion import CUSTOM_CC, DCQCN, CcModel
+from repro.services.storage import ModelLoadPhase
+from repro.sim.units import SECOND, seconds
+
+
+class TestCcModels:
+    def test_dcqcn_vs_custom_ordering(self):
+        """Figure 11 (right) premise: custom CC keeps smaller queues and
+        higher goodput than DCQCN."""
+        assert CUSTOM_CC.congested_queue_fill < DCQCN.congested_queue_fill
+        assert CUSTOM_CC.goodput_efficiency > DCQCN.goodput_efficiency
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CcModel("bad", congested_queue_fill=1.5, goodput_efficiency=0.9)
+        with pytest.raises(ValueError):
+            CcModel("bad", congested_queue_fill=0.5, goodput_efficiency=0.0)
+
+
+class TestModelLoadPhase:
+    def test_completes_after_longest_host(self, tiny_clos):
+        hosts = ["host0", "host1", "host2"]
+        phase = ModelLoadPhase(tiny_clos, hosts,
+                               base_duration_ns=10 * SECOND)
+        done = []
+        phase.run(done.append)
+        tiny_clos.sim.run_for(seconds(60))
+        assert done
+        result = done[0]
+        assert result.duration_ns == max(result.per_host_ns.values())
+
+    def test_overloaded_host_is_straggler(self, tiny_clos):
+        """§2.3 case 2: one overloaded CPU slows the whole job's start."""
+        hosts = ["host0", "host1", "host2"]
+        tiny_clos.hosts["host1"].cpu.set_load(0.95)
+        phase = ModelLoadPhase(tiny_clos, hosts,
+                               base_duration_ns=10 * SECOND)
+        done = []
+        phase.run(done.append)
+        tiny_clos.sim.run_for(seconds(600))
+        result = done[0]
+        assert result.straggler == "host1"
+        assert result.per_host_ns["host1"] > 5 * result.per_host_ns["host0"]
+
+    def test_loading_pins_cpu_then_releases(self, tiny_clos):
+        phase = ModelLoadPhase(tiny_clos, ["host0"],
+                               base_duration_ns=SECOND)
+        phase.run(lambda r: None)
+        assert tiny_clos.hosts["host0"].cpu.load >= 0.80
+        tiny_clos.sim.run_for(seconds(30))
+        assert tiny_clos.hosts["host0"].cpu.load < 0.5
+
+    def test_needs_hosts(self, tiny_clos):
+        with pytest.raises(ValueError):
+            ModelLoadPhase(tiny_clos, [])

@@ -1,0 +1,119 @@
+"""Unit tests for the fluid traffic engine."""
+
+import pytest
+
+from repro.net.addresses import roce_five_tuple
+from repro.services.congestion import CUSTOM_CC, DCQCN
+from repro.services.traffic import Flow, TrafficEngine
+
+
+def flow(cluster, src, dst, port, demand=100.0):
+    return Flow(
+        five_tuple=roce_five_tuple(cluster.rnic(src).ip,
+                                   cluster.rnic(dst).ip, port),
+        src_port_node=src, demand_gbps=demand)
+
+
+class TestApply:
+    def test_load_lands_on_path_links(self, tiny_clos):
+        engine = TrafficEngine(tiny_clos)
+        f = flow(tiny_clos, "host0-rnic0", "host2-rnic0", 5000)
+        engine.apply([f])
+        assert len(f.path) >= 3
+        for a, b in zip(f.path, f.path[1:]):
+            assert tiny_clos.topology.links[(a, b)].offered_load_gbps \
+                == pytest.approx(100.0)
+
+    def test_flows_aggregate_on_shared_links(self, tiny_clos):
+        engine = TrafficEngine(tiny_clos)
+        flows = [flow(tiny_clos, "host0-rnic0", "host2-rnic0", p)
+                 for p in (5000, 5001)]
+        engine.apply(flows)
+        first_link = tiny_clos.topology.links[("host0-rnic0",
+                                               tiny_clos.tor_of("host0-rnic0"))]
+        assert first_link.offered_load_gbps == pytest.approx(200.0)
+
+    def test_clear_removes_load(self, tiny_clos):
+        engine = TrafficEngine(tiny_clos)
+        f = flow(tiny_clos, "host0-rnic0", "host2-rnic0", 5000)
+        engine.apply([f])
+        engine.clear()
+        for link in tiny_clos.topology.all_directed_links():
+            assert link.offered_load_gbps == 0.0
+            assert link.queue_bytes == 0.0
+
+    def test_reapply_replaces_not_accumulates(self, tiny_clos):
+        engine = TrafficEngine(tiny_clos)
+        f = flow(tiny_clos, "host0-rnic0", "host2-rnic0", 5000)
+        engine.apply([f])
+        engine.apply([flow(tiny_clos, "host0-rnic0", "host2-rnic0", 5000)])
+        first_link = tiny_clos.topology.links[("host0-rnic0",
+                                               tiny_clos.tor_of("host0-rnic0"))]
+        assert first_link.offered_load_gbps == pytest.approx(100.0)
+
+
+class TestCongestion:
+    def test_overload_capped_with_standing_queue(self, tiny_clos):
+        engine = TrafficEngine(tiny_clos, cc=DCQCN)
+        flows = [flow(tiny_clos, "host0-rnic0", "host1-rnic0", 5000 + i,
+                      demand=300.0) for i in range(3)]  # 900 on a 400 link
+        engine.apply(flows)
+        last_link = tiny_clos.topology.links[
+            (tiny_clos.tor_of("host1-rnic0"), "host1-rnic0")]
+        assert last_link.offered_load_gbps == pytest.approx(400.0)
+        assert last_link.queue_bytes == pytest.approx(
+            DCQCN.congested_queue_fill * last_link.buffer_bytes)
+
+    def test_custom_cc_keeps_queue_small(self, tiny_clos):
+        dcqcn = TrafficEngine(tiny_clos, cc=DCQCN)
+        flows = [flow(tiny_clos, "host0-rnic0", "host1-rnic0", 5000 + i,
+                      demand=300.0) for i in range(3)]
+        dcqcn.apply(flows)
+        last = tiny_clos.topology.links[
+            (tiny_clos.tor_of("host1-rnic0"), "host1-rnic0")]
+        dcqcn_queue = last.queue_bytes
+        dcqcn.set_cc(CUSTOM_CC)
+        dcqcn.apply(flows)
+        assert last.queue_bytes < dcqcn_queue / 5
+
+    def test_goodput_shares_bottleneck(self, tiny_clos):
+        engine = TrafficEngine(tiny_clos, cc=DCQCN)
+        flows = [flow(tiny_clos, "host0-rnic0", "host1-rnic0", 5000 + i,
+                      demand=300.0) for i in range(3)]
+        engine.apply(flows)
+        for f in flows:
+            # 400 * 0.9 efficiency split over 900 demanded
+            assert f.goodput_gbps == pytest.approx(300.0 * 400 * 0.9 / 900)
+
+    def test_uncongested_goodput_is_demand(self, tiny_clos):
+        engine = TrafficEngine(tiny_clos)
+        f = flow(tiny_clos, "host0-rnic0", "host2-rnic0", 5000, demand=50.0)
+        engine.apply([f])
+        assert f.goodput_gbps == pytest.approx(50.0)
+
+    def test_overloaded_links_reported(self, tiny_clos):
+        engine = TrafficEngine(tiny_clos)
+        flows = [flow(tiny_clos, "host0-rnic0", "host1-rnic0", 5000 + i,
+                      demand=300.0) for i in range(3)]
+        engine.apply(flows)
+        names = {l.name for l in engine.overloaded_links()}
+        assert f"{tiny_clos.tor_of('host1-rnic0')}->host1-rnic0" in names
+
+    def test_min_goodput_barrel_bound(self, tiny_clos):
+        engine = TrafficEngine(tiny_clos)
+        assert engine.min_goodput() is None
+        flows = [
+            flow(tiny_clos, "host0-rnic0", "host1-rnic0", 5000, demand=300.0),
+            flow(tiny_clos, "host0-rnic0", "host1-rnic0", 5001, demand=300.0),
+            flow(tiny_clos, "host2-rnic0", "host3-rnic0", 5002, demand=50.0),
+        ]
+        engine.apply(flows)
+        assert engine.min_goodput() < 300.0
+
+    def test_link_demand_query(self, tiny_clos):
+        engine = TrafficEngine(tiny_clos)
+        f = flow(tiny_clos, "host0-rnic0", "host2-rnic0", 5000)
+        engine.apply([f])
+        tor = tiny_clos.tor_of("host0-rnic0")
+        assert engine.link_demand("host0-rnic0", tor) == pytest.approx(100.0)
+        assert engine.link_demand(tor, "host0-rnic0") == 0.0

@@ -1,0 +1,91 @@
+"""Property-based tests on traffic-engine invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Cluster
+from repro.net.addresses import roce_five_tuple
+from repro.net.clos import ClosParams
+from repro.services.traffic import Flow, TrafficEngine
+
+_CLUSTER = Cluster.clos(
+    ClosParams(pods=2, tors_per_pod=2, aggs_per_pod=2, spines=2,
+               hosts_per_tor=2),
+    seed=99)
+_RNICS = _CLUSTER.rnic_names()
+
+
+def _flows(specs):
+    flows = []
+    for src_i, dst_i, port, demand in specs:
+        src = _RNICS[src_i % len(_RNICS)]
+        dst = _RNICS[dst_i % len(_RNICS)]
+        if src == dst:
+            continue
+        flows.append(Flow(
+            five_tuple=roce_five_tuple(_CLUSTER.rnic(src).ip,
+                                       _CLUSTER.rnic(dst).ip, port),
+            src_port_node=src, demand_gbps=demand))
+    return flows
+
+
+flow_specs = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 15),
+              st.integers(1024, 65535),
+              st.floats(min_value=1.0, max_value=200.0)),
+    min_size=1, max_size=12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(specs=flow_specs)
+def test_demand_conservation(specs):
+    """Sum of per-link demand equals sum over flows of demand x hops
+    (before capacity capping)."""
+    engine = TrafficEngine(_CLUSTER)
+    flows = _flows(specs)
+    engine.apply(flows)
+    expected = sum(f.demand_gbps * (len(f.path) - 1) for f in flows)
+    # Link offered loads are capped at capacity, so compare against the
+    # engine's own demand bookkeeping:
+    total_demand = 0.0
+    seen = set()
+    for flow in flows:
+        for a, b in zip(flow.path, flow.path[1:]):
+            if (a, b) in seen:
+                continue
+            seen.add((a, b))
+            total_demand += engine.link_demand(a, b)
+    assert abs(total_demand - expected) < 1e-6 * max(expected, 1)
+    engine.clear()
+
+
+@settings(max_examples=40, deadline=None)
+@given(specs=flow_specs)
+def test_goodput_never_exceeds_demand(specs):
+    engine = TrafficEngine(_CLUSTER)
+    flows = _flows(specs)
+    engine.apply(flows)
+    for flow in flows:
+        assert 0.0 <= flow.goodput_gbps <= flow.demand_gbps + 1e-9
+    engine.clear()
+
+
+@settings(max_examples=40, deadline=None)
+@given(specs=flow_specs)
+def test_offered_load_never_exceeds_capacity(specs):
+    """The CC model caps arrivals at line rate (lossless fabric)."""
+    engine = TrafficEngine(_CLUSTER)
+    engine.apply(_flows(specs))
+    for link in _CLUSTER.topology.all_directed_links():
+        assert link.offered_load_gbps <= link.rate_gbps + 1e-9
+    engine.clear()
+
+
+@settings(max_examples=30, deadline=None)
+@given(specs=flow_specs)
+def test_clear_leaves_no_residue(specs):
+    engine = TrafficEngine(_CLUSTER)
+    engine.apply(_flows(specs))
+    engine.clear()
+    for link in _CLUSTER.topology.all_directed_links():
+        assert link.offered_load_gbps == 0.0
+        assert link.queue_bytes == 0.0

@@ -1,0 +1,223 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import PeriodicTask, SimulationError, Simulator
+
+
+def test_starts_at_time_zero():
+    sim = Simulator()
+    assert sim.now == 0
+
+
+def test_call_later_runs_at_right_time():
+    sim = Simulator()
+    seen = []
+    sim.call_later(100, lambda: seen.append(sim.now))
+    sim.run_until(1000)
+    assert seen == [100]
+
+
+def test_call_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.call_at(250, lambda: seen.append(sim.now))
+    sim.run_until(300)
+    assert seen == [250]
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.call_later(300, lambda: seen.append(300))
+    sim.call_later(100, lambda: seen.append(100))
+    sim.call_later(200, lambda: seen.append(200))
+    sim.run_until(1000)
+    assert seen == [100, 200, 300]
+
+
+def test_simultaneous_events_run_in_schedule_order():
+    sim = Simulator()
+    seen = []
+    for label in ("a", "b", "c"):
+        sim.call_later(50, lambda label=label: seen.append(label))
+    sim.run_until(100)
+    assert seen == ["a", "b", "c"]
+
+
+def test_run_until_advances_clock_even_without_events():
+    sim = Simulator()
+    sim.run_until(12345)
+    assert sim.now == 12345
+
+
+def test_run_for_is_relative():
+    sim = Simulator()
+    sim.run_until(100)
+    sim.run_for(50)
+    assert sim.now == 150
+
+
+def test_cannot_schedule_in_the_past():
+    sim = Simulator()
+    sim.run_until(100)
+    with pytest.raises(SimulationError):
+        sim.call_at(50, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_later(-1, lambda: None)
+
+
+def test_cannot_run_backwards():
+    sim = Simulator()
+    sim.run_until(100)
+    with pytest.raises(SimulationError):
+        sim.run_until(50)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    seen = []
+    handle = sim.call_later(100, lambda: seen.append(1))
+    handle.cancel()
+    sim.run_until(1000)
+    assert seen == []
+    assert handle.cancelled
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.call_later(100, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run_until(200)
+
+
+def test_events_scheduled_during_run_are_processed():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append("first")
+        sim.call_later(10, lambda: seen.append("second"))
+
+    sim.call_later(5, first)
+    sim.run_until(100)
+    assert seen == ["first", "second"]
+
+
+def test_event_beyond_horizon_stays_queued():
+    sim = Simulator()
+    seen = []
+    sim.call_later(500, lambda: seen.append(1))
+    sim.run_until(400)
+    assert seen == []
+    assert sim.pending() == 1
+    sim.run_until(600)
+    assert seen == [1]
+
+
+def test_run_all_drains_heap():
+    sim = Simulator()
+    seen = []
+    sim.call_later(10, lambda: seen.append(1))
+    sim.call_later(20, lambda: seen.append(2))
+    sim.run_all()
+    assert seen == [1, 2]
+    assert sim.pending() == 0
+
+
+def test_run_all_detects_runaway():
+    sim = Simulator()
+
+    def reschedule():
+        sim.call_later(1, reschedule)
+
+    sim.call_later(1, reschedule)
+    with pytest.raises(SimulationError):
+        sim.run_all(limit=100)
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.call_later(10, lambda: None)
+    sim.run_until(20)
+    assert sim.events_processed == 5
+
+
+class TestPeriodicTask:
+    def test_fires_at_interval(self):
+        sim = Simulator()
+        seen = []
+        sim.every(100, lambda: seen.append(sim.now))
+        sim.run_until(350)
+        assert seen == [100, 200, 300]
+
+    def test_custom_first_delay(self):
+        sim = Simulator()
+        seen = []
+        sim.every(100, lambda: seen.append(sim.now), delay=10)
+        sim.run_until(250)
+        assert seen == [10, 110, 210]
+
+    def test_stop_halts_firing(self):
+        sim = Simulator()
+        seen = []
+        task = sim.every(100, lambda: seen.append(sim.now))
+        sim.run_until(250)
+        task.stop()
+        sim.run_until(1000)
+        assert seen == [100, 200]
+        assert task.stopped
+
+    def test_callback_can_stop_itself(self):
+        sim = Simulator()
+        task_box = []
+
+        def callback():
+            if task_box[0].runs >= 2:
+                task_box[0].stop()
+
+        task_box.append(sim.every(10, callback))
+        sim.run_until(1000)
+        assert task_box[0].runs == 3  # third run sees runs>=2 and stops
+
+    def test_set_interval_applies_after_next_firing(self):
+        sim = Simulator()
+        seen = []
+        task = sim.every(100, lambda: seen.append(sim.now))
+        sim.run_until(100)
+        # The firing at t=100 already re-armed itself for t=200; the new
+        # interval takes effect for arms made after the change.
+        task.set_interval(50)
+        sim.run_until(310)
+        assert seen == [100, 200, 250, 300]
+
+    def test_zero_interval_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            PeriodicTask(sim, 0, lambda: None)
+
+    def test_jitter_stays_bounded(self):
+        sim = Simulator(seed=3)
+        times = []
+        sim.every(100, lambda: times.append(sim.now), jitter=20)
+        sim.run_until(5000)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(100 <= g < 120 for g in gaps)
+
+
+def test_determinism_same_seed_same_trace():
+    def run(seed):
+        sim = Simulator(seed=seed)
+        trace = []
+        sim.every(7, lambda: trace.append(sim.now), jitter=5)
+        sim.run_until(500)
+        return trace
+
+    assert run(1) == run(1)
+    assert run(1) != run(2)

@@ -1,0 +1,79 @@
+"""Unit tests for named RNG streams."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import RngRegistry, RngStream, derive_seed
+
+
+def test_derive_seed_is_deterministic():
+    assert derive_seed(1, "a") == derive_seed(1, "a")
+
+
+def test_derive_seed_varies_by_name_and_root():
+    assert derive_seed(1, "a") != derive_seed(1, "b")
+    assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+def test_same_name_same_sequence():
+    a = RngStream(5, "x")
+    b = RngStream(5, "x")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_decorrelated():
+    a = RngStream(5, "x")
+    b = RngStream(5, "y")
+    assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+
+def test_registry_returns_same_stream_object():
+    reg = RngRegistry(0)
+    assert reg.stream("foo") is reg.stream("foo")
+    assert reg.stream("foo") is not reg.stream("bar")
+
+
+def test_chance_extremes():
+    rng = RngStream(0, "t")
+    assert not any(rng.chance(0.0) for _ in range(100))
+    assert all(rng.chance(1.0) for _ in range(100))
+
+
+def test_chance_rate_roughly_matches():
+    rng = RngStream(0, "t")
+    hits = sum(rng.chance(0.3) for _ in range(10_000))
+    assert 2700 < hits < 3300
+
+
+def test_sample_caps_at_population():
+    rng = RngStream(0, "t")
+    assert sorted(rng.sample([1, 2, 3], 10)) == [1, 2, 3]
+
+
+def test_shuffled_returns_new_list_with_same_items():
+    rng = RngStream(0, "t")
+    original = list(range(50))
+    shuffled = rng.shuffled(original)
+    assert shuffled is not original
+    assert sorted(shuffled) == original
+    assert original == list(range(50))  # input untouched
+
+
+@given(st.integers(min_value=0, max_value=2**32),
+       st.text(min_size=1, max_size=20))
+def test_derive_seed_in_64_bit_range(root, name):
+    seed = derive_seed(root, name)
+    assert 0 <= seed < 2**64
+
+
+@given(st.floats(min_value=0.0, max_value=1.0))
+def test_chance_never_crashes(p):
+    rng = RngStream(0, "h")
+    assert rng.chance(p) in (True, False)
+
+
+def test_randint_bounds():
+    rng = RngStream(0, "t")
+    values = [rng.randint(3, 7) for _ in range(200)]
+    assert min(values) >= 3
+    assert max(values) <= 7
+    assert set(values) == {3, 4, 5, 6, 7}

@@ -1,0 +1,150 @@
+"""Unit tests for percentile tracking and time series."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import PercentileTracker, RateMeter, TimeSeries
+
+
+class TestPercentileTracker:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            PercentileTracker().percentile(50)
+
+    def test_single_sample_everywhere(self):
+        t = PercentileTracker()
+        t.add(42.0)
+        assert t.p50() == 42.0
+        assert t.p99() == 42.0
+        assert t.p999() == 42.0
+
+    def test_median_of_known_data(self):
+        t = PercentileTracker()
+        t.extend(float(i) for i in range(1, 101))
+        assert t.p50() == 50.0
+        assert t.p99() == 99.0
+        assert t.percentile(100) == 100.0
+        assert t.percentile(0) == 1.0
+
+    def test_p999_picks_tail(self):
+        t = PercentileTracker()
+        t.extend([1.0] * 999)
+        t.add(1000.0)
+        assert t.p999() == 1.0 or t.p999() == 1000.0  # nearest-rank boundary
+        assert t.max() == 1000.0
+
+    def test_out_of_range_percentile(self):
+        t = PercentileTracker()
+        t.add(1.0)
+        with pytest.raises(ValueError):
+            t.percentile(101)
+        with pytest.raises(ValueError):
+            t.percentile(-1)
+
+    def test_interleaved_add_and_query(self):
+        t = PercentileTracker()
+        t.extend([3.0, 1.0])
+        assert t.min() == 1.0
+        t.add(0.5)
+        assert t.min() == 0.5  # re-sorts after new sample
+
+    def test_clear(self):
+        t = PercentileTracker()
+        t.add(1.0)
+        t.clear()
+        assert len(t) == 0
+
+    def test_summary_keys(self):
+        t = PercentileTracker()
+        t.extend([1.0, 2.0, 3.0])
+        summary = t.summary()
+        assert set(summary) == {"count", "mean", "min", "p50", "p90", "p99",
+                                "p999", "max"}
+        assert summary["count"] == 3.0
+        assert summary["mean"] == 2.0
+
+    @given(st.lists(st.floats(min_value=-1e9, max_value=1e9),
+                    min_size=1, max_size=300))
+    def test_percentiles_are_monotone(self, samples):
+        t = PercentileTracker()
+        t.extend(samples)
+        values = [t.percentile(p) for p in (0, 25, 50, 75, 90, 99, 100)]
+        assert values == sorted(values)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                    min_size=1, max_size=200))
+    def test_percentile_is_an_actual_sample(self, samples):
+        t = PercentileTracker()
+        t.extend(samples)
+        for p in (1, 50, 99):
+            assert t.percentile(p) in samples
+
+
+class TestTimeSeries:
+    def test_record_and_len(self):
+        s = TimeSeries("x")
+        s.record(0, 1.0)
+        s.record(10, 2.0)
+        assert len(s) == 2
+
+    def test_time_must_not_go_backwards(self):
+        s = TimeSeries("x")
+        s.record(10, 1.0)
+        with pytest.raises(ValueError):
+            s.record(5, 2.0)
+
+    def test_equal_times_allowed(self):
+        s = TimeSeries("x")
+        s.record(10, 1.0)
+        s.record(10, 2.0)
+        assert s.values == [1.0, 2.0]
+
+    def test_window(self):
+        s = TimeSeries("x")
+        for t in range(0, 100, 10):
+            s.record(t, float(t))
+        w = s.window(20, 50)
+        assert w.times == [20, 30, 40]
+
+    def test_value_at_step_interpolation(self):
+        s = TimeSeries("x")
+        s.record(0, 1.0)
+        s.record(100, 2.0)
+        assert s.value_at(50) == 1.0
+        assert s.value_at(100) == 2.0
+        assert s.value_at(500) == 2.0
+
+    def test_value_at_before_first_point(self):
+        s = TimeSeries("x")
+        s.record(100, 1.0)
+        with pytest.raises(ValueError):
+            s.value_at(50)
+
+    def test_aggregates(self):
+        s = TimeSeries("x")
+        for v in (3.0, 1.0, 2.0):
+            s.record(0, v)
+        assert s.mean() == 2.0
+        assert s.max() == 3.0
+        assert s.min() == 1.0
+
+    def test_empty_aggregates_raise(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x").mean()
+
+
+class TestRateMeter:
+    def test_rate_computation(self):
+        m = RateMeter()
+        m.hit(10)
+        assert m.take_rate(1_000_000_000) == 10.0
+
+    def test_take_rate_resets(self):
+        m = RateMeter()
+        m.hit(5)
+        m.take_rate(1_000_000_000)
+        assert m.take_rate(1_000_000_000) == 0.0
+
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            RateMeter().take_rate(0)

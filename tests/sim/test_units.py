@@ -1,0 +1,47 @@
+"""Unit tests for time/rate unit helpers."""
+
+import pytest
+
+from repro.sim import units
+
+
+def test_time_constants_ratios():
+    assert units.MICROSECOND == 1_000
+    assert units.MILLISECOND == 1_000_000
+    assert units.SECOND == 1_000_000_000
+    assert units.MINUTE == 60 * units.SECOND
+    assert units.HOUR == 60 * units.MINUTE
+    assert units.DAY == 24 * units.HOUR
+
+
+def test_conversions_round_trip():
+    assert units.seconds(1.5) == 1_500_000_000
+    assert units.milliseconds(2) == 2_000_000
+    assert units.microseconds(3) == 3_000
+    assert units.minutes(2) == 120 * units.SECOND
+    assert units.hours(0.5) == 30 * units.MINUTE
+
+
+def test_to_float_views():
+    assert units.to_seconds(units.seconds(2)) == 2.0
+    assert units.to_microseconds(units.microseconds(7)) == 7.0
+    assert units.to_milliseconds(units.milliseconds(9)) == 9.0
+
+
+def test_gbps_is_bits_per_ns():
+    assert units.gbps(100) == 100.0
+    assert units.bits_per_ns(400) == 400.0
+
+
+def test_serialization_delay():
+    # 1500 bytes at 100 Gbps = 12000 bits / 100 bits-per-ns = 120 ns
+    assert units.serialization_delay_ns(1500, 100) == 120
+
+
+def test_serialization_delay_minimum_one_ns():
+    assert units.serialization_delay_ns(1, 10_000) == 1
+
+
+def test_serialization_delay_rejects_zero_rate():
+    with pytest.raises(ValueError):
+        units.serialization_delay_ns(100, 0)
