@@ -6,16 +6,29 @@ misconfigurations, congestion, intra-host bottlenecks — against a live
 deployment, printing for each: what was injected, what the Analyzer said,
 how fast, and whether the training task survived.
 
-Run:  python examples/fault_drill.py            (all 14 rows, ~2 min)
+A closing drill partitions the *control plane* instead of the data plane:
+the Controller disappears for two analysis windows, Agents keep probing
+from cached pinglists, and an Agent cut off from the management network
+is declared down on upload silence alone — then recovers on heal.
+
+Run:  python examples/fault_drill.py            (all 14 rows + control-plane)
       python examples/fault_drill.py 5 8 13     (just rows 5, 8, 13)
+      python examples/fault_drill.py control    (just the control-plane drill)
 """
 
 import sys
 
+from repro.cluster import Cluster
+from repro.core.config import RPingmeshConfig
+from repro.core.dashboard import render_control_plane
+from repro.core.system import RPingmesh
 from repro.experiments import tab02_catalog
+from repro.net.clos import ClosParams
+from repro.net.faults import ControlPlanePartition
+from repro.sim.units import SECOND, seconds
 
 
-def main(rows: list[int]) -> None:
+def table2_drill(rows: list[int]) -> None:
     print(f"{'row':>3}  {'root cause':<38} {'detected':>8}  "
           f"{'signal ok':>9}  {'svc-fail ok':>11}  {'latency':>8}")
     print("-" * 88)
@@ -29,6 +42,67 @@ def main(rows: list[int]) -> None:
               f"{str(outcome.service_failure_matches):>11}  {latency:>8}")
 
 
+def control_plane_drill() -> None:
+    """Management-network partitions: Controller, then one Agent."""
+    print()
+    print("control-plane drill (management network §4.2.3)")
+    print("-" * 88)
+    cluster = Cluster.clos(
+        ClosParams(pods=1, tors_per_pod=2, aggs_per_pod=2, spines=1,
+                   hosts_per_tor=3), seed=0)
+    # Short refresh so pinglist pushes actually fire (and die) while the
+    # Controller is cut off.
+    system = RPingmesh(cluster,
+                       RPingmeshConfig(pinglist_refresh_ns=15 * SECOND))
+    system.start()
+    cluster.sim.run_for(seconds(20))
+
+    # Phase 1: the Controller vanishes for two analysis windows.  No
+    # pinglist refresh can land, but every Agent keeps probing from its
+    # cached pinglists and the Analyzer keeps concluding.
+    controller_cut = ControlPlanePartition(cluster, "controller")
+    controller_cut.inject()
+    probes_before = sum(a.probes_sent for a in system.agents.values())
+    cluster.sim.run_for(seconds(40))
+    controller_cut.clear()
+    probed = sum(a.probes_sent for a in system.agents.values()) - probes_before
+    dropped = system.network.stats_for("controller").dropped_partition
+    window = system.analyzer.windows[-1]
+    print(f"controller cut for 40s: pushes dropped on the wire={dropped}, "
+          f"agents kept probing ({probed} probes), "
+          f"window still concluded ({window.results_processed} results, "
+          f"down_hosts={sorted(window.down_hosts)})")
+
+    # Phase 2: one Agent loses the management network while its host (and
+    # RoCE data plane) stay healthy.  Upload silence -> declared down;
+    # heal -> resend buffer drains and the verdict clears.
+    victim = sorted(system.agents)[0]
+    agent = system.agents[victim]
+    agent_cut = ControlPlanePartition.for_host(cluster, victim)
+    agent_cut.inject()
+    cluster.sim.run_for(seconds(40))
+    flagged = victim in system.analyzer.windows[-1].down_hosts
+    print(f"{victim} cut for 40s: upload retries={agent.uploads.retries}, "
+          f"buffered batches={agent.uploads.backlog}, "
+          f"declared down on silence={flagged}")
+    agent_cut.clear()
+    cluster.sim.run_for(seconds(40))
+    recovered = victim not in system.analyzer.windows[-1].down_hosts
+    print(f"{victim} healed: buffer drained to {agent.uploads.backlog}, "
+          f"batches acked={agent.uploads.acked}, recovered={recovered}")
+    print()
+    print(render_control_plane(system))
+
+
+def main(args: list[str]) -> None:
+    if args == ["control"]:
+        control_plane_drill()
+        return
+    rows = [int(a) for a in args] or list(range(1, 15))
+    table2_drill(rows)
+    if not args:
+        control_plane_drill()
+
+
 if __name__ == "__main__":
-    selected = [int(a) for a in sys.argv[1:]] or list(range(1, 15))
-    main(selected)
+    main(sys.argv[1:])

@@ -20,13 +20,14 @@ import sys
 from typing import Optional
 
 from repro.cluster import Cluster
-from repro.core.dashboard import render_analyzer_state
+from repro.core.config import RPingmeshConfig
+from repro.core.dashboard import render_analyzer_state, render_control_plane
 from repro.core.system import RPingmesh
 from repro.net.clos import ClosParams
-from repro.net.faults import (CpuOverload, LinkCorruption, PcieDowngrade,
-                              PfcDeadlock, RnicDown, RnicFlapping,
-                              SwitchPortFlapping)
-from repro.sim.units import seconds
+from repro.net.faults import (ControlPlanePartition, CpuOverload,
+                              LinkCorruption, PcieDowngrade, PfcDeadlock,
+                              RnicDown, RnicFlapping, SwitchPortFlapping)
+from repro.sim.units import MILLISECOND, seconds
 
 FAULTS = {
     "flap-port": lambda c: SwitchPortFlapping(c, "pod0-tor0", "pod0-agg0"),
@@ -37,27 +38,43 @@ FAULTS = {
     "pfc-deadlock": lambda c: PfcDeadlock(c, "pod0-agg0", "spine0"),
     "cpu-overload": lambda c: CpuOverload(c, "host0", load=0.85),
     "pcie-downgrade": lambda c: PcieDowngrade(c, "host1-rnic0"),
+    "partition-agent": lambda c: ControlPlanePartition.for_host(c, "host0"),
+    "partition-controller": lambda c: ControlPlanePartition(c, "controller"),
 }
 
 
-def _deploy(seed: int) -> tuple[Cluster, RPingmesh]:
+def _config_from_args(args: argparse.Namespace) -> RPingmeshConfig:
+    config = RPingmeshConfig()
+    if getattr(args, "control_latency_ms", 0):
+        config.control_latency_ns = args.control_latency_ms * MILLISECOND
+        config.control_jitter_ns = config.control_latency_ns // 2
+    if getattr(args, "control_loss", 0.0):
+        config.control_loss_prob = args.control_loss
+    return config
+
+
+def _deploy(seed: int,
+            config: Optional[RPingmeshConfig] = None
+            ) -> tuple[Cluster, RPingmesh]:
     cluster = Cluster.clos(
         ClosParams(pods=2, tors_per_pod=2, aggs_per_pod=2, spines=2,
                    hosts_per_tor=3),
         seed=seed)
-    system = RPingmesh(cluster)
+    system = RPingmesh(cluster, config)
     system.start()
     return cluster, system
 
 
 def cmd_monitor(args: argparse.Namespace) -> int:
-    cluster, system = _deploy(args.seed)
+    cluster, system = _deploy(args.seed, _config_from_args(args))
     print(f"monitoring a {cluster.size}-RNIC cluster for "
           f"{args.duration}s of simulated time...")
     step = 20
     for _ in range(max(1, args.duration // step)):
         cluster.sim.run_for(seconds(step))
     print(render_analyzer_state(system.analyzer))
+    if args.control_plane:
+        print(render_control_plane(system))
     return 0
 
 
@@ -74,6 +91,8 @@ def cmd_inject(args: argparse.Namespace) -> int:
     cluster.sim.run_for(seconds(args.duration))
     fault.clear()
     print(render_analyzer_state(system.analyzer))
+    if args.fault.startswith("partition-"):
+        print(render_control_plane(system))
     truth = fault.ground_truth
     print(f"ground truth: table2_row={truth.table2_row} "
           f"category={truth.category.value} locus={truth.locus}")
@@ -152,6 +171,12 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--seed", type=int, default=0)
     monitor.add_argument("--duration", type=int, default=60,
                          help="simulated seconds")
+    monitor.add_argument("--control-plane", action="store_true",
+                         help="also print management-network metrics")
+    monitor.add_argument("--control-latency-ms", type=int, default=0,
+                         help="management-network latency (default 0)")
+    monitor.add_argument("--control-loss", type=float, default=0.0,
+                         help="management-network loss probability")
     monitor.set_defaults(func=cmd_monitor)
 
     inject = sub.add_parser("inject", help="inject one fault and watch")

@@ -38,6 +38,9 @@ class Cluster:
         self.hosts: dict[str, Host] = {}
         self._rnics: dict[str, Rnic] = {}
         self._rnic_host: dict[str, str] = {}
+        # The simulated TCP management network, set by RPingmesh when it
+        # deploys (None until then).  Fault drills reach it through here.
+        self.management = None
 
         ips = IPAllocator()
         for host_name, rnic_names in sorted(plan.host_rnics.items()):

@@ -1,0 +1,42 @@
+"""Simulated control-plane (management network) layer.
+
+The paper's Agents reach the Controller and the Analyzer over the TCP
+management network (§4.2.3): registration, pinglist distribution, comm-info
+lookups, and the 5-second result uploads are real RPCs that can be slow,
+lost, or cut off.  This package makes that path first-class:
+
+* :mod:`repro.controlplane.messages` — serializable request/reply/one-way
+  envelopes carrying the record dataclasses of :mod:`repro.core.records`;
+* :mod:`repro.controlplane.transport` — the :class:`ManagementNetwork`
+  simulated transport with per-link latency/jitter/loss profiles and
+  partition fault injection, plus per-endpoint delivery metrics;
+* :mod:`repro.controlplane.endpoint` — request/reply endpoints with
+  handler dispatch and request timeouts;
+* :mod:`repro.controlplane.clients` — the Agent-side shims: Controller
+  RPCs and the retrying, bounded-buffer Analyzer upload channel.
+
+The default profile is zero-latency / zero-loss and delivers messages
+*inline* (no extra simulator events, no RNG draws), so a deployment with
+default config behaves bit-for-bit like direct in-process calls.
+"""
+
+from repro.controlplane.clients import (ANALYZER_ENDPOINT,
+                                        CONTROLLER_ENDPOINT,
+                                        ControllerClient, UploadChannel)
+from repro.controlplane.endpoint import Endpoint
+from repro.controlplane.messages import Envelope, MessageKind
+from repro.controlplane.transport import (EndpointStats, LinkProfile,
+                                          ManagementNetwork)
+
+__all__ = [
+    "ANALYZER_ENDPOINT",
+    "CONTROLLER_ENDPOINT",
+    "ControllerClient",
+    "Endpoint",
+    "EndpointStats",
+    "Envelope",
+    "LinkProfile",
+    "ManagementNetwork",
+    "MessageKind",
+    "UploadChannel",
+]

@@ -1,0 +1,121 @@
+"""Request/reply endpoints over the management network.
+
+An :class:`Endpoint` is one addressable party on the control plane (the
+Controller, the Analyzer, or one Agent).  Server-side it dispatches
+incoming envelopes to registered handlers; client-side it issues one-way
+sends and requests with optional expiry.
+
+Timeout discipline: a request's timeout event is only scheduled if the
+reply has not already arrived by the time :meth:`request` returns — with
+the ideal (inline) transport the reply comes back *during* the send, so
+no simulator event is ever created and default-config runs stay
+bit-for-bit identical to direct calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.controlplane.messages import Envelope, MessageKind
+from repro.controlplane.transport import ManagementNetwork
+from repro.sim.engine import EventHandle
+
+Handler = Callable[[Any], Any]
+ReplyCallback = Callable[[Any], None]
+
+
+@dataclass
+class _PendingRequest:
+    on_reply: Optional[ReplyCallback] = None
+    timeout_handle: Optional[EventHandle] = None
+    replied: bool = field(default=False)
+
+
+class Endpoint:
+    """One named party on the management network."""
+
+    def __init__(self, name: str, network: ManagementNetwork):
+        self.name = name
+        self.network = network
+        self.sim = network.sim
+        self._handlers: dict[str, Handler] = {}
+        self._pending: dict[int, _PendingRequest] = {}
+        self.stats = network.attach(name, self._deliver)
+
+    def on(self, method: str, handler: Handler) -> "Endpoint":
+        """Register the handler for one method (chainable)."""
+        self._handlers[method] = handler
+        return self
+
+    # -- client side ------------------------------------------------------------
+
+    def send(self, dst: str, method: str, payload: Any = None) -> None:
+        """Fire-and-forget one-way message."""
+        self.network.send(Envelope(
+            kind=MessageKind.ONEWAY, src=self.name, dst=dst, method=method,
+            payload=payload, msg_id=self.network.next_msg_id(),
+            sent_at_ns=self.sim.now))
+
+    def request(self, dst: str, method: str, payload: Any = None, *,
+                on_reply: Optional[ReplyCallback] = None,
+                timeout_ns: Optional[int] = None,
+                on_timeout: Optional[Callable[[], None]] = None) -> int:
+        """Send a request; ``on_reply`` fires with the reply payload.
+
+        With an inline transport the reply may arrive before this method
+        returns.  If ``timeout_ns`` is given and no reply has arrived, the
+        request expires: it is forgotten (a late reply is dropped) and
+        ``on_timeout`` fires.
+        """
+        msg_id = self.network.next_msg_id()
+        pending = _PendingRequest(on_reply=on_reply)
+        self._pending[msg_id] = pending
+        self.network.send(Envelope(
+            kind=MessageKind.REQUEST, src=self.name, dst=dst, method=method,
+            payload=payload, msg_id=msg_id, sent_at_ns=self.sim.now))
+        if timeout_ns is not None and msg_id in self._pending:
+            pending.timeout_handle = self.sim.call_later(
+                timeout_ns, lambda: self._expire(msg_id, on_timeout))
+        return msg_id
+
+    def cancel_request(self, msg_id: int) -> None:
+        """Forget an outstanding request (its reply will be ignored)."""
+        pending = self._pending.pop(msg_id, None)
+        if pending is not None and pending.timeout_handle is not None:
+            pending.timeout_handle.cancel()
+
+    def outstanding_requests(self) -> int:
+        """Number of requests still awaiting a reply."""
+        return len(self._pending)
+
+    def _expire(self, msg_id: int,
+                on_timeout: Optional[Callable[[], None]]) -> None:
+        if self._pending.pop(msg_id, None) is None:
+            return  # answered in the meantime
+        self.stats.request_timeouts += 1
+        if on_timeout is not None:
+            on_timeout()
+
+    # -- server side ---------------------------------------------------------------
+
+    def _deliver(self, env: Envelope) -> None:
+        if env.kind == MessageKind.REPLY:
+            assert env.reply_to is not None
+            pending = self._pending.pop(env.reply_to, None)
+            if pending is None:
+                return  # reply outlived its request's timeout: drop
+            if pending.timeout_handle is not None:
+                pending.timeout_handle.cancel()
+            if pending.on_reply is not None:
+                pending.on_reply(env.payload)
+            return
+        handler = self._handlers.get(env.method)
+        if handler is None:
+            raise KeyError(
+                f"endpoint {self.name!r} has no handler for {env.method!r}")
+        result = handler(env.payload)
+        if env.kind == MessageKind.REQUEST:
+            self.network.send(env.reply(
+                result, msg_id=self.network.next_msg_id(),
+                sent_at_ns=self.sim.now))

@@ -1,0 +1,73 @@
+"""Message envelopes carried by the management network.
+
+Three wire shapes cover every Agent ↔ Controller ↔ Analyzer interaction:
+
+* **REQUEST** — expects a REPLY (register, resolve_ip, result upload);
+* **REPLY** — carries the handler's return value back, keyed by
+  ``reply_to``;
+* **ONEWAY** — fire-and-forget (comm-info refresh, pinglist push).
+
+Payloads are the record dataclasses of :mod:`repro.core.records` (plus
+:class:`~repro.host.rnic.CommInfo`), so an envelope is serializable with
+:func:`dataclasses.asdict` — :meth:`Envelope.to_wire` demonstrates the
+flattening the production system would feed to its codec.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Optional
+
+
+class MessageKind(Enum):
+    """Envelope shapes on the management network."""
+
+    REQUEST = "request"
+    REPLY = "reply"
+    ONEWAY = "oneway"
+
+
+@dataclass(slots=True)
+class Envelope:
+    """One message in flight on the management network."""
+
+    kind: MessageKind
+    src: str                    # sender endpoint name
+    dst: str                    # receiver endpoint name
+    method: str                 # handler selector ("upload", "resolve_ip"...)
+    payload: Any                # record dataclasses / plain values
+    msg_id: int                 # unique per ManagementNetwork
+    reply_to: Optional[int] = None   # REPLY: msg_id of the request
+    sent_at_ns: int = 0
+
+    def reply(self, payload: Any, *, msg_id: int, sent_at_ns: int) -> "Envelope":
+        """Build the REPLY envelope answering this REQUEST."""
+        if self.kind != MessageKind.REQUEST:
+            raise ValueError(f"cannot reply to a {self.kind.value} envelope")
+        return Envelope(kind=MessageKind.REPLY, src=self.dst, dst=self.src,
+                        method=self.method, payload=payload, msg_id=msg_id,
+                        reply_to=self.msg_id, sent_at_ns=sent_at_ns)
+
+    def to_wire(self) -> dict:
+        """Flatten to a plain dict (nested dataclasses included)."""
+
+        def flatten(value: Any) -> Any:
+            if dataclasses.is_dataclass(value) and not isinstance(value, type):
+                return {f.name: flatten(getattr(value, f.name))
+                        for f in dataclasses.fields(value)}
+            if isinstance(value, Enum):
+                return value.value
+            if isinstance(value, dict):
+                return {k: flatten(v) for k, v in value.items()}
+            if isinstance(value, (list, tuple)):
+                return [flatten(v) for v in value]
+            return value
+
+        return {
+            "kind": self.kind.value, "src": self.src, "dst": self.dst,
+            "method": self.method, "msg_id": self.msg_id,
+            "reply_to": self.reply_to, "sent_at_ns": self.sent_at_ns,
+            "payload": flatten(self.payload),
+        }

@@ -37,9 +37,12 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Optional
+from typing import Any, Optional
 
 from repro.cluster import Cluster
+from repro.controlplane.clients import ControllerClient, UploadChannel
+from repro.controlplane.endpoint import Endpoint
+from repro.controlplane.transport import ManagementNetwork
 from repro.core.config import RPingmeshConfig
 from repro.core.records import (AgentUpload, PinglistEntry, ProbeKind,
                                 ProbeResult)
@@ -52,9 +55,10 @@ from repro.net.traceroute import PathRecord
 from repro.sim.engine import EventHandle, PeriodicTask
 from repro.sim.rng import RngStream
 
-if TYPE_CHECKING:
-    from repro.core.analyzer import Analyzer
-    from repro.core.controller import Controller
+
+def agent_endpoint_name(host_name: str) -> str:
+    """Control-plane endpoint name of a host's Agent."""
+    return f"agent.{host_name}"
 
 
 @dataclass
@@ -82,6 +86,10 @@ class _RnicAgentState:
     inter_tor: list[PinglistEntry] = field(default_factory=list)
     # (local service QPN) -> entry; values also drive the probing round.
     service: dict[int, PinglistEntry] = field(default_factory=dict)
+    # Service QPNs seen RTS and not yet destroyed.  IP resolution goes over
+    # the management network, so its reply may arrive *after* the service
+    # connection died; only QPNs still in this set accept the answer.
+    service_live: set[int] = field(default_factory=set)
     service_round: list[PinglistEntry] = field(default_factory=list)
     rr_index: dict[ProbeKind, int] = field(default_factory=dict)
     outstanding: dict[int, _Outstanding] = field(default_factory=dict)
@@ -96,15 +104,21 @@ class Agent:
 
     _seqs = itertools.count(1)
 
-    def __init__(self, host: Host, cluster: Cluster, controller: "Controller",
-                 analyzer: "Analyzer", config: RPingmeshConfig,
+    def __init__(self, host: Host, cluster: Cluster,
+                 network: ManagementNetwork, config: RPingmeshConfig,
                  rng: RngStream):
         self.host = host
         self.cluster = cluster
-        self.controller = controller
-        self.analyzer = analyzer
         self.config = config
         self.rng = rng
+        # Control-plane wiring: one endpoint per Agent, a client shim for
+        # the Controller RPCs, and the reliable upload channel (§4.2.3).
+        self.endpoint = Endpoint(agent_endpoint_name(host.name), network)
+        self.endpoint.on("set_pinglists", self._handle_set_pinglists)
+        self.client = ControllerClient(self.endpoint, config,
+                                       is_alive=lambda: self.host.up)
+        self.uploads = UploadChannel(self.endpoint, config,
+                                     is_alive=lambda: self.host.up)
         self.states: dict[str, _RnicAgentState] = {}
         self._results: list[ProbeResult] = []
         self._upload_task: Optional[PeriodicTask] = None
@@ -127,7 +141,7 @@ class Agent:
             state = self._init_rnic_state(rnic)
             self.states[rnic.name] = state
             comm_infos[rnic.name] = rnic.comm_info(state.qp.qpn)
-        self.controller.register_agent(self, comm_infos)
+        self.client.register(self.host.name, self.endpoint.name, comm_infos)
         self.host.tracer.attach(self._on_qp_event)
 
         sim = self.cluster.sim
@@ -179,9 +193,17 @@ class Agent:
                 on_cqe=lambda cqe, s=state: self._on_cqe(s, cqe))
             comm_infos[name] = state.rnic.comm_info(state.qp.qpn)
         for name, info in comm_infos.items():
-            self.controller.update_comm_info(name, info)
+            self.client.update_comm_info(name, info)
 
     # -- pinglists ---------------------------------------------------------------
+
+    def _handle_set_pinglists(self, payload: dict) -> None:
+        self.set_cluster_pinglists(
+            payload["rnic"],
+            tor_mesh=payload["tor_mesh"],
+            inter_tor=payload["inter_tor"],
+            tor_mesh_interval_ns=payload["tor_mesh_interval_ns"],
+            inter_tor_interval_ns=payload["inter_tor_interval_ns"])
 
     def set_cluster_pinglists(self, rnic_name: str, *,
                               tor_mesh: list[PinglistEntry],
@@ -214,18 +236,30 @@ class Agent:
             return
         if event.kind == QpEventKind.MODIFY_TO_RTS:
             assert event.five_tuple is not None and event.remote_ip is not None
-            resolved = self.controller.resolve_ip(event.remote_ip)
-            if resolved is None:
-                return  # peer outside the cluster; nothing to probe
-            target_rnic, info = resolved
-            state.service[event.local_qpn] = PinglistEntry(
-                kind=ProbeKind.SERVICE_TRACING, target_rnic=target_rnic,
-                target=info, src_port=event.five_tuple.src_port)
+            qpn = event.local_qpn
+            src_port = event.five_tuple.src_port
+            state.service_live.add(qpn)
+            self.client.resolve_ip(
+                event.remote_ip,
+                lambda resolved, s=state, q=qpn, p=src_port:
+                    self._on_service_resolved(s, q, p, resolved))
         elif event.kind == QpEventKind.DESTROY:
+            state.service_live.discard(event.local_qpn)
             state.service.pop(event.local_qpn, None)
             state.service_round = [e for e in state.service_round
                                    if e.kind != ProbeKind.SERVICE_TRACING
                                    or e in state.service.values()]
+
+    def _on_service_resolved(self, state: _RnicAgentState, qpn: int,
+                             src_port: int, resolved) -> None:
+        if resolved is None:
+            return  # peer outside the cluster; nothing to probe
+        if qpn not in state.service_live:
+            return  # connection died while the lookup was in flight
+        target_rnic, info = resolved
+        state.service[qpn] = PinglistEntry(
+            kind=ProbeKind.SERVICE_TRACING, target_rnic=target_rnic,
+            target=info, src_port=src_port)
 
     def _refresh_service_targets(self) -> None:
         """5-minute pull of fresh comm info for service targets (§5)."""
@@ -233,13 +267,19 @@ class Agent:
             return
         for state in self.states.values():
             for qpn, entry in list(state.service.items()):
-                resolved = self.controller.resolve_ip(entry.target.ip)
-                if resolved is None:
-                    continue
-                target_rnic, info = resolved
-                state.service[qpn] = PinglistEntry(
-                    kind=entry.kind, target_rnic=target_rnic, target=info,
-                    src_port=entry.src_port)
+                self.client.resolve_ip(
+                    entry.target.ip,
+                    lambda resolved, s=state, q=qpn, e=entry:
+                        self._on_service_refreshed(s, q, e, resolved))
+
+    def _on_service_refreshed(self, state: _RnicAgentState, qpn: int,
+                              entry: PinglistEntry, resolved) -> None:
+        if resolved is None or qpn not in state.service:
+            return
+        target_rnic, info = resolved
+        state.service[qpn] = PinglistEntry(
+            kind=entry.kind, target_rnic=target_rnic, target=info,
+            src_port=entry.src_port)
 
     def has_service_entries(self) -> bool:
         """Whether Service Tracing is currently active on this host."""
@@ -508,14 +548,18 @@ class Agent:
     def _upload(self) -> None:
         """5-second batch upload to the Analyzer over the TCP management
         network.  A down host uploads nothing — that silence is itself the
-        Analyzer's host-down signal."""
-        if not self.host.up:
+        Analyzer's host-down signal — and neither does an idle one: an
+        empty batch would refresh the Analyzer's liveness clock while
+        carrying no data, masking exactly the signal silence encodes.
+        Batches ride the :class:`UploadChannel`, which acks, retries with
+        backoff, and bounds the resend buffer."""
+        if not self.host.up or not self._results:
             return
         batch = AgentUpload(host=self.host.name,
                             uploaded_at_ns=self.cluster.sim.now,
                             results=self._results)
         self._results = []
-        self.analyzer.receive_upload(batch)
+        self.uploads.submit(batch)
 
     # -- overhead model (Figure 7) ------------------------------------------------------------
 

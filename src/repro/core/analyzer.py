@@ -34,6 +34,9 @@ from dataclasses import dataclass, field
 from typing import Optional, Protocol
 
 from repro.cluster import Cluster
+from repro.controlplane.clients import ANALYZER_ENDPOINT
+from repro.controlplane.endpoint import Endpoint
+from repro.controlplane.transport import ManagementNetwork
 from repro.core.config import RPingmeshConfig
 from repro.core.controller import Controller
 from repro.core.localization import Localization, localize
@@ -79,6 +82,7 @@ class Analyzer:
         self.controller = controller
         self.config = config
         self.service_monitor: Optional[ServiceMonitor] = None
+        self.endpoint: Optional[Endpoint] = None
 
         self._pending: list[AgentUpload] = []
         self._upload_listeners: list = []
@@ -92,9 +96,21 @@ class Analyzer:
         self.windows: list[WindowAnalysis] = []
         self.problems: list[Problem] = []
         self.category_counts: Counter = Counter()
+        # Ingest accounting: batches accepted into / refused by the bounded
+        # queue since start (part of the control-plane metrics surface).
+        self.ingest_accepted = 0
+        self.ingest_dropped = 0
         self._started = False
 
     # -- wiring -----------------------------------------------------------------
+
+    def bind(self, network: ManagementNetwork) -> Endpoint:
+        """Attach the Analyzer's endpoint; uploads are acked requests."""
+        self.endpoint = (
+            Endpoint(ANALYZER_ENDPOINT, network)
+            .on("upload", lambda batch:
+                {"accepted": self.receive_upload(batch)}))
+        return self.endpoint
 
     def attach_service_monitor(self, monitor: ServiceMonitor) -> None:
         """Plug in the service team's degradation signal (§4.3.4)."""
@@ -108,12 +124,29 @@ class Analyzer:
         """Be called with each completed WindowAnalysis (trackers etc.)."""
         self._window_listeners.append(listener)
 
-    def receive_upload(self, batch: AgentUpload) -> None:
-        """Agent upload entry point (5-second batches)."""
+    def receive_upload(self, batch: AgentUpload) -> bool:
+        """Agent upload entry point (5-second batches).
+
+        Returns whether the batch was accepted.  The ingest queue is
+        bounded (``analyzer_ingest_capacity`` batches per window): beyond
+        it arrivals are refused and counted, which the upload channel
+        surfaces as a NACK rather than retrying forever.  Even a refused
+        batch proves the host is alive, so the silence clock still resets.
+        """
         self._last_upload_ns[batch.host] = batch.uploaded_at_ns
+        if len(self._pending) >= self.config.analyzer_ingest_capacity:
+            self.ingest_dropped += 1
+            return False
         self._pending.append(batch)
+        self.ingest_accepted += 1
         for listener in self._upload_listeners:
             listener(batch)
+        return True
+
+    @property
+    def ingest_backlog(self) -> int:
+        """Batches queued for the next analysis window."""
+        return len(self._pending)
 
     def start(self) -> None:
         """Begin the periodic analysis loop."""

@@ -56,6 +56,22 @@ class RPingmeshConfig:
     # host is implausible as independent hardware failure.
     cpu_fp_min_rnics: int = 2
 
+    # Control plane / management network (§4.2.3).  The zero defaults make
+    # the transport deliver inline with no RNG draws, reproducing direct
+    # in-process calls bit-for-bit; raise them to exercise control-plane
+    # degradation (slow registrations, lost uploads, stale pinglists).
+    control_latency_ns: int = 0
+    control_jitter_ns: int = 0
+    control_loss_prob: float = 0.0
+    # Agent upload path: ack expiry before a resend (doubling up to the
+    # cap) and the bounded resend buffer of unacked 5-second batches.
+    upload_ack_timeout_ns: int = 1 * SECOND
+    upload_backoff_max_ns: int = 16 * SECOND
+    upload_resend_buffer: int = 64
+    # Analyzer ingest queue bound (batches per analysis window); arrivals
+    # beyond it are dropped and accounted, not silently absorbed.
+    analyzer_ingest_capacity: int = 4096
+
     # Ablation switches (both True in the paper's design; turning them off
     # reproduces the failure modes §4.2.3/§4.3.2 argue against):
     # ToR-mesh anomalous-RNIC detection + quarantine before localisation.
@@ -78,3 +94,15 @@ class RPingmeshConfig:
             raise ValueError("rotation fraction must be in (0,1]")
         if self.analysis_period_ns < self.upload_interval_ns:
             raise ValueError("analysis period must cover >=1 upload interval")
+        if self.control_latency_ns < 0 or self.control_jitter_ns < 0:
+            raise ValueError("control latency/jitter must be non-negative")
+        if not 0.0 <= self.control_loss_prob < 1.0:
+            raise ValueError("control loss probability must be in [0,1)")
+        if self.upload_ack_timeout_ns <= 0:
+            raise ValueError("upload ack timeout must be positive")
+        if self.upload_backoff_max_ns < self.upload_ack_timeout_ns:
+            raise ValueError("upload backoff cap must cover one ack timeout")
+        if self.upload_resend_buffer < 1:
+            raise ValueError("upload resend buffer must hold >=1 batch")
+        if self.analyzer_ingest_capacity < 1:
+            raise ValueError("analyzer ingest capacity must be >=1")

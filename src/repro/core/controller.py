@@ -13,13 +13,22 @@ Three responsibilities:
    problems only certain 5-tuples trigger.
 3. **Service-tracing lookups** — Agents resolve a service peer's IP to its
    probe-QP comm info before probing the service path.
+
+All three run over the management network (§4.2.3): the Controller binds
+the ``"controller"`` endpoint, Agents register and resolve through RPCs,
+and pinglists are pushed as one-way messages — which may be delayed or
+lost under a degraded control plane, leaving Agents probing from their
+cached (stale) pinglists.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import Optional
 
 from repro.cluster import Cluster
+from repro.controlplane.clients import CONTROLLER_ENDPOINT
+from repro.controlplane.endpoint import Endpoint
+from repro.controlplane.transport import ManagementNetwork
 from repro.core.config import RPingmeshConfig
 from repro.core.coverage import required_tuples
 from repro.core.records import PinglistEntry, ProbeKind
@@ -29,9 +38,6 @@ from repro.net.clos import ClosFabricPlan
 from repro.net.rail import RailFabricPlan
 from repro.sim.rng import RngStream
 from repro.sim.units import SECOND
-
-if TYPE_CHECKING:
-    from repro.core.agent import Agent
 
 
 class Controller:
@@ -44,22 +50,46 @@ class Controller:
         self.rng = rng
         self._registry: dict[str, CommInfo] = {}      # rnic name -> comm info
         self._by_ip: dict[str, str] = {}              # ip -> rnic name
-        self._agents: dict[str, "Agent"] = {}         # host name -> agent
+        self._agent_endpoints: dict[str, str] = {}    # host -> endpoint name
+        self._host_rnics: dict[str, list[str]] = {}   # host -> rnic names
+        self.endpoint: Optional[Endpoint] = None
         # Persistent inter-ToR tuple choices: (src_rnic, dst_rnic, src_port).
         self._inter_tor_tuples: list[tuple[str, str, int]] = []
         self._started = False
         self.pinglist_pushes = 0
         self.rotations = 0
 
+    # -- management-network wiring ------------------------------------------------
+
+    def bind(self, network: ManagementNetwork) -> Endpoint:
+        """Attach the Controller's endpoint and its RPC handlers."""
+        self.endpoint = (
+            Endpoint(CONTROLLER_ENDPOINT, network)
+            .on("register", self._handle_register)
+            .on("update_comm_info", lambda p: self.update_comm_info(*p))
+            .on("resolve_ip", self.resolve_ip))
+        return self.endpoint
+
+    def _handle_register(self, payload: dict) -> dict:
+        self.register_host(payload["host"], payload["endpoint"],
+                           payload["comm_infos"])
+        return {"ok": True}
+
     # -- registry --------------------------------------------------------------
 
-    def register_agent(self, agent: "Agent",
-                       comm_infos: dict[str, CommInfo]) -> None:
+    def register_host(self, host: str, agent_endpoint: str,
+                      comm_infos: dict[str, CommInfo]) -> None:
         """An Agent reports the probe-QP comm info of all its RNICs."""
-        self._agents[agent.host.name] = agent
+        self._agent_endpoints[host] = agent_endpoint
+        self._host_rnics[host] = list(comm_infos)
         for rnic_name, info in comm_infos.items():
             self._registry[rnic_name] = info
             self._by_ip[info.ip] = rnic_name
+        if self._started:
+            # Late registration (slow management network): refresh everyone
+            # so the newcomer gets pinglists — and appears in its ToR
+            # peers' — without waiting for the 5-minute cycle.
+            self.push_pinglists()
 
     def update_comm_info(self, rnic_name: str, info: CommInfo) -> None:
         """Refresh one RNIC's comm info (Agent restart path)."""
@@ -204,18 +234,23 @@ class Controller:
         """Build fresh pinglists from the registry and push to every Agent.
 
         This is the 5-minute refresh of §5; it is also what eventually
-        replaces outdated QPNs after an Agent restart.
+        replaces outdated QPNs after an Agent restart.  Pushes are one-way
+        messages: on a degraded management network they may be delayed or
+        lost, and the Agent simply keeps probing from its cached pinglists.
         """
+        assert self.endpoint is not None, "Controller not bound to a network"
         self.pinglist_pushes += 1
         inter = self._inter_tor_entries()
-        for agent in self._agents.values():
-            for rnic in agent.host.rnics:
-                tor_entries = self._tor_mesh_entries(rnic.name)
-                inter_entries = inter.get(rnic.name, [])
-                agent.set_cluster_pinglists(
-                    rnic.name,
-                    tor_mesh=tor_entries,
-                    inter_tor=inter_entries,
-                    tor_mesh_interval_ns=self.config.tor_mesh_interval_ns(),
-                    inter_tor_interval_ns=self.inter_tor_interval_ns(
-                        len(inter_entries)))
+        for host, agent_endpoint in self._agent_endpoints.items():
+            for rnic_name in self._host_rnics[host]:
+                tor_entries = self._tor_mesh_entries(rnic_name)
+                inter_entries = inter.get(rnic_name, [])
+                self.endpoint.send(agent_endpoint, "set_pinglists", {
+                    "rnic": rnic_name,
+                    "tor_mesh": tor_entries,
+                    "inter_tor": inter_entries,
+                    "tor_mesh_interval_ns":
+                        self.config.tor_mesh_interval_ns(),
+                    "inter_tor_interval_ns": self.inter_tor_interval_ns(
+                        len(inter_entries)),
+                })

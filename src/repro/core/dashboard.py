@@ -7,11 +7,14 @@ tests and examples.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.analyzer import Analyzer
 from repro.core.records import Problem
 from repro.core.sla import SlaWindow
+
+if TYPE_CHECKING:
+    from repro.core.system import RPingmesh
 
 
 def _fmt_us(ns: Optional[float]) -> str:
@@ -69,5 +72,56 @@ def render_analyzer_state(analyzer: Analyzer, *,
     verdict = "INNOCENT" if analyzer.network_innocent() else "SUSPECT"
     lines.append("-" * 72)
     lines.append(f"service-network verdict: {verdict}")
+    lines.append("=" * 72)
+    return "\n".join(lines)
+
+
+def render_control_plane(system: "RPingmesh", *,
+                         endpoint_limit: int = 12) -> str:
+    """Management-network health: per-endpoint counters + upload channels.
+
+    Endpoints with drops, retries, or timeouts sort first so a degraded
+    control plane is visible even on large clusters.
+    """
+    net = system.network
+    lines = ["=" * 72,
+             f"control plane: sent={net.messages_sent} "
+             f"delivered={net.messages_delivered} "
+             f"dropped={net.messages_dropped}"]
+    analyzer = system.analyzer
+    lines.append(f"analyzer ingest: accepted={analyzer.ingest_accepted} "
+                 f"dropped={analyzer.ingest_dropped} "
+                 f"queued={analyzer.ingest_backlog}")
+
+    def unhealth(name: str) -> tuple:
+        s = net.stats_for(name)
+        return (s.dropped + s.retries + s.request_timeouts, s.sent)
+
+    names = sorted(net.endpoints(), key=unhealth, reverse=True)
+    shown = names[:endpoint_limit]
+    for name in shown:
+        s = net.stats_for(name)
+        line = (f"  {name:<20} sent={s.sent:<6} recv={s.received:<6} "
+                f"drop={s.dropped:<4} retry={s.retries:<4} "
+                f"timeout={s.request_timeouts:<4} "
+                f"lat={s.avg_latency_ns() / 1000:.1f}us")
+        lines.append(line)
+    if len(names) > len(shown):
+        lines.append(f"  ... {len(names) - len(shown)} more endpoints")
+
+    backlogged = [(name, agent.uploads) for name, agent in
+                  sorted(system.agents.items())
+                  if agent.uploads.backlog or agent.uploads.retries
+                  or agent.uploads.dropped_overflow
+                  or agent.uploads.dropped_crash or agent.uploads.rejected]
+    if backlogged:
+        lines.append("-" * 72)
+        lines.append("upload channels with pressure:")
+        for name, ch in backlogged[:endpoint_limit]:
+            lines.append(
+                f"  {name:<20} backlog={ch.backlog:<4} "
+                f"acked={ch.acked:<6} retries={ch.retries:<4} "
+                f"rejected={ch.rejected:<4} "
+                f"lost={ch.dropped_overflow + ch.dropped_crash}")
     lines.append("=" * 72)
     return "\n".join(lines)

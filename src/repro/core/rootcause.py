@@ -158,7 +158,7 @@ class RootCauseAdvisor:
                 table2_row=6, cause="missing RoCE routing configuration",
                 confidence=0.9,
                 evidence=f"{drops['routing_unconfigured']} sends failed "
-                         f"to resolve a route"))
+                         "to resolve a route"))
         if drops.get("gid_index_missing", 0) or drops.get("gid_mismatch", 0):
             count = (drops.get("gid_index_missing", 0)
                      + drops.get("gid_mismatch", 0))

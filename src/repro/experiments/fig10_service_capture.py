@@ -75,7 +75,6 @@ def run(*, seed: int = 11, duration_s: int = 60) -> ServiceCaptureResult:
     cluster.sim.run_for(seconds(duration_s))
 
     watched_rnic = job.participants[0]
-    agent = system.agent_for_rnic(watched_rnic)
 
     result = ServiceCaptureResult()
     result.comm_windows_s = [(a / 1e9, b / 1e9) for a, b in comm_windows]

@@ -571,6 +571,50 @@ class SilentDrop(Fault):
 
 
 # --------------------------------------------------------------------------
+# Control-plane faults (management network, §4.2.3)
+# --------------------------------------------------------------------------
+
+class ControlPlanePartition(Fault):
+    """Cut one endpoint off the TCP management network.
+
+    The RoCE data plane is untouched: a partitioned Agent keeps probing
+    from its cached pinglists and buffering results, but its uploads,
+    registrations, and lookups all die on the wire — so the Analyzer sees
+    upload silence (and will call the host down) while the host is in
+    fact alive.  Partitioning the ``controller`` endpoint instead leaves
+    every Agent probing from stale pinglists until the partition heals.
+
+    Requires a deployed system (``cluster.management`` is set by
+    :class:`~repro.core.system.RPingmesh`).
+    """
+
+    table2_row = 0  # not a Table 2 root cause; a monitoring-infra fault
+    category = ProblemCategory.HARDWARE_FAILURE
+    locus_kind = LocusKind.HOST
+
+    def __init__(self, cluster: Cluster, endpoint: str):
+        super().__init__(cluster, endpoint)
+        if cluster.management is None:
+            raise RuntimeError(
+                "no management network: deploy RPingmesh before injecting "
+                "control-plane faults")
+        self.endpoint = endpoint
+
+    @classmethod
+    def for_host(cls, cluster: Cluster,
+                 host_name: str) -> "ControlPlanePartition":
+        """Partition the Agent endpoint of one host."""
+        from repro.core.agent import agent_endpoint_name
+        return cls(cluster, agent_endpoint_name(host_name))
+
+    def _inject(self) -> None:
+        self.cluster.management.partition(self.endpoint)
+
+    def _clear(self) -> None:
+        self.cluster.management.heal(self.endpoint)
+
+
+# --------------------------------------------------------------------------
 # Scheduling
 # --------------------------------------------------------------------------
 

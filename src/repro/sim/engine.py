@@ -95,7 +95,14 @@ class PeriodicTask:
         self._interval = interval
 
     def start(self, *, delay: Optional[int] = None) -> "PeriodicTask":
-        """Arm the first firing ``delay`` ns from now (default: one interval)."""
+        """Arm the first firing ``delay`` ns from now (default: one interval).
+
+        Also restarts a stopped task; any still-pending firing is cancelled
+        first so the task never ends up double-armed.
+        """
+        self._stopped = False
+        if self._handle is not None:
+            self._handle.cancel()
         first = self._interval if delay is None else delay
         self._handle = self._sim.call_later(first, self._fire)
         return self

@@ -1,0 +1,108 @@
+"""Endpoint RPC semantics: dispatch, replies, timeouts, late replies."""
+
+import pytest
+
+from repro.controlplane.endpoint import Endpoint
+from repro.controlplane.transport import LinkProfile, ManagementNetwork
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+
+def make_net(profile=None, seed=0):
+    sim = Simulator(seed=seed)
+    rng = RngRegistry(seed).stream("controlplane")
+    return sim, ManagementNetwork(sim, rng, default_profile=profile)
+
+
+def test_oneway_dispatches_to_handler():
+    _, net = make_net()
+    seen = []
+    Endpoint("server", net).on("notify", seen.append)
+    Endpoint("client", net).send("server", "notify", {"x": 1})
+    assert seen == [{"x": 1}]
+
+
+def test_request_reply_roundtrip_inline():
+    _, net = make_net()
+    Endpoint("server", net).on("double", lambda p: p * 2)
+    client = Endpoint("client", net)
+    replies = []
+    client.request("server", "double", 21, on_reply=replies.append)
+    assert replies == [42]
+    assert client.outstanding_requests() == 0
+
+
+def test_request_reply_roundtrip_with_latency():
+    sim, net = make_net(LinkProfile(latency_ns=1_000))
+    Endpoint("server", net).on("double", lambda p: p * 2)
+    client = Endpoint("client", net)
+    replies = []
+    client.request("server", "double", 5, on_reply=replies.append)
+    assert replies == []
+    assert client.outstanding_requests() == 1
+    sim.run_all()
+    assert replies == [10]
+    assert client.outstanding_requests() == 0
+
+
+def test_inline_reply_schedules_no_timeout_event():
+    sim, net = make_net()
+    Endpoint("server", net).on("echo", lambda p: p)
+    client = Endpoint("client", net)
+    client.request("server", "echo", 1, on_reply=lambda r: None,
+                   timeout_ns=1_000)
+    assert sim.pending() == 0
+
+
+def test_request_timeout_fires_and_drops_late_reply():
+    sim, net = make_net()
+    server = Endpoint("server", net).on("echo", lambda p: p)
+    client = Endpoint("client", net)
+    net.partition("server")
+    timeouts, replies = [], []
+    client.request("server", "echo", 1, on_reply=replies.append,
+                   timeout_ns=1_000, on_timeout=lambda: timeouts.append(1))
+    sim.run_until(1_000)
+    assert timeouts == [1]
+    assert replies == []
+    assert client.stats.request_timeouts == 1
+    assert client.outstanding_requests() == 0
+    # Heal and deliver a stale reply for the forgotten request: dropped.
+    net.heal("server")
+    from repro.controlplane.messages import Envelope, MessageKind
+    net.send(Envelope(kind=MessageKind.REPLY, src="server", dst="client",
+                      method="echo", payload=99, msg_id=net.next_msg_id(),
+                      reply_to=1))
+    assert replies == []
+    assert server is not None
+
+
+def test_reply_cancels_timeout_event():
+    sim, net = make_net(LinkProfile(latency_ns=100))
+    Endpoint("server", net).on("echo", lambda p: p)
+    client = Endpoint("client", net)
+    timeouts = []
+    client.request("server", "echo", 1, on_reply=lambda r: None,
+                   timeout_ns=10_000, on_timeout=lambda: timeouts.append(1))
+    sim.run_all()
+    assert timeouts == []
+    assert client.stats.request_timeouts == 0
+
+
+def test_cancel_request_ignores_its_reply():
+    sim, net = make_net(LinkProfile(latency_ns=100))
+    Endpoint("server", net).on("echo", lambda p: p)
+    client = Endpoint("client", net)
+    replies = []
+    msg_id = client.request("server", "echo", 1, on_reply=replies.append)
+    client.cancel_request(msg_id)
+    sim.run_all()
+    assert replies == []
+
+
+def test_unknown_method_raises():
+    _, net = make_net()
+    Endpoint("server", net)
+    client = Endpoint("client", net)
+    with pytest.raises(KeyError):
+        client.send("server", "nope")

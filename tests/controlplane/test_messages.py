@@ -1,0 +1,50 @@
+"""Envelope construction, reply pairing, and wire flattening."""
+
+import pytest
+
+from repro.controlplane.messages import Envelope, MessageKind
+from repro.core.records import PinglistEntry, ProbeKind
+from repro.host.rnic import CommInfo
+
+
+def _request(payload="ping", msg_id=7):
+    return Envelope(kind=MessageKind.REQUEST, src="a", dst="b",
+                    method="echo", payload=payload, msg_id=msg_id,
+                    sent_at_ns=100)
+
+
+def test_reply_swaps_endpoints_and_links_request():
+    req = _request()
+    rep = req.reply("pong", msg_id=8, sent_at_ns=150)
+    assert rep.kind == MessageKind.REPLY
+    assert (rep.src, rep.dst) == ("b", "a")
+    assert rep.reply_to == req.msg_id
+    assert rep.method == req.method
+    assert rep.payload == "pong"
+
+
+@pytest.mark.parametrize("kind", [MessageKind.REPLY, MessageKind.ONEWAY])
+def test_only_requests_can_be_replied_to(kind):
+    env = Envelope(kind=kind, src="a", dst="b", method="m",
+                   payload=None, msg_id=1)
+    with pytest.raises(ValueError):
+        env.reply(None, msg_id=2, sent_at_ns=0)
+
+
+def test_to_wire_flattens_nested_dataclasses_and_enums():
+    entry = PinglistEntry(
+        kind=ProbeKind.TOR_MESH, target_rnic="host1-rnic0",
+        target=CommInfo(ip="10.0.0.2", gid="gid-2", qpn=77), src_port=4242)
+    wire = _request(payload={"entries": [entry]}).to_wire()
+    assert wire["kind"] == "request"
+    flat = wire["payload"]["entries"][0]
+    assert flat["kind"] == ProbeKind.TOR_MESH.value
+    assert flat["target"] == {"ip": "10.0.0.2", "gid": "gid-2", "qpn": 77}
+    assert flat["src_port"] == 4242
+
+
+def test_to_wire_passes_plain_values_through():
+    wire = _request(payload=("tuple", 1)).to_wire()
+    assert wire["payload"] == ["tuple", 1]
+    assert wire["msg_id"] == 7
+    assert wire["reply_to"] is None

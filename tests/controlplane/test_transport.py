@@ -1,0 +1,146 @@
+"""ManagementNetwork delivery, faults, and metrics."""
+
+import pytest
+
+from repro.controlplane.messages import Envelope, MessageKind
+from repro.controlplane.transport import LinkProfile, ManagementNetwork
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+
+def make_net(profile=None, seed=0):
+    sim = Simulator(seed=seed)
+    rng = RngRegistry(seed).stream("controlplane")
+    return sim, ManagementNetwork(sim, rng, default_profile=profile)
+
+
+def oneway(src, dst, payload=None, msg_id=1):
+    return Envelope(kind=MessageKind.ONEWAY, src=src, dst=dst,
+                    method="m", payload=payload, msg_id=msg_id)
+
+
+def test_ideal_profile_delivers_inline_without_events():
+    sim, net = make_net()
+    inbox = []
+    net.attach("a", lambda e: None)
+    net.attach("b", inbox.append)
+    assert net.send(oneway("a", "b", payload=42))
+    assert [e.payload for e in inbox] == [42]  # before any sim.run
+    assert sim.pending() == 0
+    assert sim.events_processed == 0
+
+
+def test_latency_defers_delivery_on_the_simulator():
+    sim, net = make_net(LinkProfile(latency_ns=1_000))
+    inbox = []
+    net.attach("a", lambda e: None)
+    net.attach("b", inbox.append)
+    net.send(oneway("a", "b"))
+    assert inbox == []
+    sim.run_until(999)
+    assert inbox == []
+    sim.run_until(1_000)
+    assert len(inbox) == 1
+    assert net.stats_for("b").latency_total_ns == 1_000
+
+
+def test_jitter_draws_are_bounded_and_deterministic():
+    def deliveries(seed):
+        sim, net = make_net(LinkProfile(latency_ns=100, jitter_ns=50),
+                            seed=seed)
+        times = []
+        net.attach("a", lambda e: None)
+        net.attach("b", lambda e: times.append(sim.now))
+        for i in range(20):
+            net.send(oneway("a", "b", msg_id=i))
+        sim.run_all()
+        return times
+
+    times = deliveries(seed=5)
+    assert all(100 <= t <= 150 for t in times)
+    assert times == deliveries(seed=5)
+
+
+def test_loss_profile_drops_and_accounts():
+    sim, net = make_net(LinkProfile(loss_prob=0.5), seed=1)
+    inbox = []
+    net.attach("a", lambda e: None)
+    net.attach("b", inbox.append)
+    for i in range(200):
+        net.send(oneway("a", "b", msg_id=i))
+    stats = net.stats_for("a")
+    assert stats.sent == 200
+    assert 0 < stats.dropped_loss < 200
+    assert stats.delivered == 200 - stats.dropped_loss
+    assert len(inbox) == stats.delivered
+    assert net.messages_dropped == stats.dropped_loss
+
+
+def test_partition_blocks_both_directions():
+    sim, net = make_net()
+    inbox_a, inbox_b = [], []
+    net.attach("a", inbox_a.append)
+    net.attach("b", inbox_b.append)
+    net.partition("b")
+    assert net.is_partitioned("b")
+    assert not net.send(oneway("a", "b", msg_id=1))
+    assert not net.send(oneway("b", "a", msg_id=2))
+    assert inbox_a == [] and inbox_b == []
+    assert net.stats_for("a").dropped_partition == 1
+    assert net.stats_for("b").dropped_partition == 1
+    net.heal("b")
+    assert net.send(oneway("a", "b", msg_id=3))
+    assert len(inbox_b) == 1
+
+
+def test_partition_formed_mid_flight_drops_late_delivery():
+    sim, net = make_net(LinkProfile(latency_ns=1_000))
+    inbox = []
+    net.attach("a", lambda e: None)
+    net.attach("b", inbox.append)
+    net.send(oneway("a", "b"))
+    net.partition("b")
+    sim.run_all()
+    assert inbox == []
+    assert net.stats_for("a").dropped_partition == 1
+
+
+def test_unknown_destination_is_unroutable():
+    sim, net = make_net()
+    net.attach("a", lambda e: None)
+    assert not net.send(oneway("a", "ghost"))
+    assert net.stats_for("a").dropped_unroutable == 1
+
+
+def test_per_link_profile_overrides_default():
+    sim, net = make_net()
+    times = {}
+    net.attach("a", lambda e: None)
+    net.attach("b", lambda e: times.setdefault("b", sim.now))
+    net.attach("c", lambda e: times.setdefault("c", sim.now))
+    net.set_link_profile("a", "b", LinkProfile(latency_ns=500))
+    net.send(oneway("a", "b", msg_id=1))
+    net.send(oneway("a", "c", msg_id=2))
+    assert times == {"c": 0}  # c inline; b deferred
+    sim.run_all()
+    assert times == {"c": 0, "b": 500}
+
+
+def test_duplicate_attach_rejected():
+    _, net = make_net()
+    net.attach("a", lambda e: None)
+    with pytest.raises(ValueError):
+        net.attach("a", lambda e: None)
+
+
+def test_invalid_profiles_rejected():
+    with pytest.raises(ValueError):
+        LinkProfile(latency_ns=-1)
+    with pytest.raises(ValueError):
+        LinkProfile(loss_prob=1.0)
+
+
+def test_msg_ids_are_unique_and_monotonic():
+    _, net = make_net()
+    ids = [net.next_msg_id() for _ in range(5)]
+    assert ids == sorted(set(ids))

@@ -3,7 +3,7 @@
 from repro.core.config import RPingmeshConfig
 from repro.core.records import ProbeKind
 from repro.core.system import RPingmesh
-from repro.net.faults import RnicFlapping, LinkFailure
+from repro.net.faults import LinkFailure
 from repro.sim.units import seconds
 
 from tests.core.test_analyzer import make_analyzer, probe_result, upload

@@ -8,10 +8,9 @@ offset and tens of ppm of drift.
 
 import pytest
 
-from repro.core.config import RPingmeshConfig
 from repro.core.records import ProbeKind
 from repro.core.system import RPingmesh
-from repro.sim.units import MICROSECOND, MILLISECOND, seconds
+from repro.sim.units import MICROSECOND, seconds
 
 
 @pytest.fixture
@@ -198,3 +197,30 @@ class TestOverheadModel:
         for rnic in cluster.all_rnics():
             bits = (rnic.tx_bytes + rnic.rx_bytes) * 8
             assert bits / elapsed_s < 300_000
+
+
+class TestUpload:
+    def test_empty_batches_are_never_uploaded(self, tiny_clos):
+        """Regression: an idle Agent must stay *silent*, not upload empty
+        batches — upload liveness is the Analyzer's host-down signal
+        (§4.3.1), and an empty batch would keep resetting it."""
+        system = RPingmesh(tiny_clos)
+        system.start()
+        # Strip every pinglist so the agents have nothing to probe.
+        for agent in system.agents.values():
+            for state in agent.states.values():
+                state.tor_mesh.clear()
+                state.inter_tor.clear()
+        uploads = []
+        system.analyzer.add_upload_listener(uploads.append)
+        tiny_clos.sim.run_for(seconds(30))
+        idle = [b for b in uploads if not b.results]
+        assert idle == []
+        assert all(a.uploads.submitted == 0 for a in system.agents.values())
+
+    def test_busy_agents_upload_nonempty_batches(self, running_system):
+        uploads = []
+        running_system.analyzer.add_upload_listener(uploads.append)
+        running_system.cluster.sim.run_for(seconds(10))
+        assert uploads
+        assert all(b.results for b in uploads)

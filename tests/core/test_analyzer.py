@@ -4,7 +4,6 @@ These drive the Analyzer with synthetic uploads so each classification rule
 is exercised in isolation, without multi-minute simulations.
 """
 
-import pytest
 
 from repro.core.analyzer import Analyzer
 from repro.core.config import RPingmeshConfig
@@ -170,7 +169,7 @@ class TestAnomalousRnicDetection:
                              issued_at=seconds(39))
                 for _ in range(5)]
         upload(analyzer, small_clos, "host6", late)
-        window = analyzer.analyze()
+        analyzer.analyze()
         report = analyzer.sla.latest()
         assert report.cluster.timeouts_rnic == 5
         assert report.cluster.timeouts_switch == 0

@@ -1,6 +1,5 @@
 """Coverage audit: measure the §5 per-link probe-rate guarantee."""
 
-import pytest
 
 from repro.core.audit import ProbeCoverageAuditor
 from repro.core.system import RPingmesh

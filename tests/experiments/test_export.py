@@ -3,7 +3,6 @@
 import csv
 import io
 
-import pytest
 
 from repro.experiments import export
 from repro.experiments.fig01_flapping import FlappingResult

@@ -1,6 +1,5 @@
 """End-to-end integration: full system + workload + faults + verdicts."""
 
-import pytest
 
 from repro.core.records import Priority, ProblemCategory
 from repro.core.system import RPingmesh

@@ -111,12 +111,8 @@ def test_two_tenants_indict_same_shared_link(two_tenant_cluster):
     assert any(locus in shared_cable for locus in indictments), (
         f"shared link {shared_cable} never indicted; got {indictments}")
 
-    # And the two tenants genuinely shared the link (ground truth).
-    link = cluster.topology.link(agg, shared)
-    demand_a = job_a.traffic.link_demand(agg, shared)
-    demand_b = job_b.traffic.link_demand(agg, shared)
-    # At least at some comm phases both loads land there; check configs
-    # steered correctly by looking at connection paths.
+    # And the two tenants genuinely shared the link (ground truth):
+    # both jobs steered connections through it.
     paths_a = {tuple(cluster.fabric.path_of(
         roce_five_tuple(cluster.rnic(c.src_rnic).ip,
                         cluster.rnic(c.dst_rnic).ip, c.src_port),

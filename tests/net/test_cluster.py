@@ -4,7 +4,6 @@ import pytest
 
 from repro.cluster import Cluster
 from repro.net.clos import ClosParams
-from repro.net.rail import RailParams
 
 
 class TestClosCluster:

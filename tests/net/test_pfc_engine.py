@@ -1,6 +1,5 @@
 """Unit + integration tests for mechanistic PFC pause propagation."""
 
-import pytest
 
 from repro.core.records import ProblemCategory
 from repro.core.system import RPingmesh
@@ -36,7 +35,7 @@ class TestVictimDetection:
         engine = PfcPropagationEngine(small_clos)
         small_clos.rnic("host0-rnic0").pcie_gbps = 50.0
         incast_onto(small_clos, "host0-rnic0")
-        states = engine.evaluate()
+        engine.evaluate()
         assert engine.storming()
         assert engine.victims() == {"host0-rnic0"}
         tor = small_clos.tor_of("host0-rnic0")

@@ -3,8 +3,7 @@
 import pytest
 
 from repro.net.addresses import roce_five_tuple
-from repro.net.topology import (Acl, NodeKind, Tier, Topology,
-                                TracerouteLimiter)
+from repro.net.topology import Acl, Tier, Topology, TracerouteLimiter
 
 
 def _line_topology():

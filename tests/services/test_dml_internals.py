@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net.faults import PfcDeadlock, RnicCorruption, RnicDown
+from repro.net.faults import RnicCorruption, RnicDown
 from repro.services.dml import (BREAKING_DROP_PROB, CommPattern, DmlConfig,
                                 DmlJob, FLAPPING_RESIDUAL_FACTOR,
                                 MAX_STRETCH)

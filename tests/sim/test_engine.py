@@ -211,6 +211,76 @@ class TestPeriodicTask:
         assert all(100 <= g < 120 for g in gaps)
 
 
+def test_cancel_after_firing_is_harmless():
+    sim = Simulator()
+    seen = []
+    handle = sim.call_later(100, lambda: seen.append(1))
+    sim.run_until(200)
+    assert seen == [1]
+    handle.cancel()  # already fired: must not raise or corrupt the heap
+    sim.run_until(400)
+    assert seen == [1]
+    assert handle.cancelled
+
+
+def test_same_timestamp_ordering_survives_interleaved_cancellation():
+    # Cancelling one of several same-timestamp events must not disturb the
+    # schedule order of the survivors.
+    sim = Simulator()
+    seen = []
+    handles = [sim.call_later(50, lambda i=i: seen.append(i))
+               for i in range(5)]
+    handles[1].cancel()
+    handles[3].cancel()
+    sim.run_until(100)
+    assert seen == [0, 2, 4]
+
+
+def test_same_timestamp_ordering_across_call_at_and_call_later():
+    sim = Simulator()
+    seen = []
+    sim.call_at(70, lambda: seen.append("at"))
+    sim.call_later(70, lambda: seen.append("later"))
+    sim.call_at(70, lambda: seen.append("at2"))
+    sim.run_until(100)
+    assert seen == ["at", "later", "at2"]
+
+
+class TestPeriodicTaskRestart:
+    def test_stop_then_start_resumes_firing(self):
+        sim = Simulator()
+        seen = []
+        task = sim.every(100, lambda: seen.append(sim.now))
+        sim.run_until(250)
+        task.stop()
+        sim.run_until(500)
+        assert seen == [100, 200]
+        task.start()
+        assert not task.stopped
+        sim.run_until(800)
+        assert seen == [100, 200, 600, 700, 800]
+
+    def test_restart_with_delay_and_counts_previous_runs(self):
+        sim = Simulator()
+        seen = []
+        task = sim.every(100, lambda: seen.append(sim.now))
+        sim.run_until(200)
+        task.stop()
+        task.start(delay=30)
+        sim.run_until(230)
+        assert seen == [100, 200, 230]
+        assert task.runs == 3
+
+    def test_double_start_does_not_double_fire(self):
+        sim = Simulator()
+        seen = []
+        task = PeriodicTask(sim, 100, lambda: seen.append(sim.now))
+        task.start()
+        task.start()
+        sim.run_until(350)
+        assert seen == [100, 200, 300]
+
+
 def test_determinism_same_seed_same_trace():
     def run(seed):
         sim = Simulator(seed=seed)

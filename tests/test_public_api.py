@@ -37,6 +37,11 @@ PUBLIC_MODULES = [
     "repro.services.traffic",
     "repro.services.congestion",
     "repro.services.storage",
+    "repro.controlplane",
+    "repro.controlplane.messages",
+    "repro.controlplane.transport",
+    "repro.controlplane.endpoint",
+    "repro.controlplane.clients",
     "repro.core",
     "repro.core.agent",
     "repro.core.controller",
