@@ -1,0 +1,34 @@
+"""Determinism tooling for the simulation substrate.
+
+Two halves, one contract (DESIGN.md "Determinism contract"):
+
+* **detlint** — an AST-based static pass (:mod:`repro.analysis.rules`)
+  that rejects the constructs which silently break bit-for-bit replay:
+  wall clocks, the global ``random`` module, unordered iteration feeding
+  the scheduler, identity-based ordering, shared mutable state, and
+  mutable message envelopes.  Run it as ``python -m repro.analysis src``.
+* **runtime invariants** — draw-count accounting on every
+  :class:`~repro.sim.rng.RngStream`, opt-in scheduler assertions
+  (``Simulator(check_invariants=True)``), and the
+  :func:`~repro.analysis.runtime.replay_digest` harness that runs a
+  scenario twice and compares structural state digests.
+"""
+
+from repro.analysis.findings import Finding, RULES
+from repro.analysis.linter import LintReport, lint_paths, lint_source
+from repro.analysis.runtime import (ReplayReport, default_scenario,
+                                    replay_digest, structural_digest,
+                                    system_state)
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "LintReport",
+    "lint_paths",
+    "lint_source",
+    "ReplayReport",
+    "default_scenario",
+    "replay_digest",
+    "structural_digest",
+    "system_state",
+]

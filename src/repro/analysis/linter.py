@@ -1,0 +1,238 @@
+"""detlint driver: files in, suppressions applied, report out.
+
+Suppression protocol (the *escape hatch*):
+
+* An intentional exception carries an inline comment on (any header line
+  of) the offending statement::
+
+      import random  # detlint: disable=DET002 random.Random is the substrate
+
+  The free text after the code is the mandatory *reason*.
+* Every suppressed ``path:code`` pair must ALSO appear in the checked-in
+  allowlist file (``detlint-allow.txt`` at the repo root), one
+  ``<path-suffix>:<CODE>`` per line, ``#`` comments allowed.  The double
+  bookkeeping is deliberate: the inline comment explains the exception
+  where the reader is, the allowlist makes the full exception surface
+  reviewable in one place.
+* A suppression that is malformed, missing its reason, absent from the
+  allowlist, or matches no finding is itself a finding (**DET000**) and
+  cannot be suppressed.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.findings import Finding, RULES
+from repro.analysis.rules import check_module
+
+DEFAULT_ALLOWLIST = "detlint-allow.txt"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*detlint:\s*disable=(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)"
+    r"(?P<reason>[^#]*)")
+
+
+@dataclass(slots=True)
+class Suppression:
+    """One inline ``# detlint: disable=...`` comment."""
+
+    path: str
+    line: int
+    codes: tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+@dataclass(slots=True)
+class LintReport:
+    """Everything detlint produced for one run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def unsuppressed(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.unsuppressed
+
+    def by_code(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.unsuppressed:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def render(self, *, show_hints: bool = True) -> str:
+        lines: list[str] = []
+        for finding in sorted(self.unsuppressed,
+                              key=lambda f: (f.path, f.line, f.col, f.code)):
+            lines.append(finding.render())
+            if show_hints:
+                lines.append(f"    hint: {finding.hint}")
+        if self.unsuppressed:
+            lines.append("")
+        lines.append(
+            f"detlint: {len(self.unsuppressed)} finding(s) in "
+            f"{self.files_checked} file(s)"
+            + (f" ({len(self.suppressed)} suppressed)"
+               if self.suppressed else ""))
+        return "\n".join(lines)
+
+
+def load_allowlist(path: Optional[Path]) -> set[str]:
+    """Read ``<path-suffix>:<CODE>`` entries; missing file -> empty set."""
+    if path is None or not path.is_file():
+        return set()
+    entries: set[str] = set()
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            entries.add(line.replace("\\", "/"))
+    return entries
+
+
+def _allowlisted(allowlist: set[str], path: str, code: str) -> bool:
+    norm = path.replace("\\", "/")
+    for entry in allowlist:
+        entry_path, _, entry_code = entry.rpartition(":")
+        if entry_code != code:
+            continue
+        if norm == entry_path or norm.endswith("/" + entry_path):
+            return True
+    return False
+
+
+def scan_suppressions(path: str, source: str) -> list[Suppression]:
+    """Find every inline detlint comment via the tokenizer.
+
+    Tokenizing (rather than regexing raw lines) keeps us honest about
+    comments inside strings, and a file that fails to tokenize will also
+    fail to parse — rules.py reports that as DET000.
+    """
+    suppressions: list[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match is None:
+                if re.search(r"detlint:\s*disable", tok.string):
+                    # Looks like an attempt at the escape hatch; refuse
+                    # to guess what it meant.  (Prose mentions of detlint
+                    # in ordinary comments are fine.)
+                    suppressions.append(Suppression(
+                        path=path, line=tok.start[0], codes=(),
+                        reason=""))
+                continue
+            codes = tuple(c.strip()
+                          for c in match.group("codes").split(","))
+            reason = match.group("reason").strip()
+            suppressions.append(Suppression(
+                path=path, line=tok.start[0], codes=codes, reason=reason))
+    except tokenize.TokenError:
+        pass
+    return suppressions
+
+
+def _apply_suppressions(findings: list[Finding],
+                        suppressions: list[Suppression],
+                        allowlist: set[str]) -> list[Finding]:
+    """Mark suppressed findings; emit DET000 for invalid suppressions."""
+    extra: list[Finding] = []
+    for sup in suppressions:
+        if not sup.codes:
+            extra.append(Finding(
+                code="DET000", path=sup.path, line=sup.line, col=1,
+                message="malformed detlint comment; expected "
+                        "'# detlint: disable=DETxxx <reason>'"))
+            continue
+        if not sup.reason:
+            extra.append(Finding(
+                code="DET000", path=sup.path, line=sup.line, col=1,
+                message="suppression is missing its reason (free text "
+                        "after the code)"))
+            continue
+        for code in sup.codes:
+            if code not in RULES or code == "DET000":
+                extra.append(Finding(
+                    code="DET000", path=sup.path, line=sup.line, col=1,
+                    message=f"unknown or unsuppressable rule {code}"))
+                continue
+            if not _allowlisted(allowlist, sup.path, code):
+                extra.append(Finding(
+                    code="DET000", path=sup.path, line=sup.line, col=1,
+                    message=f"suppression of {code} not in the allowlist "
+                            f"file ({DEFAULT_ALLOWLIST}); add "
+                            f"'{sup.path}:{code}'"))
+                continue
+            matched = False
+            for finding in findings:
+                lo, hi = finding.suppress_span
+                if (finding.code == code and finding.path == sup.path
+                        and lo <= sup.line <= hi):
+                    finding.suppressed = True
+                    finding.suppress_reason = sup.reason
+                    matched = True
+            if matched:
+                sup.used = True
+            else:
+                extra.append(Finding(
+                    code="DET000", path=sup.path, line=sup.line, col=1,
+                    message=f"suppression of {code} matches no finding; "
+                            "delete it"))
+    return extra
+
+
+def lint_source(path: str, source: str, *,
+                allowlist: Optional[set[str]] = None) -> list[Finding]:
+    """Lint one in-memory module; returns findings with suppression state."""
+    findings = check_module(path, source)
+    suppressions = scan_suppressions(path, source)
+    findings.extend(
+        _apply_suppressions(findings, suppressions, allowlist or set()))
+    findings.sort(key=lambda f: (f.line, f.col, f.code))
+    return findings
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def lint_paths(paths: Sequence[Path], *,
+               allowlist_file: Optional[Path] = None) -> LintReport:
+    """Lint every ``.py`` file under ``paths``."""
+    if allowlist_file is None:
+        default = Path(DEFAULT_ALLOWLIST)
+        allowlist_file = default if default.is_file() else None
+    allowlist = load_allowlist(allowlist_file)
+    report = LintReport()
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        report.findings.extend(
+            lint_source(str(file_path), source, allowlist=allowlist))
+        report.files_checked += 1
+    return report

@@ -1,0 +1,197 @@
+"""Runtime half of the determinism contract: the replay-digest harness.
+
+:func:`replay_digest` runs the same scenario twice with the same seed and
+compares a *structural digest* of everything the run produced — simulated
+clock, events processed, per-stream RNG draw counts, fabric counters,
+analyzer conclusions.  If any hidden nondeterminism slipped past detlint
+(a wall clock, unordered iteration feeding the scheduler, process-global
+state), the two digests diverge and the mismatching keys name the
+subsystem that drifted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Mapping, Optional
+
+from repro.cluster import Cluster
+from repro.core.config import RPingmeshConfig
+from repro.core.system import RPingmesh
+from repro.net.clos import ClosParams
+from repro.net.faults import LinkCorruption
+from repro.sim.units import MICROSECOND, SECOND
+
+Scenario = Callable[[int], Any]
+
+
+# -- structural digests --------------------------------------------------------
+
+def _canonical(value: Any) -> str:
+    """A stable text encoding: order-free for mappings/sets, exact floats."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return repr(value)
+    if isinstance(value, float):
+        return format(value, ".17g")
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ",".join(
+            f"{f.name}={_canonical(getattr(value, f.name))}"
+            for f in dataclasses.fields(value))
+        return f"{type(value).__name__}({fields})"
+    if isinstance(value, Mapping):
+        items = sorted((_canonical(k), _canonical(v))
+                       for k, v in value.items())
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if isinstance(value, (set, frozenset)):
+        return "{" + ",".join(sorted(_canonical(v) for v in value)) + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_canonical(v) for v in value) + "]"
+    raise TypeError(
+        f"structural_digest cannot canonicalize {type(value).__name__}; "
+        "snapshot it into plain data first")
+
+
+def structural_digest(value: Any) -> str:
+    """Hex sha256 of the canonical encoding of ``value``."""
+    return hashlib.sha256(_canonical(value).encode()).hexdigest()
+
+
+# -- state snapshots -----------------------------------------------------------
+
+def system_state(system: RPingmesh) -> dict[str, Any]:
+    """A structural snapshot of one deployed run, digest-ready.
+
+    Includes everything the acceptance criteria require byte-stable:
+    ``Simulator.events_processed``, per-stream RNG draw counts (plus the
+    registry state digest, which also pins generator positions), and the
+    observable conclusions of the run.
+    """
+    cluster = system.cluster
+    sim = cluster.sim
+    return {
+        "sim": {
+            "now": sim.now,
+            "events_processed": sim.events_processed,
+            "pending": sim.pending(),
+            "seed": sim.seed,
+        },
+        "rng": {
+            "draw_counts": cluster.rngs.draw_counts(),
+            "digest": cluster.rngs.digest(),
+        },
+        "fabric": {
+            "injected": cluster.fabric.packets_injected,
+            "delivered": cluster.fabric.packets_delivered,
+            "drops": len(cluster.fabric.drops),
+        },
+        "analyzer": {
+            "windows": [
+                {
+                    "start": w.window_start_ns,
+                    "end": w.window_end_ns,
+                    "results": w.results_processed,
+                    "down_hosts": sorted(w.down_hosts),
+                    "anomalous_rnics": sorted(w.anomalous_rnics),
+                    "cpu_noise_hosts": sorted(w.cpu_noise_hosts),
+                    "problems": [
+                        (p.category.name, p.locus, p.detected_at_ns)
+                        for p in w.problems
+                    ],
+                }
+                for w in system.analyzer.windows
+            ],
+        },
+        "control_plane": {
+            name: {
+                "sent": stats.sent, "delivered": stats.delivered,
+                "dropped": stats.dropped, "retries": stats.retries,
+            }
+            for name, stats in sorted(system.control_plane_stats().items())
+        },
+    }
+
+
+# -- the replay harness --------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class ReplayReport:
+    """The outcome of running one scenario twice with one seed."""
+
+    seed: int
+    digest_first: str
+    digest_second: str
+    mismatched_keys: tuple[str, ...]
+
+    @property
+    def identical(self) -> bool:
+        """True iff both runs produced byte-identical structural state."""
+        return self.digest_first == self.digest_second
+
+
+def _diff_keys(first: Any, second: Any, prefix: str = "") -> list[str]:
+    """Top-down named paths where two snapshots differ."""
+    if isinstance(first, Mapping) and isinstance(second, Mapping):
+        keys = sorted(set(first) | set(second), key=str)
+        out: list[str] = []
+        for key in keys:
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if key not in first or key not in second:
+                out.append(path)
+            else:
+                out.extend(_diff_keys(first[key], second[key], path))
+        return out
+    if structural_digest(first) != structural_digest(second):
+        return [prefix or "<root>"]
+    return []
+
+
+def replay_digest(scenario: Scenario, seed: int) -> ReplayReport:
+    """Run ``scenario(seed)`` twice and compare structural digests.
+
+    The scenario must build its entire world from the seed (fresh
+    Simulator, fresh RngRegistry) and return a digest-able snapshot —
+    typically :func:`system_state` output, but any canonicalizable
+    structure works.
+    """
+    first = scenario(seed)
+    second = scenario(seed)
+    return ReplayReport(
+        seed=seed,
+        digest_first=structural_digest(first),
+        digest_second=structural_digest(second),
+        mismatched_keys=tuple(_diff_keys(first, second)),
+    )
+
+
+def default_scenario(seed: int, *,
+                     check_invariants: bool = True,
+                     duration_ns: Optional[int] = None) -> dict[str, Any]:
+    """The reference scenario for replay tests: small, noisy, eventful.
+
+    A tiny Clos cluster with a lossy/jittery control plane and a
+    corrupting fabric link, run for two analysis windows — enough to
+    exercise the scheduler, every RNG stream, retries, and the analyzer's
+    anomaly paths, while staying fast enough for tier-1 tests.
+    """
+    params = ClosParams(pods=1, tors_per_pod=2, aggs_per_pod=2,
+                        spines=1, hosts_per_tor=2)
+    cluster = Cluster.clos(params, seed=seed,
+                           check_invariants=check_invariants)
+    config = RPingmeshConfig(
+        control_latency_ns=200 * MICROSECOND,
+        control_jitter_ns=50 * MICROSECOND,
+        control_loss_prob=0.02,
+    )
+    system = RPingmesh(cluster, config)
+    system.start()
+    fault = LinkCorruption(cluster, "pod0-tor0", "pod0-agg0",
+                           drop_prob=0.3)
+    fault.inject()
+    system.run(duration_ns if duration_ns is not None else 45 * SECOND)
+    return system_state(system)

@@ -15,7 +15,6 @@ Structural limitations reproduced here, which motivate R-Pingmesh:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Optional
 
@@ -55,8 +54,6 @@ class _Pending:
 class PingmeshAgent:
     """Pingmesh agent on one host, using the host's first NIC port."""
 
-    _seqs = itertools.count(1)
-
     def __init__(self, host: Host, cluster: Cluster, *,
                  timeout_ns: int = 500 * MILLISECOND):
         if not host.rnics:
@@ -73,7 +70,7 @@ class PingmeshAgent:
 
     def probe(self, target: "PingmeshAgent") -> None:
         """Software-timestamped TCP ping: app -> kernel -> wire -> echo."""
-        seq = next(self._seqs)
+        seq = next(self.cluster.probe_seqs)
         pending = _Pending(
             seq=seq, target_host=target.host.name,
             t_start_host_clock=self.host.read_clock(),

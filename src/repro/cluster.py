@@ -9,6 +9,7 @@ the workloads need.
 
 from __future__ import annotations
 
+import itertools
 from typing import Optional, Union
 
 from repro.host.host import Host, build_host_with_rnics
@@ -41,6 +42,11 @@ class Cluster:
         # The simulated TCP management network, set by RPingmesh when it
         # deploys (None until then).  Fault drills reach it through here.
         self.management = None
+        # Cluster-wide probe sequence numbers.  One counter per cluster
+        # (not per agent class) so seqs are unique across agents — the
+        # analyzer keys per-seq state on them — yet replaying the same
+        # scenario in the same process starts from 1 again.
+        self.probe_seqs = itertools.count(1)
 
         ips = IPAllocator()
         for host_name, rnic_names in sorted(plan.host_rnics.items()):
@@ -56,17 +62,17 @@ class Cluster:
 
     @classmethod
     def clos(cls, params: Optional[ClosParams] = None, *,
-             seed: int = 0) -> "Cluster":
+             seed: int = 0, check_invariants: bool = False) -> "Cluster":
         """Build a 3-tier Clos cluster."""
-        sim = Simulator(seed=seed)
+        sim = Simulator(seed=seed, check_invariants=check_invariants)
         rngs = RngRegistry(seed)
         return cls(sim, rngs, build_clos(params or ClosParams()))
 
     @classmethod
     def rail(cls, params: Optional[RailParams] = None, *,
-             seed: int = 0) -> "Cluster":
+             seed: int = 0, check_invariants: bool = False) -> "Cluster":
         """Build a two-tier rail-optimized cluster (§7.4)."""
-        sim = Simulator(seed=seed)
+        sim = Simulator(seed=seed, check_invariants=check_invariants)
         rngs = RngRegistry(seed)
         return cls(sim, rngs, build_rail(params or RailParams()))
 

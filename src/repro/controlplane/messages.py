@@ -29,9 +29,14 @@ class MessageKind(Enum):
     ONEWAY = "oneway"
 
 
-@dataclass(slots=True)
+@dataclass(frozen=True, slots=True)
 class Envelope:
-    """One message in flight on the management network."""
+    """One message in flight on the management network.
+
+    Frozen: envelopes cross the simulated network, so mutating one after
+    send would retroactively change what the receiver observes (detlint
+    DET006).
+    """
 
     kind: MessageKind
     src: str                    # sender endpoint name

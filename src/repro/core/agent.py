@@ -35,7 +35,6 @@ hotspot paths are sampled at random phases of the DML cycle.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -101,8 +100,6 @@ class _RnicAgentState:
 
 class Agent:
     """The per-host R-Pingmesh agent."""
-
-    _seqs = itertools.count(1)
 
     def __init__(self, host: Host, cluster: Cluster,
                  network: ManagementNetwork, config: RPingmeshConfig,
@@ -307,7 +304,7 @@ class Agent:
         self._probe(state, state.service_round.pop())
 
     def _probe(self, state: _RnicAgentState, entry: PinglistEntry) -> None:
-        seq = next(self._seqs)
+        seq = next(self.cluster.probe_seqs)
         now = self.cluster.sim.now
         out = _Outstanding(seq=seq, entry=entry, issued_at_ns=now,
                            t1_host=self.host.read_clock())

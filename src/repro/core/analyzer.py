@@ -261,7 +261,7 @@ class Analyzer:
             involved_rnics: dict[str, set[str]] = defaultdict(set)
             for r in remaining:
                 hosts = {r.prober_host, self._host_of_target(r)}
-                for host in hosts:
+                for host in sorted(hosts):
                     involvement[host] += 1
                 for rnic in (r.prober_rnic, r.target_rnic):
                     involved_rnics[self.cluster.host_of_rnic(rnic)
@@ -332,7 +332,7 @@ class Analyzer:
         """§6 false-positive filters: multi-RNIC simultaneity first, then
         the responder-processing-delay corroboration."""
         by_host: dict[str, set[str]] = defaultdict(set)
-        for rnic in anomalous:
+        for rnic in sorted(anomalous):
             by_host[self.cluster.host_of_rnic(rnic).name].add(rnic)
 
         keep = set(anomalous)

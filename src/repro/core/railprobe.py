@@ -16,7 +16,6 @@ describes:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Optional
 
@@ -56,8 +55,6 @@ class _Pending:
 class RailProber:
     """Same-host cross-rail one-way prober for one host."""
 
-    _seqs = itertools.count(1)
-
     def __init__(self, cluster: Cluster, host_name: str, *,
                  timeout_ns: int = 500 * MILLISECOND,
                  ports_per_pair: int = 16):
@@ -86,7 +83,7 @@ class RailProber:
         """One one-way probe from src to dst (both on this host)."""
         if src_port is None:
             src_port = self.rng.randint(1024, 65535)
-        seq = next(self._seqs)
+        seq = next(self.cluster.probe_seqs)
         src = self.host.rnic_by_name(src_rnic)
         dst = self.host.rnic_by_name(dst_rnic)
         pending = _Pending(seq=seq, src_rnic=src_rnic, dst_rnic=dst_rnic,

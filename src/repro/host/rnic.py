@@ -134,8 +134,6 @@ class LocalSendError(Exception):
 class Rnic:
     """One RDMA NIC attached to a topology host port of the same name."""
 
-    _wr_ids = itertools.count(1)
-
     def __init__(self, name: str, ip: str, sim: Simulator, fabric: Fabric,
                  clock: Clock, rng: RngStream, *,
                  link_gbps: float = 400.0, pcie_gbps: float = 512.0,
@@ -161,6 +159,10 @@ class Rnic:
         self.rx_corruption_prob = 0.0
 
         self._qps: dict[int, QueuePair] = {}
+        # Per-instance: wr_ids are only ever matched within one RNIC's
+        # completion context, and a class-level counter would leak draw
+        # history across scenarios run in the same process.
+        self._wr_ids = itertools.count(1)
         self._next_qpn = rng.randint(0x100, 0xFFF)
         self._pending_rc_sends: dict[int, list[int]] = {}
         # Host TCP stack hook (Pingmesh baseline, checkpoint traffic).

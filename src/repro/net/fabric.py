@@ -22,6 +22,7 @@ normally the RNIC model, which applies its own (host-side) fault logic.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, Optional
@@ -86,6 +87,9 @@ class Fabric:
         self.max_drop_log = 100_000
         self.packets_delivered = 0
         self.packets_injected = 0
+        # Per-fabric packet id source: ids restart at 1 for every cluster
+        # so same-process replays see identical ids.
+        self._packet_ids = itertools.count(1)
 
     # -- wiring ------------------------------------------------------------
 
@@ -117,6 +121,7 @@ class Fabric:
     def inject(self, packet: Packet, src_port: str) -> None:
         """Send ``packet`` into the fabric from ``src_port``."""
         self.packets_injected += 1
+        packet.packet_id = next(self._packet_ids)
         packet.sent_at_ns = self.sim.now
         dst_port = self._ip_to_port.get(packet.five_tuple.dst_ip)
         if dst_port is None:

@@ -7,7 +7,6 @@ transport header fields (destination QPN, opcode).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Optional
@@ -18,8 +17,6 @@ from repro.net.addresses import FiveTuple
 # lossless PFC applies only to RoCE (paper §2.4).
 TC_ROCE = "roce"
 TC_TCP = "tcp"
-
-_packet_ids = itertools.count(1)
 
 
 class RoCEOpcode(Enum):
@@ -45,7 +42,10 @@ class Packet:
     traffic_class: str = TC_ROCE
     ttl: int = 64
     payload: dict[str, Any] = field(default_factory=dict)
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    # Stamped by Fabric.inject from a per-fabric counter; 0 = not injected.
+    # (A module-level counter here would be shared process-wide state,
+    # breaking same-process replay — detlint DET005.)
+    packet_id: int = 0
     sent_at_ns: Optional[int] = None
 
     def __post_init__(self) -> None:

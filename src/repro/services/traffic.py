@@ -107,7 +107,7 @@ class TrafficEngine:
         """Links whose demand exceeded capacity at the last apply()."""
         topo = self.cluster.topology
         out = []
-        for key in self._touched:
+        for key in sorted(self._touched):
             link = topo.links[key]
             if link.queue_bytes > 0:
                 out.append(link)

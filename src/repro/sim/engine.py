@@ -28,6 +28,15 @@ class SimulationError(RuntimeError):
     """Raised for invalid uses of the simulation engine."""
 
 
+class InvariantViolation(SimulationError):
+    """Raised by ``Simulator(check_invariants=True)`` on a broken invariant.
+
+    A subclass of :class:`SimulationError` so existing error handling keeps
+    working; the distinct type lets the replay harness and tests assert the
+    failure came from the invariant layer rather than ordinary misuse.
+    """
+
+
 @dataclass(order=True)
 class _Event:
     time: int
@@ -134,7 +143,7 @@ class Simulator:
     reference to the same simulator.
     """
 
-    def __init__(self, *, seed: int = 0):
+    def __init__(self, *, seed: int = 0, check_invariants: bool = False):
         self._heap: list[_Event] = []
         self._seq = itertools.count()
         self._now = 0
@@ -143,6 +152,16 @@ class Simulator:
         # Simple deterministic jitter source decoupled from component RNGs.
         self._jitter_state = (seed * 2654435761 + 1) & 0xFFFFFFFF
         self.events_processed = 0
+        # Opt-in runtime invariant checking (detlint --check-invariants):
+        # asserts the popped-event clock never moves backwards, i.e. no
+        # event was smuggled into the past around call_at's guard.
+        self.check_invariants = check_invariants
+
+    def _assert_monotonic_pop(self, event_time: int) -> None:
+        if event_time < self._now:
+            raise InvariantViolation(
+                f"event scheduled before current sim time: "
+                f"{event_time} < now {self._now}")
 
     @property
     def now(self) -> int:
@@ -186,6 +205,8 @@ class Simulator:
                 event = heapq.heappop(self._heap)
                 if event.cancelled:
                     continue
+                if self.check_invariants:
+                    self._assert_monotonic_pop(event.time)
                 self._now = event.time
                 event.callback()
                 self.events_processed += 1
@@ -208,6 +229,8 @@ class Simulator:
                 event = heapq.heappop(self._heap)
                 if event.cancelled:
                     continue
+                if self.check_invariants:
+                    self._assert_monotonic_pop(event.time)
                 self._now = event.time
                 event.callback()
                 self.events_processed += 1

@@ -1,0 +1,31 @@
+"""Fixtures for the determinism-tooling tests."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.runtime import default_scenario, replay_digest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def fixtures_dir() -> Path:
+    """The linter self-test fixture directory."""
+    return FIXTURES
+
+
+@pytest.fixture
+def replay():
+    """Run the reference scenario twice with one seed -> ReplayReport.
+
+    Keyword arguments are forwarded to
+    :func:`repro.analysis.runtime.default_scenario` (e.g. ``duration_ns``
+    to shorten a sweep).
+    """
+
+    def run(seed: int, **scenario_kwargs):
+        return replay_digest(
+            lambda s: default_scenario(s, **scenario_kwargs), seed)
+
+    return run

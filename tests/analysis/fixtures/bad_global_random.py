@@ -1,0 +1,7 @@
+"""detlint fixture: DET002 — the global random module."""
+
+import random  # DET002
+
+
+def jitter() -> float:
+    return random.random()

@@ -1,0 +1,9 @@
+"""detlint fixture: DET004 — ordering/keying by object identity."""
+
+
+def order_by_identity(items: list[object]) -> list[object]:
+    return sorted(items, key=id)  # DET004
+
+
+def identity_key(obj: object) -> int:
+    return id(obj)  # DET004

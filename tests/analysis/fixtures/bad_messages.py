@@ -1,0 +1,18 @@
+"""detlint fixture: DET006 — unfrozen message dataclass.
+
+The filename contains "messages", which is how detlint scopes the rule.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class Envelope:  # DET006: not frozen
+    src: str
+    dst: str
+
+
+@dataclass(frozen=True, slots=True)
+class SealedEnvelope:  # frozen: no finding
+    src: str
+    dst: str

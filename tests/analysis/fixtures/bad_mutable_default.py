@@ -1,0 +1,20 @@
+"""detlint fixture: DET005 — shared mutable state."""
+
+import itertools
+from dataclasses import dataclass
+
+_ids = itertools.count(1)  # DET005: module-level counter
+
+
+def accumulate(item: int, acc: list[int] = []) -> list[int]:  # DET005
+    acc.append(item)
+    return acc
+
+
+class Prober:
+    _seqs = itertools.count(1)  # DET005: class-level counter
+
+
+@dataclass
+class Record:
+    tags = []  # DET005: mutable class-level container in a dataclass

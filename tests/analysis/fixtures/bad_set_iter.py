@@ -1,0 +1,29 @@
+"""detlint fixture: DET003 — unordered iteration with ordered effects."""
+
+
+def schedule_all(sim, hosts: set[str]) -> None:
+    for host in hosts:  # DET003: schedules
+        sim.call_later(10, lambda h=host: None)
+
+
+def collect(names: set[str]) -> list[str]:
+    out: list[str] = []
+    for name in names:  # DET003: accumulates
+        out.append(name)
+    return out
+
+
+def comprehension(names: set[str]) -> list[str]:
+    return [n.upper() for n in names]  # DET003: ordered materialization
+
+
+def harmless(names: set[str]) -> int:
+    total = 0
+    for name in names:  # order-independent: no finding
+        total += len(name)
+    return total
+
+
+def fixed(sim, hosts: set[str]) -> None:
+    for host in sorted(hosts):  # sorted(): no finding
+        sim.call_later(10, lambda h=host: None)

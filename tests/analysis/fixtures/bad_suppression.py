@@ -1,0 +1,16 @@
+"""detlint fixture: DET000 — every way a suppression can be wrong."""
+
+import random  # detlint: disable=DET002
+import time
+
+
+def jitter() -> float:
+    return random.random()
+
+
+def wall() -> float:  # detlint: disable=DET999 no such rule
+    return time.time()
+
+
+def clean() -> int:  # detlint: disable=DET003 matches no finding here
+    return 1

@@ -1,0 +1,18 @@
+"""detlint fixture: DET001 — wall clocks inside simulation code."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp_event() -> float:
+    return time.time()  # DET001
+
+
+def measure() -> float:
+    start = perf_counter()  # DET001
+    return start
+
+
+def log_line() -> str:
+    return datetime.now().isoformat()  # DET001

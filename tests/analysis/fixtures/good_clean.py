@@ -1,0 +1,18 @@
+"""detlint fixture: a clean module — zero findings expected."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Sample:
+    name: str
+    values: list[int] = field(default_factory=list)
+
+
+def schedule_sorted(sim, hosts: set[str]) -> None:
+    for host in sorted(hosts):
+        sim.call_later(10, lambda h=host: None)
+
+
+def count_chars(names: set[str]) -> int:
+    return sum(len(n) for n in sorted(names))

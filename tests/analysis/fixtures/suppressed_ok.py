@@ -1,0 +1,7 @@
+"""detlint fixture: a valid suppression (reason + allowlist entry)."""
+
+import random  # detlint: disable=DET002 fixture exercising the escape hatch
+
+
+def jitter() -> float:
+    return random.random()

@@ -52,6 +52,19 @@ class TestDelivery:
         assert record.path[-1] == "b"
         assert len(record.path) == 5  # a tor1 midX tor2 b
 
+    def test_inject_stamps_sequential_packet_ids(self):
+        # Ids come from a per-fabric counter: unique within a fabric,
+        # restarting at 1 for every fabric so replays match exactly.
+        sim, topo, fabric = build_fabric()
+        first, second = roce_packet(), roce_packet()
+        fabric.inject(first, "a")
+        fabric.inject(second, "a")
+        assert (first.packet_id, second.packet_id) == (1, 2)
+        _, _, fresh_fabric = build_fabric()
+        again = roce_packet()
+        fresh_fabric.inject(again, "a")
+        assert again.packet_id == 1
+
     def test_delivery_has_positive_latency(self):
         sim, topo, fabric = build_fabric()
         got = []

@@ -62,6 +62,12 @@ PUBLIC_MODULES = [
     "repro.baselines",
     "repro.baselines.pingmesh",
     "repro.experiments",
+    "repro.analysis",
+    "repro.analysis.findings",
+    "repro.analysis.rules",
+    "repro.analysis.linter",
+    "repro.analysis.runtime",
+    "repro.analysis.cli",
 ]
 
 
