@@ -1,0 +1,59 @@
+"""Observability overhead: events/sec with the tracer on vs off.
+
+Not a paper artifact — this measures the reproduction itself.  The
+tracing + metrics hooks sit on the substrate's hottest paths (every
+fabric hop, every CQE), so this benchmark pins two things: the simulated
+event stream is bit-identical either way (same event count from the same
+seed), and the wall-clock cost of full tracing stays a small multiple.
+Emits one ``BENCH {json}`` line for trend tracking.
+"""
+
+import json
+import time
+
+from conftest import run_once
+
+from repro.cluster import Cluster
+from repro.core.system import RPingmesh
+from repro.net.clos import ClosParams
+from repro.obs import Observability
+from repro.sim.units import seconds
+
+PARAMS = ClosParams(pods=2, tors_per_pod=2, aggs_per_pod=2, spines=2,
+                    hosts_per_tor=3)
+WARMUP_S = 5
+MEASURED_S = 15
+
+
+def _drive(obs):
+    cluster = Cluster.clos(PARAMS, seed=2)
+    system = RPingmesh(cluster, obs=obs)
+    system.start()
+    cluster.sim.run_for(seconds(WARMUP_S))
+    before = cluster.sim.events_processed
+    start = time.perf_counter()
+    cluster.sim.run_for(seconds(MEASURED_S))
+    wall_s = time.perf_counter() - start
+    events = cluster.sim.events_processed - before
+    return {"events": events, "wall_s": wall_s,
+            "events_per_sec": events / wall_s if wall_s else 0.0}
+
+
+def test_tracer_overhead(benchmark):
+    off = _drive(None)
+    on = run_once(benchmark, _drive,
+                  Observability(tracing=True, metrics=True))
+    # The layer observes; it must not change what the simulator does.
+    assert on["events"] == off["events"]
+    overhead = (off["events_per_sec"] / on["events_per_sec"]
+                if on["events_per_sec"] else float("inf"))
+    print("BENCH " + json.dumps({
+        "benchmark": "obs_overhead",
+        "events": off["events"],
+        "events_per_sec_off": round(off["events_per_sec"]),
+        "events_per_sec_on": round(on["events_per_sec"]),
+        "slowdown_x": round(overhead, 3),
+    }, sort_keys=True))
+    # Generous bound: full tracing may cost real time, but an order of
+    # magnitude would mean a hook escaped its enabled-guard.
+    assert overhead < 10.0

@@ -171,13 +171,18 @@ def replay_digest(scenario: Scenario, seed: int) -> ReplayReport:
 
 def default_scenario(seed: int, *,
                      check_invariants: bool = True,
-                     duration_ns: Optional[int] = None) -> dict[str, Any]:
+                     duration_ns: Optional[int] = None,
+                     obs: Optional[Any] = None) -> dict[str, Any]:
     """The reference scenario for replay tests: small, noisy, eventful.
 
     A tiny Clos cluster with a lossy/jittery control plane and a
     corrupting fabric link, run for two analysis windows — enough to
     exercise the scheduler, every RNG stream, retries, and the analyzer's
     anomaly paths, while staying fast enough for tier-1 tests.
+
+    ``obs`` (an :class:`~repro.obs.Observability`) opts the run into the
+    observability layer; the returned snapshot is sim state only, so it
+    must be identical with or without it (DESIGN.md §8).
     """
     params = ClosParams(pods=1, tors_per_pod=2, aggs_per_pod=2,
                         spines=1, hosts_per_tor=2)
@@ -188,7 +193,7 @@ def default_scenario(seed: int, *,
         control_jitter_ns=50 * MICROSECOND,
         control_loss_prob=0.02,
     )
-    system = RPingmesh(cluster, config)
+    system = RPingmesh(cluster, config, obs=obs)
     system.start()
     fault = LinkCorruption(cluster, "pod0-tor0", "pod0-agg0",
                            drop_prob=0.3)

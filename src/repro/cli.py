@@ -6,11 +6,21 @@ Usage (installed as ``repro-pingmesh``, or ``python -m repro.cli``)::
     repro-pingmesh inject   --fault FAULT [--duration S] [--seed N]
     repro-pingmesh triage   [--scenario compute_bug|switch_drops]
     repro-pingmesh catalog  [--rows 1,2,...]
+    repro-pingmesh trace    [--probe SEQ] [--jsonl PATH] [--seed N]
+    repro-pingmesh metrics  [--seed N] [--duration S]
+    repro-pingmesh profile  [--top K] [--seed N] [--duration S]
 
 * ``monitor`` — deploy on a healthy cluster and print SLA dashboards.
 * ``inject``  — inject one named fault and watch detection/localisation.
 * ``triage``  — the §7.2 "is it a network problem?" workflow.
 * ``catalog`` — run Table 2 rows end to end.
+* ``trace``   — run the reference scenario with tracing on and print one
+  probe's full timeline (Agent send → per-hop fabric events → CQE marks
+  → Analyzer verdict); ``--jsonl`` exports every span.
+* ``metrics`` — same scenario with the metrics registry on; prints the
+  Prometheus-style exposition.
+* ``profile`` — same scenario under sim-engine profiling; prints host
+  wall time per callback site.
 """
 
 from __future__ import annotations
@@ -161,6 +171,81 @@ def cmd_catalog(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _run_reference_scenario(seed: int, duration_s: int, obs) -> None:
+    """Run the replay-reference scenario with an observability layer on."""
+    from repro.analysis.runtime import default_scenario
+    default_scenario(seed, duration_ns=seconds(duration_s), obs=obs)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import Observability
+    obs = Observability(tracing=True)
+    _run_reference_scenario(args.seed, args.duration, obs)
+    tracer = obs.tracer
+    summary = tracer.summary()
+    print("tracer: " + " ".join(f"{k}={v}" for k, v in summary.items()))
+    if args.jsonl:
+        count = tracer.write_jsonl(args.jsonl)
+        print(f"wrote {count} spans to {args.jsonl}")
+    if args.probe is not None:
+        seq = args.probe
+    else:
+        # Timed-out probes make the most instructive timelines (they show
+        # the drop and the Analyzer's verdict); fall back to any span.
+        chosen = tracer.first_with_status("timeout")
+        if chosen is None and tracer.all_spans():
+            chosen = tracer.all_spans()[0]
+        if chosen is None:
+            print("no spans recorded", file=sys.stderr)
+            return 1
+        seq = chosen.seq
+    print(tracer.render_timeline(seq))
+    if args.selftest:
+        # Spans still open at the cutoff are probes legitimately in
+        # flight; completeness means: the rendered span is closed with an
+        # agent.send, and nothing closed more than once.
+        span = tracer.span(seq)
+        complete = (span is not None and span.closed
+                    and bool(span.events_named("agent.send"))
+                    and all(s.close_count <= 1
+                            for s in tracer.all_spans()))
+        print(f"selftest: span_closed={bool(span and span.closed)} "
+              f"in_flight={len(tracer.open_spans())}")
+        return 0 if complete else 1
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import Observability
+    obs = Observability(metrics=True)
+    _run_reference_scenario(args.seed, args.duration, obs)
+    print(obs.metrics.render_prometheus())
+    if args.selftest:
+        snap = obs.metrics.snapshot()
+        sent = [v for k, v in snap.items()
+                if k.startswith("repro_controlplane_sent_total")]
+        ok = bool(sent) and sum(sent) > 0 \
+            and snap.get("repro_sim_events_processed_total", 0) > 0
+        print(f"selftest: series={len(snap)} endpoint_sent={sum(sent)}")
+        return 0 if ok else 1
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import Observability
+    obs = Observability(profiling=True)
+    _run_reference_scenario(args.seed, args.duration, obs)
+    assert obs.profiler is not None
+    print(obs.profiler.render(top=args.top))
+    if args.selftest:
+        counts = obs.profiler.deterministic_snapshot()
+        ok = obs.profiler.events_total > 0 and len(counts) > 1
+        print(f"selftest: sites={len(counts)} "
+              f"events={obs.profiler.events_total}")
+        return 0 if ok else 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-pingmesh",
@@ -202,6 +287,32 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--out", default="results")
     figures.add_argument("--seed", type=int, default=0)
     figures.set_defaults(func=cmd_figures)
+
+    def obs_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--duration", type=int, default=45,
+                       help="simulated seconds of the reference scenario")
+        p.add_argument("--selftest", action="store_true",
+                       help="assert the layer worked; exit non-zero if not")
+
+    trace = sub.add_parser("trace", help="probe-lifecycle timeline")
+    obs_args(trace)
+    trace.add_argument("--probe", type=int, default=None,
+                       help="probe_seq to render (default: first timeout)")
+    trace.add_argument("--jsonl", default="",
+                       help="also export every span as JSONL to this path")
+    trace.set_defaults(func=cmd_trace)
+
+    metrics = sub.add_parser("metrics",
+                             help="Prometheus-style metrics snapshot")
+    obs_args(metrics)
+    metrics.set_defaults(func=cmd_metrics)
+
+    profile = sub.add_parser("profile", help="sim-engine callback profile")
+    obs_args(profile)
+    profile.add_argument("--top", type=int, default=20,
+                         help="callback sites to show")
+    profile.set_defaults(func=cmd_profile)
     return parser
 
 

@@ -20,6 +20,7 @@ from repro.net.fabric import Fabric
 from repro.net.rail import RailFabricPlan, RailParams, build_rail
 from repro.net.topology import Topology
 from repro.net.traceroute import TracerouteService
+from repro.obs import Observability
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 
@@ -42,6 +43,10 @@ class Cluster:
         # The simulated TCP management network, set by RPingmesh when it
         # deploys (None until then).  Fault drills reach it through here.
         self.management = None
+        # Observability switchboard (repro.obs).  Default: everything off
+        # and nothing wired — RPingmesh's obs= knob replaces this via
+        # Observability.install().
+        self.obs = Observability()
         # Cluster-wide probe sequence numbers.  One counter per cluster
         # (not per agent class) so seqs are unique across agents — the
         # analyzer keys per-seq state on them — yet replaying the same

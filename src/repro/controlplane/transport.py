@@ -18,10 +18,11 @@ sequence untouched.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.controlplane.messages import Envelope
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStream
 
@@ -49,19 +50,57 @@ class LinkProfile:
                 and self.loss_prob == 0.0)
 
 
-@dataclass
 class EndpointStats:
-    """Per-endpoint message counters (the control-plane metrics surface)."""
+    """Per-endpoint message counters (the control-plane metrics surface).
 
-    sent: int = 0                # envelopes this endpoint put on the wire
-    delivered: int = 0           # of those, how many reached their dst
-    received: int = 0            # envelopes delivered *to* this endpoint
-    dropped_loss: int = 0        # sent but lost to the loss profile
-    dropped_partition: int = 0   # sent but blocked by a partition
-    dropped_unroutable: int = 0  # sent to an unknown endpoint
-    retries: int = 0             # client resends (upload channel)
-    request_timeouts: int = 0    # requests that expired unanswered
-    latency_total_ns: int = 0    # summed delivery delay of received msgs
+    Historically a plain dataclass of ints; now a façade over
+    :class:`~repro.obs.metrics.MetricsRegistry` counters named
+    ``repro_controlplane_<field>_total{endpoint="<name>"}`` so the same
+    numbers surface in metric snapshots, Prometheus-style exports, and
+    the legacy attribute reads (``stats.sent``, ``stats.dropped_loss``
+    …) without double bookkeeping.  The field names — and therefore the
+    keys of :meth:`as_dict` — are unchanged.
+    """
+
+    # Field -> one-line meaning (doubles as the counter help text).
+    _FIELDS: dict[str, str] = {
+        "sent": "envelopes this endpoint put on the wire",
+        "delivered": "of those, how many reached their dst",
+        "received": "envelopes delivered *to* this endpoint",
+        "dropped_loss": "sent but lost to the loss profile",
+        "dropped_partition": "sent but blocked by a partition",
+        "dropped_unroutable": "sent to an unknown endpoint",
+        "retries": "client resends (upload channel)",
+        "request_timeouts": "requests that expired unanswered",
+        "latency_total_ns": "summed delivery delay of received msgs",
+    }
+
+    __slots__ = ("_counters",)
+
+    def __init__(self, registry: MetricsRegistry, endpoint: str):
+        object.__setattr__(self, "_counters", {
+            name: registry.counter(self._series_name(name),
+                                   endpoint=endpoint)
+            for name in self._FIELDS})
+
+    @staticmethod
+    def _series_name(fld: str) -> str:
+        if fld.endswith("_total_ns"):  # latency_total_ns, avoid _total_ns_total
+            fld = fld.replace("_total_ns", "_ns")
+        return f"repro_controlplane_{fld}_total"
+
+    def __getattr__(self, name: str) -> int:
+        counters = object.__getattribute__(self, "_counters")
+        try:
+            return counters[name].value
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __setattr__(self, name: str, value: int) -> None:
+        counters = object.__getattribute__(self, "_counters")
+        if name not in counters:
+            raise AttributeError(f"EndpointStats has no field {name!r}")
+        counters[name].value = value
 
     @property
     def dropped(self) -> int:
@@ -73,21 +112,37 @@ class EndpointStats:
         """Mean delivery delay of messages received by this endpoint."""
         return self.latency_total_ns / self.received if self.received else 0.0
 
+    def as_dict(self) -> dict[str, int]:
+        """The legacy dict shape (field name -> count), plus ``dropped``.
+
+        Deprecated in favour of reading the endpoint's series from
+        ``MetricsRegistry.snapshot()``; kept because dashboards and
+        older callers still expect these exact keys.
+        """
+        out = {name: getattr(self, name) for name in self._FIELDS}
+        out["dropped"] = self.dropped
+        return out
+
 
 @dataclass
 class _Attachment:
     deliver: DeliverFn
-    stats: EndpointStats = field(default_factory=EndpointStats)
+    stats: EndpointStats
 
 
 class ManagementNetwork:
     """Simulated control-plane transport between named endpoints."""
 
     def __init__(self, sim: Simulator, rng: RngStream,
-                 default_profile: Optional[LinkProfile] = None):
+                 default_profile: Optional[LinkProfile] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         self.sim = sim
         self.rng = rng
         self.default_profile = default_profile or LinkProfile()
+        # Endpoint counters live in a metrics registry; callers that want
+        # the numbers in their own snapshot (RPingmesh with metrics
+        # enabled) pass theirs, everyone else gets a private one.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._links: dict[tuple[str, str], LinkProfile] = {}
         self._attached: dict[str, _Attachment] = {}
         self._partitioned: set[str] = set()
@@ -103,7 +158,7 @@ class ManagementNetwork:
         """Register an endpoint; returns its (live) stats object."""
         if name in self._attached:
             raise ValueError(f"endpoint already attached: {name}")
-        attachment = _Attachment(deliver)
+        attachment = _Attachment(deliver, EndpointStats(self.metrics, name))
         self._attached[name] = attachment
         return attachment.stats
 

@@ -116,6 +116,10 @@ class Agent:
                                        is_alive=lambda: self.host.up)
         self.uploads = UploadChannel(self.endpoint, config,
                                      is_alive=lambda: self.host.up)
+        # Probe-lifecycle tracing (repro.obs): the Agent owns the span —
+        # it opens one per probe sent and closes it exactly once, in
+        # _record, which both the success and the timeout paths reach.
+        self.tracer = cluster.obs.tracer
         self.states: dict[str, _RnicAgentState] = {}
         self._results: list[ProbeResult] = []
         self._upload_task: Optional[PeriodicTask] = None
@@ -312,16 +316,27 @@ class Agent:
         out.timeout_handle = self.cluster.sim.call_later(
             self.config.probe_timeout_ns,
             lambda: self._on_timeout(state, seq))
+        if self.tracer.enabled:
+            self.tracer.open_span(
+                seq, now, kind=entry.kind.value,
+                prober_rnic=state.rnic.name, prober_host=self.host.name,
+                target_rnic=entry.target_rnic, target_ip=entry.target.ip,
+                target_qpn=entry.target.qpn, src_port=entry.src_port)
+            self.tracer.event(seq, now, "agent.send", mark="t1",
+                              host_clock_ns=out.t1_host)
         try:
             wr_id = self.host.verbs.post_send(
                 state.rnic, state.qp, entry.target,
                 src_port=entry.src_port,
                 payload={"t": "probe", "seq": seq},
                 payload_bytes=self.config.probe_payload_bytes)
-        except LocalSendError:
+        except LocalSendError as exc:
             # Unreachable locally (down/flapping/misconfigured RNIC): the
             # probe never leaves; it will be reported at the timeout tick
             # exactly like a probe lost in the network.
+            if self.tracer.enabled:
+                self.tracer.event(seq, now, "agent.local_send_error",
+                                  reason=exc.reason)
             return
         state.send_roles[wr_id] = ("probe", seq)
         self.probes_sent += 1
@@ -371,6 +386,10 @@ class Agent:
         now = self.cluster.sim.now
         delay = self.host.cpu.processing_delay_ns()
         delay += self.host.cpu.starvation_stall_ns(now)
+        if self.tracer.enabled:
+            self.tracer.event(seq, now, "responder.recv",
+                              host=self.host.name, rnic=state.rnic.name,
+                              cpu_delay_ns=delay)
         self.cluster.sim.call_later(
             delay,
             lambda: self._post_ack1(state, reply_to, cqe.src_port, seq, t3))
@@ -412,6 +431,9 @@ class Agent:
         now = self.cluster.sim.now
         delay = self.host.cpu.processing_delay_ns()
         delay += self.host.cpu.starvation_stall_ns(now)
+        if self.tracer.enabled:
+            self.tracer.event(out.seq, now, "prober.ack1_processing",
+                              host=self.host.name, cpu_delay_ns=delay)
         self.cluster.sim.call_later(
             delay, lambda: self._stamp_t6(state, out.seq))
 
@@ -420,6 +442,9 @@ class Agent:
         if out is None:
             return
         out.t6_host = self.host.read_clock()            # ⑥ app-level done
+        if self.tracer.enabled:
+            self.tracer.event(seq, self.cluster.sim.now, "agent.done",
+                              mark="t6", host_clock_ns=out.t6_host)
         self._maybe_complete(state, out)
 
     def _on_ack2(self, state: _RnicAgentState, cqe: Cqe) -> None:
@@ -475,6 +500,29 @@ class Agent:
             responder_processing_ns=responder_processing_ns,
             probe_path=state.path_cache.get(five_tuple),
             ack_path=state.path_cache.get(five_tuple.reversed()))
+        if self.tracer.enabled:
+            now = self.cluster.sim.now
+            if timeout:
+                self.tracer.event(out.seq, now, "agent.result",
+                                  timeout=True)
+            else:
+                self.tracer.event(out.seq, now, "agent.result",
+                                  timeout=False,
+                                  network_rtt_ns=network_rtt_ns,
+                                  prober_processing_ns=prober_processing_ns,
+                                  responder_processing_ns=
+                                  responder_processing_ns)
+            self.tracer.close_span(out.seq, now,
+                                   "timeout" if timeout else "ok")
+        obs = self.cluster.obs
+        if obs.metrics_enabled:
+            obs.metrics.counter("repro_agent_probes_total",
+                                kind=entry.kind.value,
+                                result="timeout" if timeout
+                                else "ok").inc()
+            if network_rtt_ns is not None:
+                obs.metrics.histogram("repro_agent_network_rtt_ns") \
+                    .observe(network_rtt_ns)
         self._results.append(result)
         self.results_buffered_peak = max(self.results_buffered_peak,
                                          len(self._results))

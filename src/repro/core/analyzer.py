@@ -83,6 +83,10 @@ class Analyzer:
         self.config = config
         self.service_monitor: Optional[ServiceMonitor] = None
         self.endpoint: Optional[Endpoint] = None
+        # Probe-lifecycle tracing (repro.obs): the Analyzer annotates each
+        # probe's (already closed) span with its classification verdict
+        # and, for fabric-caused timeouts, the Algorithm-1 vote.
+        self.tracer = cluster.obs.tracer
 
         self._pending: list[AgentUpload] = []
         self._upload_listeners: list = []
@@ -173,6 +177,8 @@ class Analyzer:
         self._aggregate_sla(results, classification, window)
         self._update_service_membership(results, now)
         self._assign_priorities(window)
+        if self.tracer.enabled:
+            self._trace_verdicts(results, classification, window)
 
         self.windows.append(window)
         self.problems.extend(window.problems)
@@ -556,6 +562,34 @@ class Analyzer:
                 problem.priority = Priority.P0 if degraded else Priority.P1
             else:
                 problem.priority = Priority.P2
+
+    # -- observability (repro.obs) ---------------------------------------------------------------
+
+    def _trace_verdicts(self, results: list[ProbeResult],
+                        classification: dict[int, ProblemCategory],
+                        window: WindowAnalysis) -> None:
+        """Annotate each probe's span with this window's verdict.
+
+        The Analyzer only sees a probe one upload batch after the Agent
+        recorded its result, so these land on already-closed spans — the
+        tracer treats them as post-close annotations by design.  For
+        fabric-caused timeouts the Algorithm-1 top suspect and its vote
+        count ride along.
+        """
+        now = window.window_end_ns
+        for result in results:
+            category = classification.get(result.seq)
+            fields: dict = {
+                "verdict": "ok" if category is None else category.value}
+            if category == ProblemCategory.SWITCH_NETWORK_PROBLEM:
+                loc = (window.service_localization
+                       if result.kind == ProbeKind.SERVICE_TRACING
+                       else window.cluster_localization)
+                if loc is not None and loc.suspects:
+                    suspect = loc.suspects[0]
+                    fields["suspect"] = suspect
+                    fields["votes"] = loc.votes.get(suspect, 0)
+            self.tracer.event(result.seq, now, "analyzer.verdict", **fields)
 
     # -- verdict helpers (§7.2) ----------------------------------------------------------------
 

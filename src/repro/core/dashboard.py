@@ -7,7 +7,7 @@ tests and examples.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Mapping, Optional
 
 from repro.core.analyzer import Analyzer
 from repro.core.records import Problem
@@ -15,10 +15,20 @@ from repro.core.sla import SlaWindow
 
 if TYPE_CHECKING:
     from repro.core.system import RPingmesh
+    from repro.obs import Observability
 
 
-def _fmt_us(ns: Optional[float]) -> str:
+def _fmt_ns_as_us(ns: Optional[float]) -> str:
+    """Render a nanosecond value scaled to microseconds ("-" if absent)."""
     return "-" if ns is None else f"{ns / 1000:8.1f}us"
+
+
+def _percentile_line(label: str,
+                     percentiles: Mapping[str, float]) -> str:
+    """One p50/p90/p99/p999 row; missing keys render as "-"."""
+    return (f"  {label:<5} "
+            + " ".join(f"{q}={_fmt_ns_as_us(percentiles.get(q))}"
+                       for q in ("p50", "p90", "p99", "p999")))
 
 
 def render_sla_window(window: SlaWindow) -> str:
@@ -30,14 +40,10 @@ def render_sla_window(window: SlaWindow) -> str:
              + ("" if window.reliable else "  (UNRELIABLE: few samples)")]
     rtt = window.rtt_percentiles()
     if rtt:
-        lines.append(
-            f"  rtt   p50={_fmt_us(rtt['p50'])} p90={_fmt_us(rtt['p90'])} "
-            f"p99={_fmt_us(rtt['p99'])} p999={_fmt_us(rtt['p999'])}")
+        lines.append(_percentile_line("rtt", rtt))
     proc = window.processing_percentiles()
     if proc:
-        lines.append(
-            f"  proc  p50={_fmt_us(proc['p50'])} p90={_fmt_us(proc['p90'])} "
-            f"p99={_fmt_us(proc['p99'])} p999={_fmt_us(proc['p999'])}")
+        lines.append(_percentile_line("proc", proc))
     return "\n".join(lines)
 
 
@@ -109,6 +115,17 @@ def render_control_plane(system: "RPingmesh", *,
     if len(names) > len(shown):
         lines.append(f"  ... {len(names) - len(shown)} more endpoints")
 
+    obs = system.obs
+    if obs.metrics_enabled:
+        snap = obs.metrics.snapshot()
+        interesting = [k for k in snap
+                       if k.startswith("repro_controlplane_")
+                       and "{" not in k]
+        if interesting:
+            lines.append("  registry: "
+                         + " ".join(f"{k.removeprefix('repro_controlplane_')}"
+                                    f"={snap[k]}" for k in interesting))
+
     backlogged = [(name, agent.uploads) for name, agent in
                   sorted(system.agents.items())
                   if agent.uploads.backlog or agent.uploads.retries
@@ -123,5 +140,36 @@ def render_control_plane(system: "RPingmesh", *,
                 f"acked={ch.acked:<6} retries={ch.retries:<4} "
                 f"rejected={ch.rejected:<4} "
                 f"lost={ch.dropped_overflow + ch.dropped_crash}")
+    lines.append("=" * 72)
+    return "\n".join(lines)
+
+
+def render_observability(obs: "Observability", *, series_limit: int = 24,
+                         profile_top: int = 10) -> str:
+    """One-page view of the observability layer itself.
+
+    Shows whichever sub-systems are on: tracer span bookkeeping, the
+    most load-bearing metric series (drops, then totals), and the
+    profiler's hottest callback sites.
+    """
+    lines = ["=" * 72]
+    if obs.tracing:
+        summary = obs.tracer.summary()
+        lines.append("tracer: " + " ".join(f"{k}={v}"
+                                           for k, v in summary.items()))
+    if obs.metrics_enabled:
+        snap = obs.metrics.snapshot()
+        drops = [k for k in snap if "_drop" in k and snap[k]]
+        rest = [k for k in snap
+                if "_bucket" not in k and k not in drops]
+        chosen = (drops + rest)[:series_limit]
+        lines.append(f"metrics: {len(snap)} series")
+        lines.extend(f"  {k} = {snap[k]}" for k in chosen)
+        if len(snap) > len(chosen):
+            lines.append(f"  ... {len(snap) - len(chosen)} more series")
+    if obs.profiling and obs.profiler is not None:
+        lines.append(obs.profiler.render(top=profile_top))
+    if len(lines) == 1:
+        lines.append("observability: everything off (default)")
     lines.append("=" * 72)
     return "\n".join(lines)

@@ -26,22 +26,34 @@ from repro.core.agent import Agent
 from repro.core.analyzer import Analyzer, ServiceMonitor
 from repro.core.config import RPingmeshConfig
 from repro.core.controller import Controller
+from repro.obs import Observability
 
 
 class RPingmesh:
-    """The deployed system on one cluster."""
+    """The deployed system on one cluster.
+
+    ``obs`` is the single observability knob (DESIGN.md §8): pass an
+    :class:`~repro.obs.Observability` with tracing / metrics / profiling
+    switched on to light up the corresponding layer.  The default is
+    everything off, which costs one attribute check per hook site and
+    leaves behaviour bit-for-bit identical.
+    """
 
     def __init__(self, cluster: Cluster,
-                 config: Optional[RPingmeshConfig] = None):
+                 config: Optional[RPingmeshConfig] = None, *,
+                 obs: Optional[Observability] = None):
         self.cluster = cluster
         self.config = config or RPingmeshConfig()
         self.config.validate()
+        self.obs = obs if obs is not None else Observability()
+        self.obs.install(cluster)
         self.network = ManagementNetwork(
             cluster.sim, cluster.rngs.stream("controlplane"),
             default_profile=LinkProfile(
                 latency_ns=self.config.control_latency_ns,
                 jitter_ns=self.config.control_jitter_ns,
-                loss_prob=self.config.control_loss_prob))
+                loss_prob=self.config.control_loss_prob),
+            metrics=(self.obs.metrics if self.obs.metrics_enabled else None))
         cluster.management = self.network
         self.controller = Controller(cluster, self.config,
                                      cluster.rngs.stream("controller"))
@@ -54,6 +66,8 @@ class RPingmesh:
             for host_name, host in sorted(cluster.hosts.items())
         }
         self._started = False
+        if self.obs.metrics_enabled:
+            self.obs.metrics.register_collector(self._collect_system)
 
     def start(self) -> None:
         """Bring the whole system up (idempotent)."""
@@ -75,9 +89,44 @@ class RPingmesh:
         return self.agents[host.name]
 
     def control_plane_stats(self) -> dict[str, "object"]:
-        """Per-endpoint control-plane metrics (dashboard/CLI surface)."""
+        """Per-endpoint control-plane metrics (dashboard/CLI surface).
+
+        Deprecated shape: the same numbers now live in the metrics
+        registry as ``repro_controlplane_*{endpoint=...}`` series (see
+        :meth:`metrics_snapshot`); this accessor remains for dashboards
+        and tests that read ``stats.sent`` / ``stats.dropped`` directly.
+        """
         return {name: self.network.stats_for(name)
                 for name in self.network.endpoints()}
+
+    def metrics_snapshot(self) -> dict[str, "object"]:
+        """Run collectors and return the flat, sorted metrics snapshot."""
+        return self.obs.metrics.snapshot()
+
+    def _collect_system(self) -> None:
+        """Pull-style collector: Analyzer ingest + network-wide totals."""
+        m = self.obs.metrics
+        m.counter("repro_analyzer_ingest_accepted_total").value = \
+            self.analyzer.ingest_accepted
+        m.counter("repro_analyzer_ingest_dropped_total").value = \
+            self.analyzer.ingest_dropped
+        m.gauge("repro_analyzer_ingest_backlog").set(
+            self.analyzer.ingest_backlog)
+        m.gauge("repro_analyzer_windows_analyzed").set(
+            len(self.analyzer.windows))
+        m.gauge("repro_analyzer_problems_total").set(
+            len(self.analyzer.problems))
+        for category, count in sorted(
+                self.analyzer.category_counts.items(),
+                key=lambda kv: kv[0].value):
+            m.counter("repro_analyzer_problems_by_category_total",
+                      category=category.value).value = count
+        m.counter("repro_controlplane_messages_sent_total").value = \
+            self.network.messages_sent
+        m.counter("repro_controlplane_messages_delivered_total").value = \
+            self.network.messages_delivered
+        m.counter("repro_controlplane_messages_dropped_total").value = \
+            self.network.messages_dropped
 
     def run(self, duration_ns: int) -> None:
         """Convenience: start (if needed) and advance simulated time."""

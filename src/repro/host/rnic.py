@@ -175,6 +175,10 @@ class Rnic:
         self.tx_bytes = 0
         self.rx_bytes = 0
         self.local_drops: dict[str, int] = {}
+        # Probe-lifecycle tracer (repro.obs), installed when tracing is on.
+        # CQE-timestamp events for marks ②-⑤ of Figure 4 are emitted here
+        # because only the RNIC knows its own clock's reading.
+        self.tracer = None
 
         fabric.attach_receiver(name, self._on_fabric_packet)
         fabric.register_ip(ip, name)
@@ -297,6 +301,12 @@ class Rnic:
             lambda: self._wire_departure(qp, packet, wr_id))
         return wr_id
 
+    def _trace_rnic_drop(self, payload: dict[str, Any], reason: str) -> None:
+        leg = payload.get("t")
+        if leg in ("probe", "ack1", "ack2") and "seq" in payload:
+            self.tracer.event(payload["seq"], self.sim.now, "rnic.drop",
+                              leg=leg, rnic=self.name, reason=reason)
+
     def _wire_departure(self, qp: QueuePair, packet: RoCEPacket,
                         wr_id: int) -> None:
         """The moment the message leaves the NIC: timestamp ② (or ④)."""
@@ -305,6 +315,8 @@ class Rnic:
             # completion is ever generated (matches flush-on-down behaviour
             # closely enough for probing: the prober simply times out).
             self._count_drop("rnic_down")
+            if self.tracer is not None:
+                self._trace_rnic_drop(packet.payload, "rnic_down")
             return
         self.tx_packets += 1
         self.tx_bytes += packet.size_bytes
@@ -312,21 +324,47 @@ class Rnic:
         if self.tx_corruption_prob > 0 and self.rng.chance(
                 self.tx_corruption_prob):
             self._count_drop("tx_corruption")
+            if self.tracer is not None:
+                self._trace_rnic_drop(packet.payload, "tx_corruption")
             # CQE still fires: the NIC believes it sent the packet.
-            self._complete_send_if_unreliable(qp, wr_id)
+            self._complete_send_if_unreliable(qp, wr_id, packet.payload)
             return
 
         self.fabric.inject(packet, self.name)
-        self._complete_send_if_unreliable(qp, wr_id)
+        self._complete_send_if_unreliable(qp, wr_id, packet.payload)
         if qp.qp_type == QPType.RC:
             # RC send CQE deferred until the hardware ACK (Table 1: no ②/④).
             self._pending_rc_sends.setdefault(qp.qpn, []).append(wr_id)
 
-    def _complete_send_if_unreliable(self, qp: QueuePair, wr_id: int) -> None:
+    # Figure-4 marks carried by send/recv CQEs of the probe exchange: the
+    # probe's send CQE is ② and its recv CQE ③; the first ACK's are ④/⑤.
+    _SEND_MARKS = {"probe": "t2", "ack1": "t4"}
+    _RECV_MARKS = {"probe": "t3", "ack1": "t5"}
+
+    def _trace_cqe(self, payload: dict[str, Any], kind: CqeKind,
+                   timestamp_ns: int) -> None:
+        leg = payload.get("t")
+        if leg not in ("probe", "ack1", "ack2") or "seq" not in payload:
+            return
+        marks = self._SEND_MARKS if kind == CqeKind.SEND else self._RECV_MARKS
+        name = "cqe.send" if kind == CqeKind.SEND else "cqe.recv"
+        fields = {"leg": leg, "rnic": self.name,
+                  "rnic_timestamp_ns": timestamp_ns}
+        mark = marks.get(leg)
+        if mark is not None:
+            fields["mark"] = mark
+        self.tracer.event(payload["seq"], self.sim.now, name, **fields)
+
+    def _complete_send_if_unreliable(self, qp: QueuePair, wr_id: int,
+                                     payload: Optional[dict[str, Any]] = None
+                                     ) -> None:
         if qp.qp_type == QPType.RC:
             return
+        timestamp = self.clock.read(self.sim.now)
+        if self.tracer is not None and payload is not None:
+            self._trace_cqe(payload, CqeKind.SEND, timestamp)
         self._emit_cqe(qp, Cqe(kind=CqeKind.SEND, qpn=qp.qpn, wr_id=wr_id,
-                               rnic_timestamp_ns=self.clock.read(self.sim.now)))
+                               rnic_timestamp_ns=timestamp))
 
     def _emit_cqe(self, qp: QueuePair, cqe: Cqe) -> None:
         if qp.on_cqe is not None:
@@ -343,15 +381,21 @@ class Rnic:
             return
         if not self.operational:
             self._count_drop("rnic_down")
+            if self.tracer is not None:
+                self._trace_rnic_drop(packet.payload, "rnic_down")
             return
         if self.rx_corruption_prob > 0 and self.rng.chance(
                 self.rx_corruption_prob):
             self._count_drop("rx_corruption")
+            if self.tracer is not None:
+                self._trace_rnic_drop(packet.payload, "rx_corruption")
             return
         if not self.gid_index_present or packet.dst_gid != self.gid.value:
             # Fault #7 as seen from the wire: the GID no longer matches any
             # table entry, the packet is silently discarded by hardware.
             self._count_drop("gid_mismatch")
+            if self.tracer is not None:
+                self._trace_rnic_drop(packet.payload, "gid_mismatch")
             return
 
         if packet.opcode == RoCEOpcode.RC_ACK:
@@ -362,11 +406,15 @@ class Rnic:
         if qp is None or qp.state != QPState.RTS:
             # QPN reset noise (§4.3.1): the prober used an outdated QPN.
             self._count_drop("qpn_mismatch")
+            if self.tracer is not None:
+                self._trace_rnic_drop(packet.payload, "qpn_mismatch")
             return
         if qp.qp_type in (QPType.RC, QPType.UC):
             expected = qp.remote
             if expected is None or packet.src_qpn != expected.qpn:
                 self._count_drop("qpn_mismatch")
+                if self.tracer is not None:
+                    self._trace_rnic_drop(packet.payload, "qpn_mismatch")
                 return
 
         self.rx_packets += 1
@@ -374,9 +422,12 @@ class Rnic:
         if qp.qp_type == QPType.RC:
             self._send_rc_hw_ack(packet)
 
+        timestamp = self.clock.read(self.sim.now)
+        if self.tracer is not None:
+            self._trace_cqe(packet.payload, CqeKind.RECV, timestamp)
         self._emit_cqe(qp, Cqe(
             kind=CqeKind.RECV, qpn=qp.qpn, wr_id=next(self._wr_ids),
-            rnic_timestamp_ns=self.clock.read(self.sim.now),
+            rnic_timestamp_ns=timestamp,
             payload=dict(packet.payload),
             src_ip=packet.five_tuple.src_ip, src_gid=packet.src_gid,
             src_qpn=packet.src_qpn, src_port=packet.five_tuple.src_port,

@@ -87,6 +87,13 @@ class Fabric:
         self.max_drop_log = 100_000
         self.packets_delivered = 0
         self.packets_injected = 0
+        # Incremental per-reason totals; unlike the bounded drop log these
+        # never saturate, which is what the metrics registry exports.
+        self.drop_counts: dict[str, int] = {}
+        # Probe-lifecycle tracer (repro.obs), installed by
+        # Observability.install when tracing is on; None keeps the
+        # per-packet fast path at a single attribute check.
+        self.tracer = None
         # Per-fabric packet id source: ids restart at 1 for every cluster
         # so same-process replays see identical ids.
         self._packet_ids = itertools.count(1)
@@ -169,6 +176,14 @@ class Fabric:
             delay += SWITCH_FORWARD_LATENCY_NS
         link.packets_forwarded += 1
         path.append(next_node)
+        if self.tracer is not None:
+            seq, leg = self._probe_leg(packet)
+            if seq is not None:
+                fields = {"leg": leg, "node": node, "next": next_node,
+                          "delay_ns": delay, "ecmp_ways": len(candidates)}
+                if link.pause_delay_ns:
+                    fields["pfc_pause_ns"] = link.pause_delay_ns
+                self.tracer.event(seq, now, "fabric.hop", **fields)
         self.sim.call_later(
             delay, lambda: self._forward(packet, next_node, dst_port, path))
 
@@ -200,6 +215,11 @@ class Fabric:
 
     def _deliver(self, packet: Packet, path: list[str]) -> None:
         self.packets_delivered += 1
+        if self.tracer is not None:
+            seq, leg = self._probe_leg(packet)
+            if seq is not None:
+                self.tracer.event(seq, self.sim.now, "fabric.deliver",
+                                  leg=leg, dst=path[-1], hops=len(path) - 1)
         receiver = self._receivers.get(path[-1])
         if receiver is None:
             return  # host port exists but nothing listens; silently absorbed
@@ -208,10 +228,25 @@ class Fabric:
     def _drop(self, packet: Packet, reason: DropReason, *,
               link: Optional[str], node: Optional[str]) -> None:
         record = DropRecord(self.sim.now, packet, reason, link, node)
+        self.drop_counts[reason.value] = \
+            self.drop_counts.get(reason.value, 0) + 1
         if len(self.drops) < self.max_drop_log:
             self.drops.append(record)
+        if self.tracer is not None:
+            seq, leg = self._probe_leg(packet)
+            if seq is not None:
+                self.tracer.event(seq, self.sim.now, "fabric.drop", leg=leg,
+                                  reason=reason.value, link=link, node=node)
         for listener in self._drop_listeners:
             listener(record)
+
+    @staticmethod
+    def _probe_leg(packet: Packet) -> tuple[Optional[int], Optional[str]]:
+        """(probe_seq, leg) of a probe-exchange packet, (None, None) else."""
+        leg = packet.payload.get("t")
+        if leg in ("probe", "ack1", "ack2"):
+            return packet.payload.get("seq"), leg
+        return None, None
 
     # -- path computation (control plane) -----------------------------------
 

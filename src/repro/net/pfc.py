@@ -91,6 +91,7 @@ class PfcPropagationEngine:
 
     def evaluate(self) -> list[PauseState]:
         """One tick: recompute every engine-owned pause delay."""
+        was_storming = bool(self.pause_states)
         self._clear_owned()
         topo = self.cluster.topology
         states: list[PauseState] = []
@@ -128,7 +129,38 @@ class PfcPropagationEngine:
                 states.append(PauseState(link_name=uplink.name,
                                          duty=share, source=rnic.name))
         self.pause_states = states
+        self._observe(states, was_storming)
         return states
+
+    def _observe(self, states: list[PauseState],
+                 was_storming: bool) -> None:
+        """Feed pause pressure into the observability layer (repro.obs).
+
+        One fabric-wide trace event per paused link per tick, plus storm
+        onset/decay edges; probes traversing a paused link additionally
+        carry ``pfc_pause_ns`` on their own ``fabric.hop`` span events.
+        """
+        obs = self.cluster.obs
+        tracer = obs.tracer
+        if tracer.enabled:
+            now = self.cluster.sim.now
+            if states and not was_storming:
+                tracer.fabric_event(now, "pfc.storm_onset",
+                                    victims=sorted({s.source
+                                                    for s in states}))
+            elif was_storming and not states:
+                tracer.fabric_event(now, "pfc.storm_decay")
+            for state in states:
+                tracer.fabric_event(now, "pfc.pause", link=state.link_name,
+                                    duty=round(state.duty, 6),
+                                    source=state.source)
+        if obs.metrics_enabled:
+            obs.metrics.gauge("repro_pfc_paused_links").set(len(states))
+            obs.metrics.gauge("repro_pfc_pause_duty_total").set(
+                round(sum(s.duty for s in states), 9))
+            if states:
+                obs.metrics.counter("repro_pfc_pause_frames_total").inc(
+                    len(states))
 
     # -- observability ---------------------------------------------------------------
 

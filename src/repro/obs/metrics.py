@@ -1,0 +1,303 @@
+"""Deterministic metrics registry (counters, gauges, fixed-bucket histograms).
+
+The registry is the single metrics surface of the reproduction: the
+control-plane :class:`~repro.controlplane.transport.EndpointStats`, the
+Analyzer's ingest-drop accounting, and the RNIC/Fabric tallies all land
+here, behind one :meth:`MetricsRegistry.snapshot` and one Prometheus-style
+text exporter.
+
+Determinism contract (DESIGN.md §8): a metric is *simulation data* — its
+value is a pure function of the seed.  No wall clocks, no process-global
+state, no unordered iteration: snapshots render in sorted series order, so
+two same-seed runs produce byte-identical snapshots and exporter output.
+Histograms use HDR-style fixed bucket bounds chosen at construction, never
+adapted from the data, so bucket layout cannot depend on arrival order.
+
+Naming convention: ``repro_<module>_<name>`` with optional ``{label="v"}``
+pairs, e.g. ``repro_controlplane_sent_total{endpoint="agent.host0"}``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+# Default HDR-style latency bounds in nanoseconds: 1-2-5 per decade from
+# 1 us to 10 s.  Fixed at import time; values beyond the last bound land
+# in the implicit +Inf bucket.
+LATENCY_BUCKETS_NS: tuple[int, ...] = tuple(
+    int(mantissa * 10 ** exp)
+    for exp in range(3, 10)
+    for mantissa in (1, 2, 5)
+) + (10 ** 10,)
+
+
+def _label_key(labels: Mapping[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def format_series(name: str, labels: Mapping[str, str]) -> str:
+    """Canonical ``name{k="v",...}`` rendering (sorted label keys)."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in _label_key(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing integer (resettable only via registry)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Mapping[str, str]):
+        self.name = name
+        self.labels = dict(labels)
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    @property
+    def series(self) -> str:
+        """Canonical series name including labels."""
+        return format_series(self.name, self.labels)
+
+
+class Gauge:
+    """A value that may go up and down (queue depths, backlog sizes)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Mapping[str, str]):
+        self.name = name
+        self.labels = dict(labels)
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        """Replace the gauge value."""
+        self.value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add to the gauge."""
+        self.value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        """Subtract from the gauge."""
+        self.value -= amount
+
+    @property
+    def series(self) -> str:
+        """Canonical series name including labels."""
+        return format_series(self.name, self.labels)
+
+
+class Histogram:
+    """Fixed-bucket histogram (HDR-style: bounds chosen up front).
+
+    ``bounds`` are inclusive upper bucket edges; observations beyond the
+    last bound count only toward the implicit +Inf bucket.  Bucket counts
+    are cumulative at render time (Prometheus ``le`` semantics) but stored
+    per-bucket, which keeps :meth:`observe` O(log n) via bisection.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "sum")
+
+    def __init__(self, name: str, labels: Mapping[str, str],
+                 bounds: Sequence[Number] = LATENCY_BUCKETS_NS):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be a sorted, "
+                             "non-empty sequence")
+        self.name = name
+        self.labels = dict(labels)
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # +Inf last
+        self.count = 0
+        self.sum: Number = 0
+
+    def observe(self, value: Number) -> None:
+        """Record one observation."""
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.bucket_counts[lo] += 1
+        self.count += 1
+        self.sum += value
+
+    def cumulative(self) -> list[tuple[Number, int]]:
+        """(upper-bound, cumulative count) pairs, +Inf last."""
+        out: list[tuple[Number, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self.bucket_counts[-1]))
+        return out
+
+    def quantile(self, q: float) -> Optional[Number]:
+        """Upper bound of the bucket holding the ``q``-quantile sample."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        if self.count == 0:
+            return None
+        target = max(1, round(q * self.count))
+        for bound, cum in self.cumulative():
+            if cum >= target:
+                return bound
+        return float("inf")
+
+    @property
+    def series(self) -> str:
+        """Canonical series name including labels."""
+        return format_series(self.name, self.labels)
+
+
+Metric = Union[Counter, Gauge, Histogram]
+Collector = Callable[[], None]
+
+
+class MetricsRegistry:
+    """Get-or-create store of metrics, keyed by (name, sorted labels).
+
+    Pull-style sources (component tallies that already exist as plain
+    attributes) register a *collector* — a zero-argument callable that
+    copies current values into registry metrics.  Collectors run, in
+    registration order, at the top of :meth:`snapshot` /
+    :meth:`render_prometheus`, so the exported view is always current
+    without the hot paths paying per-event metric updates.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]],
+                            Metric] = {}
+        self._collectors: list[Collector] = []
+
+    # -- get-or-create ------------------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """Get or create a counter."""
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """Get or create a gauge."""
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  bounds: Sequence[Number] = LATENCY_BUCKETS_NS,
+                  **labels: str) -> Histogram:
+        """Get or create a fixed-bucket histogram."""
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = Histogram(name, labels, bounds)
+            self._metrics[key] = metric
+        elif not isinstance(metric, Histogram):
+            raise TypeError(f"{format_series(name, labels)} already exists "
+                            f"as {type(metric).__name__}")
+        return metric
+
+    def _get_or_create(self, cls: type, name: str,
+                       labels: Mapping[str, str]) -> Metric:
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, labels)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(f"{format_series(name, labels)} already exists "
+                            f"as {type(metric).__name__}")
+        return metric
+
+    def register_collector(self, collector: Collector) -> None:
+        """Add a pull-style source, run before every snapshot/export."""
+        self._collectors.append(collector)
+
+    # -- introspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def metrics(self) -> list[Metric]:
+        """All metrics in sorted series order (collectors NOT run)."""
+        return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def get(self, name: str, **labels: str) -> Optional[Metric]:
+        """Look up an existing metric without creating it."""
+        return self._metrics.get((name, _label_key(labels)))
+
+    def collect(self) -> None:
+        """Run every registered collector once."""
+        for collector in self._collectors:
+            collector()
+
+    # -- export -------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Number]:
+        """Deterministic flat mapping of series name -> value.
+
+        Counters/gauges contribute one entry; histograms contribute
+        ``_bucket{le=...}`` entries plus ``_count`` and ``_sum``.  Keys are
+        emitted sorted, so two same-seed runs produce identical dicts (and
+        identical iteration order).
+        """
+        self.collect()
+        flat: dict[str, Number] = {}
+        for metric in self.metrics():
+            if isinstance(metric, Histogram):
+                for bound, cum in metric.cumulative():
+                    le = "+Inf" if bound == float("inf") else str(bound)
+                    labels = dict(metric.labels, le=le)
+                    flat[format_series(metric.name + "_bucket",
+                                       labels)] = cum
+                flat[format_series(metric.name + "_count",
+                                   metric.labels)] = metric.count
+                flat[format_series(metric.name + "_sum",
+                                   metric.labels)] = metric.sum
+            else:
+                flat[metric.series] = metric.value
+        return dict(sorted(flat.items()))
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of the whole registry."""
+        lines: list[str] = []
+        seen_types: set[str] = set()
+        kind = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}
+        self.collect()
+        for metric in self.metrics():
+            if metric.name not in seen_types:
+                seen_types.add(metric.name)
+                lines.append(f"# TYPE {metric.name} {kind[type(metric)]}")
+            if isinstance(metric, Histogram):
+                for bound, cum in metric.cumulative():
+                    le = "+Inf" if bound == float("inf") else str(bound)
+                    labels = dict(metric.labels, le=le)
+                    lines.append(
+                        f"{format_series(metric.name + '_bucket', labels)}"
+                        f" {cum}")
+                lines.append(f"{format_series(metric.name + '_count', metric.labels)}"
+                             f" {metric.count}")
+                lines.append(f"{format_series(metric.name + '_sum', metric.labels)}"
+                             f" {metric.sum}")
+            else:
+                lines.append(f"{metric.series} {metric.value}")
+        return "\n".join(lines)
+
+    def series_matching(self, prefix: str) -> dict[str, Number]:
+        """Snapshot filtered to series whose name starts with ``prefix``."""
+        return {k: v for k, v in self.snapshot().items()
+                if k.startswith(prefix)}
+
+
+def iter_label_values(snapshot: Mapping[str, Number],
+                      name: str) -> Iterable[tuple[str, Number]]:
+    """(series, value) pairs of one metric family from a snapshot."""
+    for series, value in snapshot.items():
+        if series == name or series.startswith(name + "{"):
+            yield series, value

@@ -1,0 +1,219 @@
+"""Probe-lifecycle tracing: one span per probe, keyed by ``probe_seq``.
+
+The paper's Analyzer can explain a timeout because every probe leaves a
+trail — CQE timestamps ②-⑤, traced hops, Algorithm-1 votes.  The
+:class:`Tracer` keeps that trail: the Agent opens a span when it posts a
+probe (①), the RNIC model appends CQE events at the Figure-4 marks, the
+Fabric appends one event per hop (enqueue/dequeue delay, ECMP fan-out,
+drop cause), the PFC engine logs pause pressure, and the Analyzer closes
+the loop with its classification verdict and localisation votes.
+
+Spans are closed exactly once — by the Agent's result path, which both the
+success and the timeout/drop paths funnel through — and verdict events are
+*annotations* appended after close (the Analyzer only sees the probe one
+upload batch later).  All timestamps are simulated nanoseconds; tracing
+never reads wall clocks, never draws randomness, and never schedules
+events, so enabling it cannot perturb the simulation.
+
+Export: :meth:`Tracer.to_jsonl` (one span per line) and
+:meth:`Tracer.render_timeline` (fixed-width per-probe text timeline).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+
+@dataclass(slots=True)
+class SpanEvent:
+    """One timestamped step in a probe's life."""
+
+    time_ns: int
+    name: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (JSONL / digest friendly)."""
+        return {"t": self.time_ns, "name": self.name,
+                **{k: self.fields[k] for k in sorted(self.fields)}}
+
+
+@dataclass(slots=True)
+class ProbeSpan:
+    """The full recorded lifecycle of one probe."""
+
+    seq: int
+    opened_at_ns: int
+    attrs: dict[str, Any] = field(default_factory=dict)
+    events: list[SpanEvent] = field(default_factory=list)
+    closed_at_ns: Optional[int] = None
+    status: Optional[str] = None          # "ok" | "timeout" | "lost_local"
+    close_count: int = 0                  # test surface: must end at exactly 1
+
+    @property
+    def closed(self) -> bool:
+        """Whether the Agent has finished this probe (result recorded)."""
+        return self.closed_at_ns is not None
+
+    def events_named(self, name: str) -> list[SpanEvent]:
+        """All events with one name, in emission order."""
+        return [e for e in self.events if e.name == name]
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form, fully sorted — identical across replays."""
+        return {
+            "seq": self.seq,
+            "opened_at_ns": self.opened_at_ns,
+            "closed_at_ns": self.closed_at_ns,
+            "status": self.status,
+            "attrs": {k: self.attrs[k] for k in sorted(self.attrs)},
+            "events": [e.to_dict() for e in self.events],
+        }
+
+
+class Tracer:
+    """Cluster-wide probe-span store.
+
+    Disabled (the default) every hook is a cheap no-op: callers guard with
+    ``tracer.enabled``, and the hooks re-check, so a disabled run makes no
+    allocations.  ``max_spans`` bounds memory: once reached, the oldest
+    span is evicted (deterministically — insertion order) and counted in
+    :attr:`spans_evicted`.
+    """
+
+    def __init__(self, *, enabled: bool = False, max_spans: int = 200_000):
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        self.enabled = enabled
+        self.max_spans = max_spans
+        self.spans: dict[int, ProbeSpan] = {}   # insertion-ordered by open
+        # Fabric-wide events that belong to no single probe (PFC pause
+        # pressure, storm onset/decay).  Bounded like the span store.
+        self.fabric_events: list[SpanEvent] = []
+        self.spans_opened = 0
+        self.spans_evicted = 0
+        self.events_recorded = 0
+
+    # -- recording hooks ------------------------------------------------------
+
+    def open_span(self, seq: int, now_ns: int, **attrs: Any) -> None:
+        """Start the span for one probe (Agent send path, mark ①)."""
+        if not self.enabled:
+            return
+        if len(self.spans) >= self.max_spans:
+            self.spans.pop(next(iter(self.spans)))
+            self.spans_evicted += 1
+        self.spans[seq] = ProbeSpan(seq=seq, opened_at_ns=now_ns,
+                                    attrs=dict(attrs))
+        self.spans_opened += 1
+
+    def event(self, seq: int, now_ns: int, name: str, **fields: Any) -> None:
+        """Append one event to a live (or closed — annotations) span."""
+        if not self.enabled:
+            return
+        span = self.spans.get(seq)
+        if span is None:
+            return  # evicted, or probe predates tracing
+        span.events.append(SpanEvent(now_ns, name, fields))
+        self.events_recorded += 1
+
+    def close_span(self, seq: int, now_ns: int, status: str) -> None:
+        """Finish a span (the Agent's single result path)."""
+        if not self.enabled:
+            return
+        span = self.spans.get(seq)
+        if span is None:
+            return
+        span.close_count += 1
+        if span.close_count == 1:
+            span.closed_at_ns = now_ns
+            span.status = status
+
+    def fabric_event(self, now_ns: int, name: str, **fields: Any) -> None:
+        """Record a fabric-wide event (no probe_seq — e.g. a pause frame)."""
+        if not self.enabled:
+            return
+        if len(self.fabric_events) >= self.max_spans:
+            self.fabric_events.pop(0)
+        self.fabric_events.append(SpanEvent(now_ns, name, fields))
+        self.events_recorded += 1
+
+    # -- queries --------------------------------------------------------------
+
+    def span(self, seq: int) -> Optional[ProbeSpan]:
+        """The span of one probe, if still retained."""
+        return self.spans.get(seq)
+
+    def all_spans(self) -> list[ProbeSpan]:
+        """Every retained span, in open order."""
+        return list(self.spans.values())
+
+    def closed_spans(self) -> list[ProbeSpan]:
+        """Spans whose probe completed (ok or timeout)."""
+        return [s for s in self.spans.values() if s.closed]
+
+    def open_spans(self) -> list[ProbeSpan]:
+        """Spans still awaiting their result."""
+        return [s for s in self.spans.values() if not s.closed]
+
+    def first_with_status(self, status: str) -> Optional[ProbeSpan]:
+        """Earliest span closed with ``status`` (e.g. ``"timeout"``)."""
+        for span in self.spans.values():
+            if span.status == status:
+                return span
+        return None
+
+    # -- export ---------------------------------------------------------------
+
+    def to_jsonl(self, spans: Optional[Iterable[ProbeSpan]] = None) -> str:
+        """One JSON object per span per line (sorted keys: replay-stable)."""
+        chosen = self.all_spans() if spans is None else list(spans)
+        return "\n".join(
+            json.dumps(span.to_dict(), sort_keys=True, separators=(",", ":"))
+            for span in chosen)
+
+    def write_jsonl(self, path: str,
+                    spans: Optional[Iterable[ProbeSpan]] = None) -> int:
+        """Write :meth:`to_jsonl` output to ``path``; returns span count."""
+        chosen = self.all_spans() if spans is None else list(spans)
+        with open(path, "w", encoding="utf-8") as fh:
+            text = self.to_jsonl(chosen)
+            if text:
+                fh.write(text + "\n")
+        return len(chosen)
+
+    def render_timeline(self, seq: int) -> str:
+        """Fixed-width text timeline of one probe, Agent → hops → Analyzer."""
+        span = self.spans.get(seq)
+        if span is None:
+            return f"probe {seq}: no span recorded (tracing off or evicted)"
+        head = [f"probe {span.seq} "
+                f"[{span.attrs.get('kind', '?')}] "
+                f"{span.attrs.get('prober_rnic', '?')} -> "
+                f"{span.attrs.get('target_rnic', '?')} "
+                f"status={span.status or 'open'}"]
+        if span.closed_at_ns is not None:
+            dur_us = (span.closed_at_ns - span.opened_at_ns) / 1000
+            head[0] += f" duration={dur_us:.1f}us"
+        lines = head
+        for event in span.events:
+            offset_us = (event.time_ns - span.opened_at_ns) / 1000
+            detail = " ".join(f"{k}={event.fields[k]}"
+                              for k in sorted(event.fields))
+            lines.append(f"  +{offset_us:10.1f}us  {event.name:<22} {detail}")
+        return "\n".join(lines)
+
+    def summary(self) -> dict[str, int]:
+        """Span bookkeeping totals (dashboard surface)."""
+        closed = self.closed_spans()
+        return {
+            "spans_opened": self.spans_opened,
+            "spans_retained": len(self.spans),
+            "spans_evicted": self.spans_evicted,
+            "spans_open": len(self.spans) - len(closed),
+            "spans_ok": sum(1 for s in closed if s.status == "ok"),
+            "spans_timeout": sum(1 for s in closed if s.status == "timeout"),
+            "events_recorded": self.events_recorded,
+        }

@@ -156,6 +156,27 @@ class Simulator:
         # asserts the popped-event clock never moves backwards, i.e. no
         # event was smuggled into the past around call_at's guard.
         self.check_invariants = check_invariants
+        # Opt-in profiler (repro.obs.SimProfiler): when set, popped events
+        # are executed through it so host wall time can be attributed per
+        # callback site.  The profiler only *observes* — it never schedules,
+        # draws randomness, or feeds wall time back into sim state, so
+        # installing one cannot change replay digests.
+        self._profiler = None
+
+    def set_profiler(self, profiler) -> None:
+        """Install (or, with None, remove) an event profiler."""
+        self._profiler = profiler
+
+    @property
+    def profiler(self):
+        """The installed event profiler, if any."""
+        return self._profiler
+
+    def _execute(self, callback: Callable[[], None]) -> None:
+        if self._profiler is None:
+            callback()
+        else:
+            self._profiler.run(callback)
 
     def _assert_monotonic_pop(self, event_time: int) -> None:
         if event_time < self._now:
@@ -208,7 +229,7 @@ class Simulator:
                 if self.check_invariants:
                     self._assert_monotonic_pop(event.time)
                 self._now = event.time
-                event.callback()
+                self._execute(event.callback)
                 self.events_processed += 1
             self._now = time
         finally:
@@ -232,7 +253,7 @@ class Simulator:
                 if self.check_invariants:
                     self._assert_monotonic_pop(event.time)
                 self._now = event.time
-                event.callback()
+                self._execute(event.callback)
                 self.events_processed += 1
                 processed += 1
                 if processed >= limit:

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.cli import FAULTS, build_parser, main
-from repro.core.dashboard import (render_analyzer_state, render_problem,
+from repro.core.dashboard import (render_analyzer_state,
+                                  render_observability, render_problem,
                                   render_sla_window)
 from repro.core.records import Priority, Problem, ProblemCategory
 from repro.core.sla import SlaWindow
@@ -28,6 +29,35 @@ class TestDashboard:
         assert "switch_drop=0.0100" in text
         assert "rtt" in text
         assert "UNRELIABLE" not in text
+
+    def test_render_partial_percentile_dict_shows_dashes(self):
+        # A percentile source may legitimately omit quantiles (few
+        # samples, custom trackers); missing keys must render as "-",
+        # never KeyError.
+        window = SlaWindow("cluster", 0, 20)
+        window.probes_total = window.probes_ok = 50
+        window.rtt_percentiles = lambda: {"p50": 5000.0}  # p90+ absent
+        text = render_sla_window(window)
+        assert "p50=" in text and "5.0us" in text
+        assert "p99=-" in text.replace(" ", "")
+
+    def test_render_observability_default_off(self):
+        from repro.obs import Observability
+        text = render_observability(Observability())
+        assert "everything off" in text
+
+    def test_render_observability_enabled_surfaces(self):
+        from repro.obs import Observability
+        obs = Observability(tracing=True, metrics=True, profiling=True)
+        obs.tracer.open_span(1, 0)
+        obs.tracer.close_span(1, 5, "ok")
+        obs.metrics.counter("repro_fabric_drops_total",
+                            reason="corruption").inc(3)
+        obs.profiler.run(lambda: None)
+        text = render_observability(obs)
+        assert "spans_opened=1" in text
+        assert "repro_fabric_drops_total" in text
+        assert "sim profile: 1 events" in text
 
     def test_render_problem_line(self):
         problem = Problem(

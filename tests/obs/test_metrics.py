@@ -1,0 +1,141 @@
+"""Unit contract of the deterministic metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import (LATENCY_BUCKETS_NS, Counter, Histogram,
+                               MetricsRegistry, format_series,
+                               iter_label_values)
+
+
+class TestSeriesNaming:
+    def test_no_labels_is_bare_name(self):
+        assert format_series("repro_x_total", {}) == "repro_x_total"
+
+    def test_labels_sorted_by_key(self):
+        assert format_series("m", {"b": "2", "a": "1"}) == 'm{a="1",b="2"}'
+
+    def test_counter_series_includes_labels(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_controlplane_sent_total", endpoint="agent.h0")
+        assert c.series == \
+            'repro_controlplane_sent_total{endpoint="agent.h0"}'
+
+
+class TestGetOrCreate:
+    def test_same_name_and_labels_returns_same_object(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_x_total", rnic="r0")
+        b = reg.counter("repro_x_total", rnic="r0")
+        assert a is b
+
+    def test_different_labels_are_distinct_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_x_total", rnic="r0")
+        b = reg.counter("repro_x_total", rnic="r1")
+        assert a is not b
+        a.inc(3)
+        assert b.value == 0
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x")
+        with pytest.raises(TypeError):
+            reg.gauge("repro_x")
+        with pytest.raises(TypeError):
+            reg.histogram("repro_x")
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("c", {}).inc(-1)
+
+
+class TestHistogram:
+    def test_default_bounds_are_fixed_and_sorted(self):
+        assert LATENCY_BUCKETS_NS == tuple(sorted(LATENCY_BUCKETS_NS))
+        assert LATENCY_BUCKETS_NS[0] == 1_000          # 1 us
+        assert LATENCY_BUCKETS_NS[-1] == 10 ** 10      # 10 s
+
+    def test_observe_lands_in_first_bucket_with_room(self):
+        h = Histogram("h", {}, bounds=(10, 100, 1000))
+        h.observe(10)    # inclusive upper edge
+        h.observe(11)
+        h.observe(5000)  # beyond all bounds -> +Inf only
+        assert h.bucket_counts == [1, 1, 0, 1]
+        assert h.count == 3
+        assert h.sum == 5021
+
+    def test_cumulative_ends_with_inf_and_total(self):
+        h = Histogram("h", {}, bounds=(10, 100))
+        for v in (1, 50, 5000):
+            h.observe(v)
+        assert h.cumulative() == [(10, 1), (100, 2), (float("inf"), 3)]
+
+    def test_quantile_returns_bucket_upper_bound(self):
+        h = Histogram("h", {}, bounds=(10, 100, 1000))
+        for v in (5, 5, 50, 500):
+            h.observe(v)
+        assert h.quantile(0.5) == 10
+        assert h.quantile(1.0) == 1000
+        assert Histogram("e", {}, bounds=(1,)).quantile(0.5) is None
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", {}, bounds=(100, 10))
+
+
+class TestSnapshot:
+    def _populated(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("repro_a_total", endpoint="e1").inc(4)
+        reg.counter("repro_a_total", endpoint="e0").inc(2)
+        reg.gauge("repro_b").set(7)
+        h = reg.histogram("repro_c_ns", bounds=(10, 100))
+        h.observe(5)
+        h.observe(500)
+        return reg
+
+    def test_snapshot_is_flat_sorted_and_complete(self):
+        snap = self._populated().snapshot()
+        assert list(snap) == sorted(snap)
+        assert snap['repro_a_total{endpoint="e0"}'] == 2
+        assert snap['repro_a_total{endpoint="e1"}'] == 4
+        assert snap["repro_b"] == 7
+        assert snap['repro_c_ns_bucket{le="10"}'] == 1
+        assert snap['repro_c_ns_bucket{le="+Inf"}'] == 2
+        assert snap["repro_c_ns_count"] == 2
+        assert snap["repro_c_ns_sum"] == 505
+
+    def test_two_identically_driven_registries_snapshot_identically(self):
+        assert self._populated().snapshot() == self._populated().snapshot()
+        assert self._populated().render_prometheus() == \
+            self._populated().render_prometheus()
+
+    def test_collectors_run_at_snapshot_time(self):
+        reg = MetricsRegistry()
+        source = {"n": 0}
+        reg.register_collector(
+            lambda: reg.gauge("repro_pull").set(source["n"]))
+        source["n"] = 41
+        assert reg.snapshot()["repro_pull"] == 41
+        source["n"] = 42
+        assert reg.snapshot()["repro_pull"] == 42
+
+    def test_prometheus_rendering_has_type_lines(self):
+        text = self._populated().render_prometheus()
+        assert "# TYPE repro_a_total counter" in text
+        assert "# TYPE repro_b gauge" in text
+        assert "# TYPE repro_c_ns histogram" in text
+        assert 'repro_a_total{endpoint="e0"} 2' in text
+
+    def test_series_matching_filters_by_prefix(self):
+        reg = self._populated()
+        only_a = reg.series_matching("repro_a")
+        assert set(only_a) == {'repro_a_total{endpoint="e0"}',
+                               'repro_a_total{endpoint="e1"}'}
+
+    def test_iter_label_values_selects_one_family(self):
+        snap = self._populated().snapshot()
+        pairs = dict(iter_label_values(snap, "repro_a_total"))
+        assert pairs == {'repro_a_total{endpoint="e0"}': 2,
+                         'repro_a_total{endpoint="e1"}': 4}
+        assert dict(iter_label_values(snap, "repro_b")) == {"repro_b": 7}

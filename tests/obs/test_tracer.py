@@ -1,0 +1,123 @@
+"""Unit contract of the probe-span tracer."""
+
+import json
+
+from repro.obs.tracer import Tracer
+
+
+def _tracer() -> Tracer:
+    return Tracer(enabled=True)
+
+
+class TestSpanLifecycle:
+    def test_open_event_close(self):
+        t = _tracer()
+        t.open_span(1, 100, kind="inter_tor", prober_rnic="r0")
+        t.event(1, 150, "fabric.hop", node="tor0", next="agg0")
+        t.close_span(1, 200, "ok")
+        span = t.span(1)
+        assert span.closed and span.status == "ok"
+        assert span.opened_at_ns == 100 and span.closed_at_ns == 200
+        assert [e.name for e in span.events] == ["fabric.hop"]
+        assert span.events_named("fabric.hop")[0].fields["node"] == "tor0"
+
+    def test_close_is_first_write_wins_but_counted(self):
+        t = _tracer()
+        t.open_span(1, 0)
+        t.close_span(1, 10, "ok")
+        t.close_span(1, 20, "timeout")
+        span = t.span(1)
+        assert span.close_count == 2          # the bug is visible...
+        assert span.status == "ok"            # ...but doesn't corrupt state
+        assert span.closed_at_ns == 10
+
+    def test_events_after_close_are_annotations(self):
+        t = _tracer()
+        t.open_span(1, 0)
+        t.close_span(1, 10, "timeout")
+        t.event(1, 500, "analyzer.verdict", verdict="switch_network_problem")
+        assert t.span(1).events_named("analyzer.verdict")
+
+    def test_event_for_unknown_seq_is_ignored(self):
+        t = _tracer()
+        t.event(99, 0, "fabric.hop")
+        t.close_span(99, 0, "ok")
+        assert t.span(99) is None
+        assert t.events_recorded == 0
+
+    def test_open_and_closed_span_queries(self):
+        t = _tracer()
+        t.open_span(1, 0)
+        t.open_span(2, 0)
+        t.close_span(1, 5, "timeout")
+        assert [s.seq for s in t.closed_spans()] == [1]
+        assert [s.seq for s in t.open_spans()] == [2]
+        assert t.first_with_status("timeout").seq == 1
+        assert t.first_with_status("ok") is None
+
+
+class TestDisabledTracer:
+    def test_disabled_hooks_record_nothing(self):
+        t = Tracer(enabled=False)
+        t.open_span(1, 0, kind="x")
+        t.event(1, 1, "fabric.hop")
+        t.close_span(1, 2, "ok")
+        t.fabric_event(3, "pfc.pause")
+        assert t.spans == {} and t.fabric_events == []
+        assert t.spans_opened == 0 and t.events_recorded == 0
+
+
+class TestEviction:
+    def test_oldest_span_evicted_at_cap(self):
+        t = Tracer(enabled=True, max_spans=2)
+        for seq in (1, 2, 3):
+            t.open_span(seq, seq)
+        assert sorted(t.spans) == [2, 3]
+        assert t.spans_evicted == 1
+        assert t.spans_opened == 3
+
+
+class TestExport:
+    def _closed_tracer(self) -> Tracer:
+        t = _tracer()
+        t.open_span(7, 100, kind="tor_mesh", prober_rnic="h0-r0",
+                    target_rnic="h1-r0")
+        t.event(7, 110, "agent.send", mark="t1")
+        t.event(7, 120, "fabric.drop", reason="corruption")
+        t.close_span(7, 600, "timeout")
+        return t
+
+    def test_jsonl_round_trips_and_is_stable(self):
+        t = self._closed_tracer()
+        line = t.to_jsonl()
+        assert line == self._closed_tracer().to_jsonl()
+        decoded = json.loads(line)
+        assert decoded["seq"] == 7
+        assert decoded["status"] == "timeout"
+        assert [e["name"] for e in decoded["events"]] == \
+            ["agent.send", "fabric.drop"]
+
+    def test_write_jsonl(self, tmp_path):
+        t = self._closed_tracer()
+        path = tmp_path / "spans.jsonl"
+        assert t.write_jsonl(str(path)) == 1
+        assert json.loads(path.read_text())["seq"] == 7
+
+    def test_timeline_renders_header_and_offsets(self):
+        text = self._closed_tracer().render_timeline(7)
+        assert "probe 7 [tor_mesh] h0-r0 -> h1-r0 status=timeout" in text
+        assert "duration=0.5us" in text       # (600 - 100) ns
+        assert "agent.send" in text and "mark=t1" in text
+        assert "fabric.drop" in text and "reason=corruption" in text
+
+    def test_timeline_for_missing_span(self):
+        assert "no span recorded" in _tracer().render_timeline(123)
+
+    def test_summary_counts(self):
+        t = self._closed_tracer()
+        t.open_span(8, 0)
+        s = t.summary()
+        assert s["spans_opened"] == 2
+        assert s["spans_timeout"] == 1 and s["spans_ok"] == 0
+        assert s["spans_open"] == 1
+        assert s["events_recorded"] == 2

@@ -61,6 +61,10 @@ PUBLIC_MODULES = [
     "repro.core.dashboard",
     "repro.baselines",
     "repro.baselines.pingmesh",
+    "repro.obs",
+    "repro.obs.tracer",
+    "repro.obs.metrics",
+    "repro.obs.profiler",
     "repro.experiments",
     "repro.analysis",
     "repro.analysis.findings",
