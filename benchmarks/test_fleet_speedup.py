@@ -1,0 +1,83 @@
+"""Fleet parallel speedup: 8-scenario sweep, serial vs 4 workers.
+
+Two claims, in descending order of importance:
+
+1. **Identity** — the merged scorecard is byte-identical whichever worker
+   count produced it.  This is the fleet's whole value proposition and is
+   asserted unconditionally.
+2. **Speedup** — 4 workers finish the sweep >= 1.8x faster than 1.  This
+   needs 4 actual cores; on smaller machines (CI shared runners, this
+   container) the ratio is still recorded in the BENCH line but not
+   asserted, since the hardware cannot express the parallelism.
+
+Emits one ``BENCH {json}`` line for trend tracking.
+"""
+
+import json
+import os
+
+from repro.fleet import FaultEvent, FleetRunner, ScenarioSpec, SweepSpec, merge
+from repro.net.clos import ClosParams
+
+TINY = ClosParams(pods=1, tors_per_pod=2, aggs_per_pod=2, spines=1,
+                  hosts_per_tor=2)
+
+SPEEDUP_FLOOR = 1.8
+WORKERS = 4
+
+
+def _sweep() -> SweepSpec:
+    """8 jobs: 4 distinct scenarios x 2 seeds, ~35 simulated s each."""
+    scenarios = (
+        ScenarioSpec(
+            name="su-rnic-down", topology=TINY, duration_s=35,
+            campaign=(FaultEvent.make("rnic_down", "host0-rnic0",
+                                      start_s=8.0, end_s=28.0),)),
+        ScenarioSpec(
+            name="su-link-corruption", topology=TINY, duration_s=35,
+            campaign=(FaultEvent.make("link_corruption", "pod0-tor0",
+                                      "pod0-agg0", start_s=8.0,
+                                      end_s=28.0, drop_prob=0.5),)),
+        ScenarioSpec(
+            name="su-rnic-flapping", topology=TINY, duration_s=35,
+            campaign=(FaultEvent.make("rnic_flapping", "host1-rnic0",
+                                      start_s=8.0, end_s=28.0),)),
+        ScenarioSpec(name="su-healthy", topology=TINY, duration_s=35),
+    )
+    return SweepSpec(scenarios=scenarios, seeds=(0, 1))
+
+
+def test_four_workers_beat_serial(benchmark):
+    sweep = _sweep()
+    serial = FleetRunner(workers=1).run(sweep)
+
+    def parallel_sweep():
+        return FleetRunner(workers=WORKERS).run(sweep)
+
+    parallel = benchmark.pedantic(parallel_sweep, rounds=1, iterations=1,
+                                  warmup_rounds=0)
+    assert serial.ok and parallel.ok
+
+    serial_json = merge(serial.results).to_json()
+    parallel_json = merge(parallel.results).to_json()
+    # The acceptance gate: worker count must not change a single byte.
+    assert serial_json == parallel_json
+
+    speedup = (serial.wall_s / parallel.wall_s
+               if parallel.wall_s else float("inf"))
+    cores = os.cpu_count() or 1
+    print("BENCH " + json.dumps({
+        "benchmark": "fleet_speedup",
+        "jobs": len(sweep.jobs()),
+        "workers": WORKERS,
+        "cores": cores,
+        "serial_wall_s": round(serial.wall_s, 3),
+        "parallel_wall_s": round(parallel.wall_s, 3),
+        "speedup_x": round(speedup, 3),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "scorecards_identical": serial_json == parallel_json,
+    }, sort_keys=True))
+    if cores >= WORKERS:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"{WORKERS} workers on {cores} cores managed only "
+            f"{speedup:.2f}x over serial (floor {SPEEDUP_FLOOR}x)")

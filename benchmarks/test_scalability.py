@@ -3,8 +3,12 @@
 Not a paper artifact — this measures the reproduction itself, so users
 know what cluster sizes are practical.  The full system (probing at paper
 rates + analysis) is exercised at three fleet sizes; the benchmark timer
-measures the wall cost of 10 simulated seconds in steady state.
+measures the wall cost of 10 simulated seconds in steady state.  Each
+size emits one ``BENCH {json}`` line for trend tracking.
 """
+
+import json
+import time
 
 import pytest
 
@@ -35,8 +39,22 @@ def test_steady_state_simulation_rate(benchmark, label):
     def ten_simulated_seconds():
         cluster.sim.run_for(seconds(10))
 
+    events_before = cluster.sim.events_processed
+    wall_start = time.perf_counter()
     benchmark.pedantic(ten_simulated_seconds, rounds=3, iterations=1,
                        warmup_rounds=0)
+    wall_s = time.perf_counter() - wall_start
+    events = cluster.sim.events_processed - events_before
+    print("BENCH " + json.dumps({
+        "benchmark": "scalability",
+        "size": label,
+        "rnics": cluster.size,
+        "simulated_s": 30,
+        "wall_s": round(wall_s, 3),
+        "events": events,
+        "events_per_sec": round(events / wall_s) if wall_s else 0,
+        "wall_per_sim_s": round(wall_s / 30, 4),
+    }, sort_keys=True))
     # Sanity: the system is alive and analysing.
     assert system.analyzer.sla.latest() is not None
     assert system.analyzer.sla.latest().cluster.probes_total > 0

@@ -9,9 +9,12 @@ ProblemTracker attached and checks the operational ledger:
 * continuing faults do NOT inflate the count (dedup across windows),
 * tickets resolve after their fault clears,
 * the JSONL export parses and carries the lifecycle fields.
+
+Emits one ``BENCH {json}`` line for trend tracking.
 """
 
 import json
+import time
 
 from conftest import print_comparison, run_once
 
@@ -73,8 +76,21 @@ def run_soak(seed: int = 30, episode_s: int = 50, quiet_s: int = 90):
 
 
 def test_soak_month_of_operation(benchmark):
+    wall_start = time.perf_counter()
     result = run_once(benchmark, run_soak)
+    wall_s = time.perf_counter() - wall_start
     tracker = result["tracker"]
+    matching = sum(o["matching"] for o in result["outcomes"])
+    print("BENCH " + json.dumps({
+        "benchmark": "soak_month",
+        "episodes": len(EPISODES),
+        "episodes_detected": sum(1 for o in result["outcomes"]
+                                 if o["matching"] >= 1),
+        "tickets_total": tracker.ticket_count(),
+        "tickets_matching": matching,
+        "open_tickets": len(tracker.open_tickets()),
+        "wall_s": round(wall_s, 3),
+    }, sort_keys=True))
     rows = []
     for i, outcome in enumerate(result["outcomes"]):
         rows.append((

@@ -9,6 +9,8 @@ Usage (installed as ``repro-pingmesh``, or ``python -m repro.cli``)::
     repro-pingmesh trace    [--probe SEQ] [--jsonl PATH] [--seed N]
     repro-pingmesh metrics  [--seed N] [--duration S]
     repro-pingmesh profile  [--top K] [--seed N] [--duration S]
+    repro-pingmesh fleet    run [--preset P] [--workers N] [--out PATH]
+    repro-pingmesh fleet    report --artifact PATH
 
 * ``monitor`` — deploy on a healthy cluster and print SLA dashboards.
 * ``inject``  — inject one named fault and watch detection/localisation.
@@ -21,6 +23,9 @@ Usage (installed as ``repro-pingmesh``, or ``python -m repro.cli``)::
   Prometheus-style exposition.
 * ``profile`` — same scenario under sim-engine profiling; prints host
   wall time per callback site.
+* ``fleet``   — run a named scenario sweep across worker processes and
+  merge it into a deterministic scorecard (``run``), or re-render a
+  previously written scorecard artifact (``report``).
 """
 
 from __future__ import annotations
@@ -246,6 +251,81 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet_run(args: argparse.Namespace) -> int:
+    from repro.core.dashboard import render_fleet
+    from repro.fleet import FleetProgress, FleetRunner, merge
+    from repro.fleet.presets import PRESETS
+
+    seeds = tuple(int(s) for s in args.seeds.split(",")) if args.seeds \
+        else None
+    replicates = 2 if args.selftest else args.replicates
+    builder = PRESETS[args.preset]
+    sweep = (builder(seeds, replicates=replicates) if seeds is not None
+             else builder(replicates=replicates))
+
+    def show(event: FleetProgress) -> None:
+        if args.quiet or event.kind == "submit":
+            return
+        detail = f" ({event.error})" if event.error else ""
+        print(f"  [{event.completed}/{event.total}] {event.kind:<6} "
+              f"{event.scenario} seed={event.seed} "
+              f"attempt={event.attempt}{detail}")
+
+    runner = FleetRunner(workers=args.workers, max_retries=args.retries,
+                         default_timeout_s=args.timeout, progress=show)
+    print(f"fleet run: preset={args.preset} jobs={len(sweep.jobs())} "
+          f"workers={args.workers}")
+    outcome = runner.run(sweep)
+    scorecard = merge(outcome.results)
+    print(render_fleet(scorecard))
+    print(f"wall={outcome.wall_s:.1f}s retries={outcome.retries} "
+          f"failures={len(outcome.failures)}")
+    for failure in outcome.failures:
+        print(f"  FAILED {failure.scenario} seed={failure.seed} "
+              f"after {failure.attempts} attempts: {failure.error}",
+              file=sys.stderr)
+    if args.out:
+        from pathlib import Path
+        Path(args.out).write_text(scorecard.to_json() + "\n")
+        print(f"wrote {args.out}")
+    if args.selftest:
+        # Two deterministic reorderings stand in for completion-order
+        # jitter: reversal and a rotation.
+        results = outcome.results
+        reordered = [list(reversed(results)), results[1:] + results[:1]]
+        shuffle_stable = all(merge(r).to_json() == scorecard.to_json()
+                             for r in reordered)
+        checks = {
+            "all_jobs_ran": outcome.ok,
+            "replicates_replayed_identically": scorecard.consistent,
+            "merge_order_independent": shuffle_stable,
+            "duplicates_checked":
+                scorecard.determinism.get("duplicated_jobs", 0) > 0,
+        }
+        print("selftest: " + " ".join(f"{k}={v}"
+                                      for k, v in checks.items()))
+        return 0 if all(checks.values()) else 1
+    return 0 if outcome.ok else 1
+
+
+def cmd_fleet_report(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.core.dashboard import render_fleet
+    from repro.fleet.merge import scorecard_from_dict
+
+    try:
+        data = scorecard_from_dict(
+            json.loads(Path(args.artifact).read_text()))
+    except (OSError, ValueError) as exc:
+        print(f"cannot read scorecard: {exc}", file=sys.stderr)
+        return 2
+    print(render_fleet(data))
+    det = data.get("determinism", {})
+    return 0 if det.get("consistent", True) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-pingmesh",
@@ -313,6 +393,35 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--top", type=int, default=20,
                          help="callback sites to show")
     profile.set_defaults(func=cmd_profile)
+
+    fleet = sub.add_parser("fleet", help="parallel scenario sweeps")
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_run = fleet_sub.add_parser("run", help="execute a named sweep")
+    fleet_run.add_argument("--preset", default="smoke",
+                           choices=["smoke", "accuracy"])
+    fleet_run.add_argument("--seeds", default="",
+                           help="comma-separated seeds (default: preset's)")
+    fleet_run.add_argument("--workers", type=int, default=1,
+                           help="worker processes (1 = inline)")
+    fleet_run.add_argument("--replicates", type=int, default=1,
+                           help="times to run each (scenario, seed) job")
+    fleet_run.add_argument("--retries", type=int, default=1,
+                           help="re-attempts per crashed or hung job")
+    fleet_run.add_argument("--timeout", type=float, default=None,
+                           help="per-scenario wall-clock budget in seconds")
+    fleet_run.add_argument("--out", default="",
+                           help="write the scorecard JSON artifact here")
+    fleet_run.add_argument("--quiet", action="store_true",
+                           help="suppress per-job progress lines")
+    fleet_run.add_argument("--selftest", action="store_true",
+                           help="replicate jobs and assert determinism "
+                                "+ merge order-independence")
+    fleet_run.set_defaults(func=cmd_fleet_run)
+    fleet_report = fleet_sub.add_parser(
+        "report", help="render a scorecard artifact")
+    fleet_report.add_argument("--artifact", required=True,
+                              help="path to a fleet scorecard JSON")
+    fleet_report.set_defaults(func=cmd_fleet_report)
     return parser
 
 

@@ -144,6 +144,58 @@ def render_control_plane(system: "RPingmesh", *,
     return "\n".join(lines)
 
 
+def render_fleet(scorecard, *, scenario_limit: int = 12) -> str:
+    """One-page view of a merged fleet sweep.
+
+    Accepts a :class:`~repro.fleet.merge.FleetScorecard` or its
+    ``as_dict()`` / JSON-artifact form (duck-typed, so the core layer
+    does not import the fleet package).
+    """
+    data = (scorecard.as_dict() if hasattr(scorecard, "as_dict")
+            else dict(scorecard))
+    sweep = data.get("sweep", {})
+    det = data.get("determinism", {})
+    lines = ["=" * 72,
+             f"fleet sweep: jobs={sweep.get('unique_jobs', '?')} "
+             f"runs={sweep.get('runs_merged', '?')} "
+             f"scenarios={sweep.get('scenarios', '?')}"]
+    verdict = "CONSISTENT" if det.get("consistent", True) else "MISMATCH"
+    lines.append(f"determinism: {verdict} "
+                 f"(checked={det.get('checked_jobs', 0)} "
+                 f"duplicated={det.get('duplicated_jobs', 0)})")
+    for mismatch in det.get("mismatches", []):
+        lines.append(f"  !! {mismatch['scenario']} seed={mismatch['seed']} "
+                     f"digests={len(mismatch['digests'])}")
+    lines.append("-" * 72)
+    scenarios = data.get("scenarios", {})
+    for label in sorted(scenarios)[:scenario_limit]:
+        entry = scenarios[label]
+        d = entry["detection"]
+        lines.append(f"{label}")
+        lines.append(f"  seeds={entry['seeds']} "
+                     f"recall={d['recall']:.3f} precision={d['precision']:.3f} "
+                     f"detected={d['faults_detected']}/{d['faults_total']} "
+                     f"localized={d['faults_localized']}")
+        ttd = d.get("time_to_detect_ms")
+        if ttd:
+            lines.append(f"  time-to-detect ms: min={ttd['min']} "
+                         f"mean={ttd['mean']} max={ttd['max']}")
+        for metric, band in sorted(entry.get("sla_bands", {}).items()):
+            lines.append(f"  {metric:<20} min={band['min']:<12} "
+                         f"mean={band['mean']:<12} max={band['max']}")
+    if len(scenarios) > scenario_limit:
+        lines.append(f"  ... {len(scenarios) - scenario_limit} "
+                     f"more scenarios")
+    totals = data.get("metrics_totals", {})
+    if totals:
+        lines.append("-" * 72)
+        lines.append("fleet-wide totals:")
+        lines.extend(f"  {series} = {value}"
+                     for series, value in sorted(totals.items()))
+    lines.append("=" * 72)
+    return "\n".join(lines)
+
+
 def render_observability(obs: "Observability", *, series_limit: int = 24,
                          profile_top: int = 10) -> str:
     """One-page view of the observability layer itself.

@@ -1,0 +1,37 @@
+"""``repro.fleet`` — parallel scenario sweeps with deterministic merging.
+
+The paper's results are fleet-scale (tens of thousands of RNICs, month
+ledgers, cross-cluster SLAs); this reproduction gets its scale from
+running *many* simulated clusters at once.  The fleet subsystem is that
+substrate (DESIGN.md §9):
+
+* :mod:`repro.fleet.spec` — declarative, picklable
+  :class:`ScenarioSpec` / :class:`SweepSpec` with stable digests;
+* :mod:`repro.fleet.worker` — :func:`run_scenario`, the pure
+  ``(spec, seed) -> ScenarioResult`` unit of work;
+* :mod:`repro.fleet.runner` — :class:`FleetRunner`, a process pool with
+  per-scenario timeouts, bounded retries, and progress callbacks;
+* :mod:`repro.fleet.merge` — :func:`merge`, the order-independent fold
+  into a byte-stable :class:`FleetScorecard`;
+* :mod:`repro.fleet.presets` — named sweeps for the ``fleet`` CLI.
+
+Determinism contract: a sweep merged from any completion order, worker
+count, or replication factor yields byte-identical scorecard JSON, and
+duplicate ``(spec, seed)`` jobs must replay to identical digests — the
+merge checks and reports both.
+"""
+
+from repro.fleet.merge import (DigestMismatch, FleetScorecard,
+                               ScenarioScore, merge)
+from repro.fleet.runner import (FleetProgress, FleetRunOutcome, FleetRunner,
+                                JobFailure)
+from repro.fleet.spec import (FAULT_KINDS, FaultEvent, ScenarioSpec,
+                              SweepSpec, spec_summary)
+from repro.fleet.worker import DetectionOutcome, ScenarioResult, run_scenario
+
+__all__ = [
+    "FAULT_KINDS", "FaultEvent", "ScenarioSpec", "SweepSpec",
+    "spec_summary", "DetectionOutcome", "ScenarioResult", "run_scenario",
+    "FleetRunner", "FleetRunOutcome", "FleetProgress", "JobFailure",
+    "merge", "FleetScorecard", "ScenarioScore", "DigestMismatch",
+]

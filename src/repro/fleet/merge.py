@@ -1,0 +1,246 @@
+"""Deterministic, order-independent aggregation of fleet results.
+
+:func:`merge` folds any iterable of
+:class:`~repro.fleet.worker.ScenarioResult` into a
+:class:`FleetScorecard`, keyed by ``(spec_digest, seed)``.  The contract
+(DESIGN.md §9):
+
+* **Order independence** — results are canonically sorted before any
+  arithmetic, so worker completion order (and therefore worker count,
+  scheduling jitter, retries) cannot change a single byte of the merged
+  scorecard.  ``merge(shuffled(results)).to_json() ==
+  merge(results).to_json()``.
+* **Determinism check** — when the same ``(spec_digest, seed)`` job ran
+  more than once (sweep ``replicates``, or a retried attempt landing
+  twice), all copies must carry the same replay digest; mismatches are
+  reported per pair and flip ``determinism.consistent`` to false.
+* **No wall clock** — ``wall_s`` and anything else measured on the host
+  clock is excluded; the scorecard is a pure function of the simulation
+  outcomes it merges.
+
+Duplicates beyond the first (in canonical order) contribute to the
+determinism check only, never to the aggregates, so replicated sweeps
+score identically to unreplicated ones.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+from repro.fleet.worker import ScenarioResult
+from repro.obs.metrics import merge_snapshots
+
+# Metric families worth totalling fleet-wide in the scorecard; everything
+# else stays in the per-run snapshots.
+_METRIC_TOTAL_PREFIXES = (
+    "repro_sim_events_processed_total",
+    "repro_fabric_packets_injected_total",
+    "repro_fabric_packets_delivered_total",
+    "repro_fabric_drops_total",
+    "repro_controlplane_messages_sent_total",
+    "repro_controlplane_messages_dropped_total",
+    "repro_analyzer_ingest_accepted_total",
+    "repro_analyzer_ingest_dropped_total",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class DigestMismatch:
+    """Two runs of one job disagreed — the fleet's determinism alarm."""
+
+    spec_digest: str
+    scenario: str
+    seed: int
+    digests: tuple[str, ...]
+
+
+@dataclass
+class ScenarioScore:
+    """Cross-seed aggregate for one spec_digest."""
+
+    scenario: str
+    spec_digest: str
+    seeds: tuple[int, ...]
+    faults_total: int
+    faults_detected: int
+    faults_localized: int
+    true_positives: int
+    false_positives: int
+    probes_total: int
+    probes_ok: int
+    events_processed: int
+    time_to_detect_ms: Optional[dict[str, float]]  # min/mean/max (None: n/a)
+    sla_bands: dict[str, dict[str, float]]         # metric -> min/mean/max
+    problem_counts: dict[str, int]
+    replay_digests: dict[str, str]                 # str(seed) -> digest
+
+    @property
+    def recall(self) -> float:
+        return (self.faults_detected / self.faults_total
+                if self.faults_total else 1.0)
+
+    @property
+    def precision(self) -> float:
+        located = self.true_positives + self.false_positives
+        return self.true_positives / located if located else 1.0
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "spec_digest": self.spec_digest,
+            "seeds": list(self.seeds),
+            "detection": {
+                "faults_total": self.faults_total,
+                "faults_detected": self.faults_detected,
+                "faults_localized": self.faults_localized,
+                "recall": round(self.recall, 6),
+                "true_positives": self.true_positives,
+                "false_positives": self.false_positives,
+                "precision": round(self.precision, 6),
+                "time_to_detect_ms": self.time_to_detect_ms,
+            },
+            "probes": {"total": self.probes_total, "ok": self.probes_ok},
+            "events_processed": self.events_processed,
+            "sla_bands": self.sla_bands,
+            "problem_counts": self.problem_counts,
+            "replay_digests": self.replay_digests,
+        }
+
+
+@dataclass
+class FleetScorecard:
+    """The merged verdict of one sweep."""
+
+    runs_merged: int
+    unique_jobs: int
+    scenarios: dict[str, ScenarioScore] = field(default_factory=dict)
+    determinism: dict = field(default_factory=dict)
+    metrics_totals: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def consistent(self) -> bool:
+        """True iff every duplicated job replayed bit-identically."""
+        return bool(self.determinism.get("consistent", True))
+
+    def as_dict(self) -> dict:
+        return {
+            "sweep": {
+                "runs_merged": self.runs_merged,
+                "unique_jobs": self.unique_jobs,
+                "scenarios": len(self.scenarios),
+            },
+            "determinism": self.determinism,
+            "scenarios": {label: score.as_dict()
+                          for label, score in sorted(self.scenarios.items())},
+            "metrics_totals": self.metrics_totals,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, fixed layout, byte-stable."""
+        return json.dumps(self.as_dict(), sort_keys=True, indent=2)
+
+
+def _band(values: list[float], *, digits: int = 3) -> dict[str, float]:
+    """min/mean/max of a non-empty list, computed in sorted order."""
+    ordered = sorted(values)
+    return {
+        "min": round(ordered[0], digits),
+        "mean": round(sum(ordered) / len(ordered), digits),
+        "max": round(ordered[-1], digits),
+    }
+
+
+def merge(results: Iterable[ScenarioResult]) -> FleetScorecard:
+    """Fold results into a scorecard, independent of input order."""
+    ordered = sorted(results, key=lambda r: (r.spec_digest, r.scenario,
+                                             r.seed, r.replay_digest))
+    # -- determinism check over every (spec_digest, seed) group ---------------
+    groups: dict[tuple[str, int], list[ScenarioResult]] = {}
+    for result in ordered:
+        groups.setdefault((result.spec_digest, result.seed),
+                          []).append(result)
+    mismatches: list[DigestMismatch] = []
+    duplicated = 0
+    for (digest, seed), runs in sorted(groups.items()):
+        if len(runs) > 1:
+            duplicated += 1
+            digests = tuple(sorted({r.replay_digest for r in runs}))
+            if len(digests) > 1:
+                mismatches.append(DigestMismatch(
+                    spec_digest=digest, scenario=runs[0].scenario,
+                    seed=seed, digests=digests))
+    determinism = {
+        "checked_jobs": len(groups),
+        "duplicated_jobs": duplicated,
+        "consistent": not mismatches,
+        "mismatches": [
+            {"scenario": m.scenario, "seed": m.seed,
+             "spec_digest": m.spec_digest, "digests": list(m.digests)}
+            for m in mismatches],
+    }
+
+    # -- aggregate one representative per job ---------------------------------
+    unique = [runs[0] for _, runs in sorted(groups.items())]
+    by_spec: dict[str, list[ScenarioResult]] = {}
+    for result in unique:
+        by_spec.setdefault(result.spec_digest, []).append(result)
+
+    scorecard = FleetScorecard(runs_merged=len(ordered),
+                               unique_jobs=len(unique),
+                               determinism=determinism)
+    snapshots = []
+    for digest, runs in sorted(by_spec.items()):
+        runs = sorted(runs, key=lambda r: r.seed)
+        label = f"{runs[0].scenario}@{digest[:12]}"
+        ttd = [d.time_to_detect_ns / 1e6
+               for r in runs for d in r.detections
+               if d.time_to_detect_ns is not None]
+        sla_bands = {}
+        for metric in sorted({k for r in runs for k in r.sla}):
+            values = [r.sla[metric] for r in runs if metric in r.sla]
+            sla_bands[metric] = _band(values)
+        problem_counts: dict[str, int] = {}
+        for run in runs:
+            for category, count in sorted(run.problem_counts.items()):
+                problem_counts[category] = \
+                    problem_counts.get(category, 0) + count
+        scorecard.scenarios[label] = ScenarioScore(
+            scenario=runs[0].scenario,
+            spec_digest=digest,
+            seeds=tuple(r.seed for r in runs),
+            faults_total=sum(r.faults_total for r in runs),
+            faults_detected=sum(r.faults_detected for r in runs),
+            faults_localized=sum(
+                sum(1 for d in r.detections if d.localized) for r in runs),
+            true_positives=sum(r.true_positives for r in runs),
+            false_positives=sum(r.false_positives for r in runs),
+            probes_total=sum(r.probes_total for r in runs),
+            probes_ok=sum(r.probes_ok for r in runs),
+            events_processed=sum(r.events_processed for r in runs),
+            time_to_detect_ms=_band(ttd) if ttd else None,
+            sla_bands=sla_bands,
+            problem_counts=problem_counts,
+            replay_digests={str(r.seed): r.replay_digest for r in runs},
+        )
+        snapshots.extend(r.metrics for r in runs if r.metrics is not None)
+
+    if snapshots:
+        totals = merge_snapshots(snapshots)
+        scorecard.metrics_totals = {
+            series: value for series, value in sorted(totals.items())
+            if series.split("{")[0] in _METRIC_TOTAL_PREFIXES}
+    return scorecard
+
+
+def scorecard_from_dict(data: Mapping) -> dict:
+    """Validate + normalise a scorecard artifact loaded from JSON.
+
+    The CLI's ``fleet report`` renders from JSON; this keeps the reader
+    honest about the artifact shape without needing the dataclasses.
+    """
+    for key in ("sweep", "determinism", "scenarios"):
+        if key not in data:
+            raise ValueError(f"not a fleet scorecard: missing {key!r}")
+    return dict(data)

@@ -1,0 +1,269 @@
+"""The fleet runner: a worker pool executing sweep jobs with retries.
+
+:class:`FleetRunner` fans a :class:`~repro.fleet.spec.SweepSpec`'s jobs
+across a :class:`concurrent.futures.ProcessPoolExecutor`, enforcing a
+per-scenario wall-clock timeout, retrying crashed or hung attempts a
+bounded number of times, and reporting progress through a callback.
+``workers=1`` runs everything inline in the calling process — the
+debuggable path, and the serial baseline the speedup benchmark and the
+determinism acceptance check compare against (results are identical by
+construction because :func:`~repro.fleet.worker.run_scenario` is a pure
+function of ``(spec, seed)``).
+
+Wall-clock reads in this module are unavoidable and deliberate: the
+runner's job *is* to watch real time (timeouts, elapsed, speedup).  None
+of it feeds the simulations — workers build their worlds purely from
+``(spec, seed)`` — so fleet scorecards stay bit-identical across worker
+counts.  ``detlint-allow.txt`` carries the DET001 exemptions.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import (FIRST_COMPLETED, Future,
+                                ProcessPoolExecutor, wait)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.fleet.spec import ScenarioSpec, SweepSpec
+from repro.fleet.worker import ScenarioResult, run_scenario
+
+# How often the dispatch loop wakes to check timeouts (seconds).
+_POLL_S = 0.05
+
+
+@dataclass(frozen=True, slots=True)
+class FleetProgress:
+    """One progress callback payload."""
+
+    kind: str                   # "submit" | "result" | "retry" | "failed"
+    scenario: str
+    seed: int
+    completed: int              # jobs finished (ok or permanently failed)
+    total: int
+    attempt: int                # 1-based attempt number for this job
+    error: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class JobFailure:
+    """A job that exhausted its attempts."""
+
+    scenario: str
+    seed: int
+    attempts: int
+    error: str
+
+
+@dataclass
+class FleetRunOutcome:
+    """What one sweep execution produced."""
+
+    results: list[ScenarioResult] = field(default_factory=list)
+    failures: list[JobFailure] = field(default_factory=list)
+    workers: int = 1
+    jobs_total: int = 0
+    retries: int = 0
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True iff every job produced a result."""
+        return not self.failures and len(self.results) == self.jobs_total
+
+
+ProgressCallback = Callable[[FleetProgress], None]
+Task = Callable[[ScenarioSpec, int], ScenarioResult]
+
+
+class FleetRunner:
+    """Runs sweep jobs across a bounded pool of worker processes.
+
+    ``max_retries`` bounds *re*-attempts per job: a job is tried at most
+    ``1 + max_retries`` times before landing in ``failures``.  A hung
+    worker (scenario exceeding its ``timeout_s``) forces a pool rebuild —
+    ProcessPoolExecutor cannot kill a single worker — so sibling in-flight
+    jobs are resubmitted without being charged an attempt.
+
+    ``task`` is injectable for tests; it must be picklable by reference
+    (a module-level function) when ``workers > 1``.
+    """
+
+    def __init__(self, *, workers: int = 1,
+                 max_retries: int = 1,
+                 default_timeout_s: Optional[float] = None,
+                 progress: Optional[ProgressCallback] = None,
+                 task: Task = run_scenario):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.workers = workers
+        self.max_retries = max_retries
+        self.default_timeout_s = default_timeout_s
+        self.progress = progress
+        self.task = task
+
+    # -- public ---------------------------------------------------------------
+
+    def run(self, sweep: SweepSpec) -> FleetRunOutcome:
+        """Execute every job of the sweep; never raises for job failures."""
+        jobs = sweep.jobs()
+        outcome = FleetRunOutcome(workers=self.workers,
+                                  jobs_total=len(jobs))
+        start = time.monotonic()  # detlint: disable=DET001 runner wall-clock accounting
+        if self.workers == 1:
+            self._run_inline(jobs, outcome)
+        else:
+            self._run_pool(jobs, outcome)
+        outcome.wall_s = time.monotonic() - start  # detlint: disable=DET001 runner wall-clock accounting
+        return outcome
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _emit(self, kind: str, spec: ScenarioSpec, seed: int, *,
+              completed: int, total: int, attempt: int,
+              error: str = "") -> None:
+        if self.progress is not None:
+            self.progress(FleetProgress(
+                kind=kind, scenario=spec.name, seed=seed,
+                completed=completed, total=total, attempt=attempt,
+                error=error))
+
+    def _timeout_for(self, spec: ScenarioSpec) -> Optional[float]:
+        return (spec.timeout_s if spec.timeout_s is not None
+                else self.default_timeout_s)
+
+    # -- inline (workers=1) ----------------------------------------------------
+
+    def _run_inline(self, jobs: list[tuple[ScenarioSpec, int]],
+                    outcome: FleetRunOutcome) -> None:
+        total = len(jobs)
+        completed = 0
+        for spec, seed in jobs:
+            attempts = 0
+            while True:
+                attempts += 1
+                self._emit("submit", spec, seed, completed=completed,
+                           total=total, attempt=attempts)
+                try:
+                    result = self.task(spec, seed)
+                except Exception as exc:  # noqa: BLE001 — jobs may fail arbitrarily
+                    if attempts <= self.max_retries:
+                        outcome.retries += 1
+                        self._emit("retry", spec, seed, completed=completed,
+                                   total=total, attempt=attempts,
+                                   error=repr(exc))
+                        continue
+                    completed += 1
+                    outcome.failures.append(JobFailure(
+                        scenario=spec.name, seed=seed, attempts=attempts,
+                        error=repr(exc)))
+                    self._emit("failed", spec, seed, completed=completed,
+                               total=total, attempt=attempts,
+                               error=repr(exc))
+                    break
+                completed += 1
+                outcome.results.append(result)
+                self._emit("result", spec, seed, completed=completed,
+                           total=total, attempt=attempts)
+                break
+
+    # -- pooled (workers>1) ----------------------------------------------------
+
+    def _run_pool(self, jobs: list[tuple[ScenarioSpec, int]],
+                  outcome: FleetRunOutcome) -> None:
+        total = len(jobs)
+        completed = 0
+        attempts = [0] * len(jobs)
+        queue = deque(range(len(jobs)))
+        executor = ProcessPoolExecutor(max_workers=self.workers)
+        inflight: dict[Future, tuple[int, float]] = {}  # -> (job, started)
+
+        def fail(index: int, error: str) -> None:
+            nonlocal completed
+            spec, seed = jobs[index]
+            completed += 1
+            outcome.failures.append(JobFailure(
+                scenario=spec.name, seed=seed,
+                attempts=attempts[index], error=error))
+            self._emit("failed", spec, seed, completed=completed,
+                       total=total, attempt=attempts[index], error=error)
+
+        def retry_or_fail(index: int, error: str) -> None:
+            # attempts[index] was charged at submit time.
+            if attempts[index] <= self.max_retries:
+                spec, seed = jobs[index]
+                outcome.retries += 1
+                self._emit("retry", spec, seed, completed=completed,
+                           total=total, attempt=attempts[index],
+                           error=error)
+                queue.append(index)
+            else:
+                fail(index, error)
+
+        def rebuild_pool() -> None:
+            nonlocal executor
+            executor.shutdown(wait=False, cancel_futures=True)
+            # Innocent in-flight jobs go back to the queue uncharged.
+            for future, (index, _) in list(inflight.items()):
+                attempts[index] -= 1
+                queue.append(index)
+            inflight.clear()
+            executor = ProcessPoolExecutor(max_workers=self.workers)
+
+        try:
+            while queue or inflight:
+                while queue and len(inflight) < self.workers:
+                    index = queue.popleft()
+                    spec, seed = jobs[index]
+                    attempts[index] += 1
+                    self._emit("submit", spec, seed, completed=completed,
+                               total=total, attempt=attempts[index])
+                    future = executor.submit(self.task, spec, seed)
+                    inflight[future] = (index, time.monotonic())  # detlint: disable=DET001 timeout accounting
+
+                done, _ = wait(list(inflight), timeout=_POLL_S,
+                               return_when=FIRST_COMPLETED)
+                pool_broken = False
+                for future in done:
+                    index, _ = inflight.pop(future)
+                    spec, seed = jobs[index]
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        # A worker died hard; every sibling future is
+                        # poisoned too.  Charge this job, rebuild, move on.
+                        pool_broken = True
+                        retry_or_fail(index, "worker process crashed "
+                                             "(BrokenProcessPool)")
+                        break
+                    except Exception as exc:  # noqa: BLE001 — worker raised
+                        retry_or_fail(index, repr(exc))
+                        continue
+                    completed += 1
+                    outcome.results.append(result)
+                    self._emit("result", spec, seed, completed=completed,
+                               total=total, attempt=attempts[index])
+                if pool_broken:
+                    rebuild_pool()
+                    continue
+
+                # Hung-worker sweep: any in-flight job over its budget?
+                now = time.monotonic()  # detlint: disable=DET001 timeout accounting
+                hung = [(future, index) for future, (index, started)
+                        in inflight.items()
+                        if (budget := self._timeout_for(jobs[index][0]))
+                        is not None and now - started > budget]
+                if hung:
+                    for future, index in hung:
+                        del inflight[future]
+                        retry_or_fail(
+                            index,
+                            f"scenario exceeded its "
+                            f"{self._timeout_for(jobs[index][0])}s timeout")
+                    rebuild_pool()
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)

@@ -1,0 +1,249 @@
+"""Declarative scenario and sweep specifications.
+
+A :class:`ScenarioSpec` is everything a fleet worker needs to reproduce
+one simulation end to end — topology shape, fault campaign, control-plane
+degradation, observability toggles, duration — as *plain frozen data*:
+no callables, no cluster references, nothing that cannot cross a process
+boundary or land in a JSON artifact.  The seed is deliberately **not**
+part of the spec; a :class:`SweepSpec` pairs one or more specs with a
+seed list, and every fleet job is a ``(spec, seed)`` pair.  That split is
+what makes ``spec_digest`` the right merge key: results from different
+seeds of the same spec aggregate into one scorecard row, and two runs of
+the same ``(spec_digest, seed)`` pair must be bit-identical no matter
+which worker executed them (the determinism contract, DESIGN.md §9).
+
+Fault campaigns are tuples of :class:`FaultEvent` — a registry-keyed,
+declarative form of :mod:`repro.net.faults` fault constructors plus an
+activation window.  Events naming the same ``(kind, loci, params)``
+identity are realised as **one** fault instance whose windows are
+refcounted by :class:`~repro.net.faults.FaultManager`, so overlapping
+windows on the same locus stay idempotent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Mapping, Optional, Union
+
+from repro.net.clos import ClosParams
+from repro.net.faults import (CpuOverload, Fault, HostDown, LinkCorruption,
+                              LinkFailure, LinkOverload, PcieDowngrade,
+                              PfcDeadlock, PfcHeadroomMisconfig,
+                              RnicAcsMisconfig, RnicCorruption, RnicDown,
+                              RnicFlapping, RnicGidIndexMissing,
+                              RnicRoutingMisconfig, SwitchAclError,
+                              SwitchPortFlapping)
+
+if TYPE_CHECKING:
+    from repro.cluster import Cluster
+
+ParamValue = Union[int, float, str, bool]
+
+# The declarative fault vocabulary: registry key -> constructor.  Every
+# constructor takes (cluster, *loci, **params); loci are positional
+# device/link-endpoint names, params are keyword knobs.
+FAULT_KINDS: dict[str, type[Fault]] = {
+    "switch_port_flapping": SwitchPortFlapping,
+    "rnic_flapping": RnicFlapping,
+    "link_corruption": LinkCorruption,
+    "rnic_corruption": RnicCorruption,
+    "rnic_down": RnicDown,
+    "host_down": HostDown,
+    "pfc_deadlock": PfcDeadlock,
+    "rnic_routing_misconfig": RnicRoutingMisconfig,
+    "rnic_gid_index_missing": RnicGidIndexMissing,
+    "switch_acl_error": SwitchAclError,
+    "pfc_headroom_misconfig": PfcHeadroomMisconfig,
+    "link_overload": LinkOverload,
+    "cpu_overload": CpuOverload,
+    "pcie_downgrade": PcieDowngrade,
+    "rnic_acs_misconfig": RnicAcsMisconfig,
+    "link_failure": LinkFailure,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One fault activation window in a campaign, as plain data.
+
+    ``params`` is stored as a sorted tuple of ``(name, value)`` pairs so
+    the event hashes, pickles, and digests stably; use :meth:`make` to
+    build one from keyword arguments.
+    """
+
+    kind: str                           # FAULT_KINDS key
+    loci: tuple[str, ...]               # positional constructor names
+    start_s: float                      # window start, simulated seconds
+    end_s: Optional[float] = None       # None = never cleared
+    params: tuple[tuple[str, ParamValue], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from: "
+                f"{', '.join(sorted(FAULT_KINDS))}")
+        if not self.loci:
+            raise ValueError(f"fault event {self.kind!r} needs >= 1 locus")
+        if self.start_s < 0:
+            raise ValueError("start_s must be >= 0")
+        if self.end_s is not None and self.end_s <= self.start_s:
+            raise ValueError("end_s must follow start_s")
+        if tuple(sorted(self.params)) != self.params:
+            raise ValueError("params must be sorted (name, value) pairs; "
+                             "build events with FaultEvent.make()")
+
+    @classmethod
+    def make(cls, kind: str, *loci: str, start_s: float,
+             end_s: Optional[float] = None,
+             **params: ParamValue) -> "FaultEvent":
+        """Ergonomic constructor: keyword params, canonicalised order."""
+        return cls(kind=kind, loci=tuple(loci), start_s=start_s,
+                   end_s=end_s, params=tuple(sorted(params.items())))
+
+    @property
+    def identity(self) -> tuple[str, tuple[str, ...],
+                                tuple[tuple[str, ParamValue], ...]]:
+        """What makes two events the *same fault* (windows aside)."""
+        return (self.kind, self.loci, self.params)
+
+    def params_dict(self) -> dict[str, ParamValue]:
+        """Params as keyword arguments for the fault constructor."""
+        return dict(self.params)
+
+    def build(self, cluster: "Cluster") -> Fault:
+        """Realise the declarative event against a live cluster."""
+        return FAULT_KINDS[self.kind](cluster, *self.loci,
+                                      **self.params_dict())
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioSpec:
+    """One simulation scenario, fully declarative and digest-stable.
+
+    The control-plane knobs mirror
+    :class:`~repro.core.config.RPingmeshConfig`; observability toggles
+    mirror :class:`~repro.obs.Observability` (tracing defaults off — a
+    fleet run does not need per-probe spans, and their volume would
+    dominate result pickles).
+    """
+
+    name: str
+    topology: ClosParams = field(default_factory=ClosParams)
+    duration_s: int = 60
+    campaign: tuple[FaultEvent, ...] = ()
+    metrics: bool = True
+    tracing: bool = False
+    control_latency_us: int = 0
+    control_jitter_us: int = 0
+    control_loss_prob: float = 0.0
+    # Wall-clock budget one worker may spend on this scenario before the
+    # FleetRunner counts the attempt as hung (None = no limit).
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if not 0.0 <= self.control_loss_prob < 1.0:
+            raise ValueError("control_loss_prob must be in [0, 1)")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        for event in self.campaign:
+            if event.start_s >= self.duration_s:
+                raise ValueError(
+                    f"campaign event {event.kind!r} starts at "
+                    f"{event.start_s}s, beyond the {self.duration_s}s run")
+
+    @property
+    def spec_digest(self) -> str:
+        """Stable hex digest of the full spec (the merge key).
+
+        ``timeout_s`` is excluded: it budgets *wall clock*, which must
+        never influence what a scenario computes — two specs differing
+        only in timeout produce identical simulations, so they must
+        produce the same digest.
+        """
+        from repro.analysis.runtime import structural_digest
+        return structural_digest(replace(self, timeout_s=None))
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identity: ``name@digest12``."""
+        return f"{self.name}@{self.spec_digest[:12]}"
+
+
+@dataclass(frozen=True, slots=True)
+class SweepSpec:
+    """A sweep: scenarios x seeds (x replicates), the unit a fleet runs.
+
+    ``replicates > 1`` schedules every ``(spec, seed)`` job that many
+    times — redundant work whose only purpose is the determinism check:
+    :func:`repro.fleet.merge.merge` verifies that duplicate jobs produced
+    identical replay digests regardless of which worker ran them.
+    """
+
+    scenarios: tuple[ScenarioSpec, ...]
+    seeds: tuple[int, ...]
+    replicates: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ValueError("a sweep needs >= 1 scenario")
+        if not self.seeds:
+            raise ValueError("a sweep needs >= 1 seed")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ValueError("seeds must be unique (use replicates= for "
+                             "the determinism cross-check)")
+        if len({s.name for s in self.scenarios}) != len(self.scenarios):
+            raise ValueError("scenario names must be unique within a sweep")
+        if self.replicates < 1:
+            raise ValueError("replicates must be >= 1")
+
+    def jobs(self) -> list[tuple[ScenarioSpec, int]]:
+        """The work list, in deterministic submission order."""
+        return [(spec, seed)
+                for _ in range(self.replicates)
+                for spec in self.scenarios
+                for seed in self.seeds]
+
+    @property
+    def sweep_digest(self) -> str:
+        """Stable digest over all scenario digests and seeds."""
+        from repro.analysis.runtime import structural_digest
+        return structural_digest({
+            "scenarios": [s.spec_digest for s in self.scenarios],
+            "seeds": list(self.seeds),
+            "replicates": self.replicates,
+        })
+
+
+def spec_summary(spec: ScenarioSpec) -> dict[str, ParamValue]:
+    """Compact scorecard-embeddable description of one scenario."""
+    return {
+        "name": spec.name,
+        "rnics": spec.topology.total_rnics,
+        "duration_s": spec.duration_s,
+        "campaign_events": len(spec.campaign),
+        "metrics": spec.metrics,
+        "tracing": spec.tracing,
+    }
+
+
+def validate_campaign_loci(spec: ScenarioSpec,
+                           cluster: "Cluster") -> None:
+    """Fail fast if a campaign names devices the topology lacks.
+
+    Workers call this before scheduling so a typo'd locus surfaces as a
+    clear per-scenario failure instead of a mid-run KeyError.
+    """
+    known = set(cluster.topology.nodes) | set(cluster.hosts)
+    for event in spec.campaign:
+        if event.kind in ("cpu_overload", "host_down"):
+            unknown = [n for n in event.loci if n not in cluster.hosts]
+        else:
+            unknown = [n for n in event.loci if n not in known]
+        if unknown:
+            raise ValueError(
+                f"campaign event {event.kind!r} names unknown "
+                f"loci {unknown} (topology has {len(known)} devices)")

@@ -1,0 +1,283 @@
+"""The fleet worker: one ``(spec, seed)`` job, end to end, in one process.
+
+:func:`run_scenario` is the unit of fleet work.  It is a pure function of
+its ``(ScenarioSpec, seed)`` arguments: it builds a fresh cluster and
+deployment from the seed, schedules the declarative fault campaign
+through the refcounting :class:`~repro.net.faults.FaultManager`, runs the
+simulation, and condenses the outcome into a picklable
+:class:`ScenarioResult` — replay digest, detection scoring against the
+campaign's ground truth, SLA percentiles, and (optionally) the metrics
+snapshot.  Everything in the result except ``wall_s`` is a deterministic
+function of the inputs; ``wall_s`` is explicitly wall-clock bookkeeping
+for the runner's progress/speedup accounting and is excluded from merge
+scorecards and digests.
+
+The module is import-light at worker start (ProcessPoolExecutor pickles
+``run_scenario`` by reference), and the result deliberately contains no
+live simulation objects: process boundaries and JSON artifacts both want
+plain data.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.runtime import structural_digest, system_state
+from repro.cluster import Cluster
+from repro.core.config import RPingmeshConfig
+from repro.core.records import Problem, ProblemCategory
+from repro.core.system import RPingmesh
+from repro.fleet.spec import ScenarioSpec, validate_campaign_loci
+from repro.net.faults import Fault, FaultManager, GroundTruth, LocusKind
+from repro.obs import Observability
+from repro.sim.units import MICROSECOND, seconds
+
+# Verdicts may land one analysis window after a fault clears (uploads
+# batch on 5 s boundaries, analysis on 20 s boundaries); detections
+# inside this grace window still count toward the fault.
+DETECTION_GRACE_NS = 25 * seconds(1)
+
+# Analyzer categories that localise a *network* problem; everything else
+# (host-down, noise classes, latency signals) is scored separately.
+LOCATED_CATEGORIES = (ProblemCategory.RNIC_PROBLEM,
+                      ProblemCategory.SWITCH_NETWORK_PROBLEM)
+LATENCY_CATEGORIES = (ProblemCategory.HIGH_RTT,
+                      ProblemCategory.HIGH_PROCESSING_DELAY)
+
+
+@dataclass(frozen=True, slots=True)
+class DetectionOutcome:
+    """Ground truth vs Analyzer verdict for one campaign fault."""
+
+    fault_id: str
+    table2_row: int
+    category: str               # ground-truth ProblemCategory value
+    locus_kind: str             # rnic | switch | link | host
+    locus: str
+    start_ns: int
+    end_ns: Optional[int]
+    detected: bool
+    localized: bool             # detected AND locus matches
+    detected_at_ns: Optional[int]
+    time_to_detect_ns: Optional[int]
+    verdict_category: str       # first matching verdict ("" if none)
+    verdict_locus: str
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioResult:
+    """Everything one fleet job reports back, as plain picklable data."""
+
+    scenario: str
+    spec_digest: str
+    seed: int
+    replay_digest: str
+    sim_now_ns: int
+    events_processed: int
+    probes_total: int
+    probes_ok: int
+    detections: tuple[DetectionOutcome, ...]
+    true_positives: int         # located problems matching an active fault
+    false_positives: int        # located problems matching nothing injected
+    problem_counts: dict[str, int] = field(default_factory=dict)
+    sla: dict[str, float] = field(default_factory=dict)
+    metrics: Optional[dict[str, float]] = None
+    wall_s: float = 0.0         # wall-clock spent; NOT part of any digest
+
+    @property
+    def faults_total(self) -> int:
+        return len(self.detections)
+
+    @property
+    def faults_detected(self) -> int:
+        return sum(1 for d in self.detections if d.detected)
+
+
+def run_scenario(spec: ScenarioSpec, seed: int) -> ScenarioResult:
+    """Execute one ``(spec, seed)`` job and condense it for merging."""
+    start_wall = time.perf_counter()  # detlint: disable=DET001 wall_s bookkeeping
+
+    cluster = Cluster.clos(spec.topology, seed=seed)
+    validate_campaign_loci(spec, cluster)
+    config = RPingmeshConfig(
+        control_latency_ns=spec.control_latency_us * MICROSECOND,
+        control_jitter_ns=spec.control_jitter_us * MICROSECOND,
+        control_loss_prob=spec.control_loss_prob)
+    obs = Observability(metrics=spec.metrics, tracing=spec.tracing)
+    system = RPingmesh(cluster, config, obs=obs)
+
+    manager = FaultManager(cluster)
+    faults = _schedule_campaign(manager, cluster, spec)
+    system.run(seconds(spec.duration_s))
+
+    detections = tuple(
+        _score_fault(fault, window, system.analyzer.problems)
+        for fault, window in faults)
+    true_pos, false_pos = _score_precision(faults, system.analyzer.problems)
+    metrics = dict(system.metrics_snapshot()) if spec.metrics else None
+
+    return ScenarioResult(
+        scenario=spec.name,
+        spec_digest=spec.spec_digest,
+        seed=seed,
+        replay_digest=structural_digest(system_state(system)),
+        sim_now_ns=cluster.sim.now,
+        events_processed=cluster.sim.events_processed,
+        probes_total=sum(r.cluster.probes_total
+                         for r in system.analyzer.sla.reports),
+        probes_ok=sum(r.cluster.probes_ok
+                      for r in system.analyzer.sla.reports),
+        detections=detections,
+        true_positives=true_pos,
+        false_positives=false_pos,
+        problem_counts={
+            category.value: count for category, count in
+            sorted(system.analyzer.category_counts.items(),
+                   key=lambda kv: kv[0].value)},
+        sla=_sla_summary(system),
+        metrics=metrics,
+        wall_s=time.perf_counter() - start_wall,  # detlint: disable=DET001 wall_s bookkeeping
+    )
+
+
+# -- campaign scheduling -------------------------------------------------------
+
+def _schedule_campaign(manager: FaultManager, cluster: Cluster, spec
+                       ) -> list[tuple[Fault, tuple[int, Optional[int]]]]:
+    """Realise the declarative campaign onto the simulator.
+
+    Events sharing one identity (kind, loci, params) become one fault
+    instance with several refcounted windows; the scoring window of that
+    fault spans from its earliest start to its latest end (or None if any
+    window is open-ended).
+    """
+    built: dict[tuple, Fault] = {}
+    windows: dict[tuple, list[tuple[int, Optional[int]]]] = {}
+    for event in spec.campaign:
+        fault = built.get(event.identity)
+        if fault is None:
+            fault = event.build(cluster)
+            built[event.identity] = fault
+            windows[event.identity] = []
+        start_ns = round(event.start_s * seconds(1))
+        end_ns = (None if event.end_s is None
+                  else round(event.end_s * seconds(1)))
+        manager.schedule(fault, start_ns=start_ns, end_ns=end_ns)
+        windows[event.identity].append((start_ns, end_ns))
+    out = []
+    for identity, fault in built.items():
+        spans = windows[identity]
+        start = min(s for s, _ in spans)
+        ends = [e for _, e in spans]
+        end = None if any(e is None for e in ends) else max(ends)
+        out.append((fault, (start, end)))
+    return out
+
+
+# -- scoring -------------------------------------------------------------------
+
+def _expected_categories(truth: GroundTruth) -> tuple[ProblemCategory, ...]:
+    """Which Analyzer verdicts count as detecting this fault.
+
+    Follows the Table 2 phenomenology (§7.1): failures (rows 1-9) produce
+    timeouts attributed to an RNIC, a switch, or a dead host; bottlenecks
+    (rows 10-14) produce latency signals.  Host-down faults are detected
+    by upload silence, not timeout attribution.
+    """
+    if truth.locus_kind == LocusKind.HOST and truth.table2_row == 4:
+        return (ProblemCategory.HOST_DOWN,)
+    if truth.table2_row >= 10:
+        return LATENCY_CATEGORIES
+    return LOCATED_CATEGORIES + (ProblemCategory.HOST_DOWN,)
+
+
+def _locus_matches(truth: GroundTruth, problem_locus: str) -> bool:
+    """Does a verdict locus name the injected component (either way for
+    cables, adjacent-link tolerant for switches)?"""
+    locus = truth.locus
+    if truth.locus_kind in (LocusKind.RNIC, LocusKind.HOST):
+        return problem_locus == locus
+    if truth.locus_kind == LocusKind.LINK:
+        for sep in ("<->", "->"):
+            if sep in locus:
+                a, b = locus.split(sep, 1)
+                return problem_locus in (f"{a}->{b}", f"{b}->{a}", a, b)
+        return problem_locus == locus
+    # Switch: the verdict may name the switch or one of its links.
+    if problem_locus == locus:
+        return True
+    return locus in problem_locus.split("->")
+
+
+def _score_fault(fault: Fault, window: tuple[int, Optional[int]],
+                 problems: list[Problem]) -> DetectionOutcome:
+    truth = fault.ground_truth
+    start_ns, end_ns = window
+    horizon = (None if end_ns is None else end_ns + DETECTION_GRACE_NS)
+    expected = _expected_categories(truth)
+    hits = [p for p in problems
+            if p.category in expected
+            and p.detected_at_ns >= start_ns
+            and (horizon is None or p.detected_at_ns <= horizon)
+            and (p.category == ProblemCategory.HOST_DOWN
+                 or p.category in LATENCY_CATEGORIES
+                 or _locus_matches(truth, p.locus))]
+    localized = [p for p in hits if _locus_matches(truth, p.locus)]
+    first = min(hits, key=lambda p: p.detected_at_ns) if hits else None
+    return DetectionOutcome(
+        fault_id=truth.fault_id,
+        table2_row=truth.table2_row,
+        category=truth.category.value,
+        locus_kind=truth.locus_kind.value,
+        locus=truth.locus,
+        start_ns=start_ns,
+        end_ns=end_ns,
+        detected=bool(hits),
+        localized=bool(localized),
+        detected_at_ns=first.detected_at_ns if first else None,
+        time_to_detect_ns=(first.detected_at_ns - start_ns
+                           if first else None),
+        verdict_category=first.category.value if first else "",
+        verdict_locus=first.locus if first else "")
+
+
+def _score_precision(faults: list[tuple[Fault, tuple[int, Optional[int]]]],
+                     problems: list[Problem]) -> tuple[int, int]:
+    """Located verdicts explained by an injected fault vs spurious ones."""
+    true_pos = 0
+    false_pos = 0
+    for problem in problems:
+        if problem.category not in LOCATED_CATEGORIES:
+            continue
+        explained = False
+        for fault, (start_ns, end_ns) in faults:
+            horizon = (None if end_ns is None
+                       else end_ns + DETECTION_GRACE_NS)
+            if problem.detected_at_ns < start_ns:
+                continue
+            if horizon is not None and problem.detected_at_ns > horizon:
+                continue
+            if _locus_matches(fault.ground_truth, problem.locus):
+                explained = True
+                break
+        if explained:
+            true_pos += 1
+        else:
+            false_pos += 1
+    return true_pos, false_pos
+
+
+def _sla_summary(system: RPingmesh) -> dict[str, float]:
+    """Per-run SLA representatives: median across analysis windows."""
+    out: dict[str, float] = {}
+    history = system.analyzer.sla
+    for metric in ("rtt_p50", "rtt_p99", "processing_p50",
+                   "processing_p99", "drop_rate"):
+        values = [v for _, v in history.series("cluster", metric)]
+        if values:
+            out[f"{metric}_ns" if "rate" not in metric else metric] = \
+                statistics.median(sorted(values))
+    return out

@@ -74,6 +74,9 @@ class Fault:
             table2_row=self.table2_row, category=self.category,
             locus_kind=self.locus_kind, locus=locus,
             causes_service_failure=self.causes_service_failure)
+        # Open activation windows (see acquire/release).  Raw inject() /
+        # clear() bypass the count and stay idempotent on their own.
+        self._open_windows = 0
 
     def inject(self) -> None:
         """Activate the fault (idempotent)."""
@@ -88,6 +91,37 @@ class Fault:
             return
         self.ground_truth.active = False
         self._clear()
+
+    def acquire(self) -> None:
+        """Open one activation window (refcounted inject).
+
+        Campaign schedules may lay overlapping windows on the same fault
+        (or butt two windows against each other at one timestamp, where
+        the engine may run the second window's start before the first
+        window's end).  Refcounting makes the outcome order-independent:
+        the fault is active exactly while >= 1 window is open.
+        """
+        self._open_windows += 1
+        if self._open_windows == 1:
+            self.inject()
+
+    def release(self) -> None:
+        """Close one activation window (refcounted clear).
+
+        A release with no open window — a clear scheduled before any
+        inject ever ran — is a no-op, so campaign event ordering cannot
+        wedge a fault into a half-cleared state.
+        """
+        if self._open_windows == 0:
+            return
+        self._open_windows -= 1
+        if self._open_windows == 0:
+            self.clear()
+
+    @property
+    def open_windows(self) -> int:
+        """How many scheduled activation windows are currently open."""
+        return self._open_windows
 
     def _inject(self) -> None:
         raise NotImplementedError
@@ -619,28 +653,47 @@ class ControlPlanePartition(Fault):
 # --------------------------------------------------------------------------
 
 class FaultManager:
-    """Schedules fault windows and keeps the ground-truth registry."""
+    """Schedules fault windows and keeps the ground-truth registry.
+
+    Windows are refcounted through :meth:`Fault.acquire` /
+    :meth:`Fault.release`, so scheduling overlapping (or same-timestamp
+    adjacent) windows on one fault is safe: the fault stays active until
+    its *last* open window ends, whatever order the engine fires the
+    boundary events in.  Each fault registers in the ground-truth list
+    once, however many windows it gets.
+    """
 
     def __init__(self, cluster: Cluster):
         self.cluster = cluster
         self.faults: list[Fault] = []
 
+    def _register(self, fault: Fault) -> None:
+        if not any(f is fault for f in self.faults):
+            self.faults.append(fault)
+
     def schedule(self, fault: Fault, *, start_ns: int,
                  end_ns: Optional[int] = None) -> Fault:
-        """Inject at ``start_ns``; clear at ``end_ns`` if given."""
-        self.faults.append(fault)
-        self.cluster.sim.call_at(start_ns, fault.inject)
+        """Open a window at ``start_ns``; close it at ``end_ns`` if given."""
+        if end_ns is not None and end_ns <= start_ns:
+            raise ValueError("end_ns must follow start_ns")
+        self._register(fault)
+        self.cluster.sim.call_at(start_ns, fault.acquire)
         if end_ns is not None:
-            if end_ns <= start_ns:
-                raise ValueError("end_ns must follow start_ns")
-            self.cluster.sim.call_at(end_ns, fault.clear)
+            self.cluster.sim.call_at(end_ns, fault.release)
         return fault
 
     def inject_now(self, fault: Fault) -> Fault:
-        """Immediate injection."""
-        self.faults.append(fault)
-        fault.inject()
+        """Open a window immediately (never auto-closed)."""
+        self._register(fault)
+        fault.acquire()
         return fault
+
+    def clear_all(self) -> None:
+        """Close every open window and force-clear every fault."""
+        for fault in self.faults:
+            while fault.open_windows:
+                fault.release()
+            fault.clear()
 
     def ground_truths(self) -> list[GroundTruth]:
         """All registered ground truths."""

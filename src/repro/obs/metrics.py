@@ -301,3 +301,24 @@ def iter_label_values(snapshot: Mapping[str, Number],
     for series, value in snapshot.items():
         if series == name or series.startswith(name + "{"):
             yield series, value
+
+
+def merge_snapshots(snapshots: Iterable[Mapping[str, Number]]
+                    ) -> dict[str, Number]:
+    """Sum per-series values across many :meth:`MetricsRegistry.snapshot`\\ s.
+
+    The fleet merge uses this to total counter-style series (``*_total``,
+    histogram ``_count``/``_sum``/``_bucket``) across worker runs.
+    Summation is the right fold for counters and histogram components;
+    callers aggregating gauges should band them instead (a summed queue
+    depth means nothing).  Deterministic: the result is key-sorted and
+    independent of both snapshot order and per-snapshot key order.
+    """
+    per_series: dict[str, list[Number]] = {}
+    for snapshot in snapshots:
+        for series, value in snapshot.items():
+            per_series.setdefault(series, []).append(value)
+    # Sum in sorted value order: float addition is not associative, so an
+    # order-free fold needs a canonical order to be byte-stable.
+    return {series: sum(sorted(values))
+            for series, values in sorted(per_series.items())}

@@ -1,0 +1,167 @@
+"""merge(): order independence, determinism checks, snapshot folding."""
+
+import dataclasses
+import json
+import random
+
+import pytest
+
+from repro.fleet.merge import merge, scorecard_from_dict
+from repro.fleet.worker import DetectionOutcome, ScenarioResult
+from repro.obs.metrics import merge_snapshots
+
+
+def _detection(**overrides) -> DetectionOutcome:
+    defaults = dict(
+        fault_id="RnicDown:host0-rnic0", table2_row=2,
+        category="rnic_problem", locus_kind="rnic", locus="host0-rnic0",
+        start_ns=5_000_000_000, end_ns=20_000_000_000,
+        detected=True, localized=True,
+        detected_at_ns=17_000_000_000, time_to_detect_ns=12_000_000_000,
+        verdict_category="rnic_problem", verdict_locus="host0-rnic0")
+    defaults.update(overrides)
+    return DetectionOutcome(**defaults)
+
+
+def _result(scenario="s", digest="spec-a", seed=0, replay="replay-0",
+            **overrides) -> ScenarioResult:
+    defaults = dict(
+        scenario=scenario, spec_digest=digest, seed=seed,
+        replay_digest=replay, sim_now_ns=30_000_000_000,
+        events_processed=1000 + seed, probes_total=100, probes_ok=90,
+        detections=(_detection(),), true_positives=1, false_positives=0,
+        problem_counts={"rnic_problem": 2},
+        sla={"rtt_p50_ns": 3000.0 + seed},
+        metrics={"repro_sim_events_processed_total": 1000 + seed,
+                 "repro_fabric_drops_total": 7},
+        wall_s=1.5)
+    defaults.update(overrides)
+    return ScenarioResult(**defaults)
+
+
+class TestOrderIndependence:
+    def test_shuffled_inputs_identical_json(self):
+        results = [_result(seed=s, replay=f"r{s}",
+                           sla={"rtt_p50_ns": 3000.0 + s})
+                   for s in range(6)]
+        results += [_result(scenario="z", digest="spec-z", seed=s,
+                            replay=f"z{s}") for s in range(3)]
+        baseline = merge(results).to_json()
+        for round_seed in range(5):
+            shuffled = list(results)
+            random.Random(round_seed).shuffle(shuffled)
+            assert merge(shuffled).to_json() == baseline
+
+    def test_wall_clock_never_reaches_scorecard(self):
+        fast = [_result(seed=s, wall_s=0.1) for s in range(3)]
+        slow = [_result(seed=s, wall_s=99.0) for s in range(3)]
+        assert merge(fast).to_json() == merge(slow).to_json()
+        assert "wall" not in merge(fast).to_json()
+
+
+class TestDeterminismCheck:
+    def test_identical_duplicates_consistent(self):
+        results = [_result(seed=0), _result(seed=0)]
+        scorecard = merge(results)
+        assert scorecard.consistent
+        assert scorecard.determinism["duplicated_jobs"] == 1
+        assert scorecard.runs_merged == 2
+        assert scorecard.unique_jobs == 1
+
+    def test_digest_mismatch_flagged(self):
+        results = [_result(seed=0, replay="r-one"),
+                   _result(seed=0, replay="r-two")]
+        scorecard = merge(results)
+        assert not scorecard.consistent
+        mismatch = scorecard.determinism["mismatches"][0]
+        assert mismatch["seed"] == 0
+        assert sorted(mismatch["digests"]) == ["r-one", "r-two"]
+
+    def test_duplicates_do_not_double_count(self):
+        once = merge([_result(seed=0)])
+        twice = merge([_result(seed=0), _result(seed=0)])
+        label = next(iter(once.scenarios))
+        assert (once.scenarios[label].as_dict()["detection"]
+                == twice.scenarios[label].as_dict()["detection"])
+        assert (once.scenarios[label].probes_total
+                == twice.scenarios[label].probes_total)
+
+
+class TestAggregation:
+    def test_cross_seed_bands(self):
+        results = [_result(seed=s, replay=f"r{s}",
+                           sla={"rtt_p50_ns": 1000.0 * (s + 1)})
+                   for s in range(3)]
+        scorecard = merge(results)
+        score = next(iter(scorecard.scenarios.values()))
+        assert score.seeds == (0, 1, 2)
+        assert score.sla_bands["rtt_p50_ns"] == {
+            "min": 1000.0, "mean": 2000.0, "max": 3000.0}
+        assert score.recall == 1.0
+        assert score.precision == 1.0
+        assert score.time_to_detect_ms["mean"] == pytest.approx(12000.0)
+
+    def test_missed_fault_lowers_recall(self):
+        missed = _detection(detected=False, localized=False,
+                            detected_at_ns=None, time_to_detect_ns=None,
+                            verdict_category="", verdict_locus="")
+        results = [_result(seed=0),
+                   _result(seed=1, replay="r1", detections=(missed,))]
+        score = next(iter(merge(results).scenarios.values()))
+        assert score.faults_total == 2
+        assert score.faults_detected == 1
+        assert score.recall == 0.5
+
+    def test_metric_totals_summed(self):
+        results = [_result(seed=s, replay=f"r{s}") for s in range(3)]
+        totals = merge(results).metrics_totals
+        assert totals["repro_sim_events_processed_total"] == \
+            1000 + 1001 + 1002
+        # Series outside the totalled families stay per-run only.
+        assert all(k.split("{")[0].endswith("_total") for k in totals)
+
+    def test_empty_merge(self):
+        scorecard = merge([])
+        assert scorecard.runs_merged == 0
+        assert scorecard.consistent
+        assert scorecard.scenarios == {}
+
+
+class TestMergeSnapshots:
+    def test_sums_and_sorts(self):
+        merged = merge_snapshots([{"b": 1, "a": 2}, {"a": 3}])
+        assert merged == {"a": 5, "b": 1}
+        assert list(merged) == ["a", "b"]
+
+    def test_float_order_independence(self):
+        values = [0.1, 0.7, 1e15, -1e15, 0.3]
+        snapshots = [{"x": v} for v in values]
+        baseline = merge_snapshots(snapshots)["x"]
+        for round_seed in range(10):
+            shuffled = list(snapshots)
+            random.Random(round_seed).shuffle(shuffled)
+            assert merge_snapshots(shuffled)["x"] == baseline
+
+
+class TestArtifact:
+    def test_round_trip_through_json(self):
+        scorecard = merge([_result(seed=0)])
+        data = scorecard_from_dict(json.loads(scorecard.to_json()))
+        assert data["sweep"]["runs_merged"] == 1
+
+    def test_rejects_non_scorecard(self):
+        with pytest.raises(ValueError, match="missing"):
+            scorecard_from_dict({"bogus": 1})
+
+
+class TestWorkerFieldDrift:
+    def test_merge_consumes_every_aggregate_field(self):
+        """Adding a ScenarioResult field without teaching merge about it
+        should at least fail loudly here, not silently drop data."""
+        known = {"scenario", "spec_digest", "seed", "replay_digest",
+                 "sim_now_ns", "events_processed", "probes_total",
+                 "probes_ok", "detections", "true_positives",
+                 "false_positives", "problem_counts", "sla", "metrics",
+                 "wall_s"}
+        fields = {f.name for f in dataclasses.fields(ScenarioResult)}
+        assert fields == known

@@ -1,0 +1,183 @@
+"""FleetRunner: pool vs inline parity, retries, crashes, timeouts.
+
+The stunt tasks below are module-level functions because
+ProcessPoolExecutor pickles tasks by reference; several encode their
+scratch path in ``spec.name`` since the task signature is fixed at
+``(spec, seed)``.
+"""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.fleet.merge import merge
+from repro.fleet.runner import FleetRunner
+from repro.fleet.spec import FaultEvent, ScenarioSpec, SweepSpec
+from repro.fleet.worker import ScenarioResult
+from repro.net.clos import ClosParams
+
+TINY = ClosParams(pods=1, tors_per_pod=2, aggs_per_pod=2, spines=1,
+                  hosts_per_tor=2)
+
+
+def _sweep(seeds=(0, 1)) -> SweepSpec:
+    spec = ScenarioSpec(
+        name="r-rnic-down", topology=TINY, duration_s=25,
+        campaign=(FaultEvent.make("rnic_down", "host0-rnic0",
+                                  start_s=5.0, end_s=18.0),))
+    return SweepSpec(scenarios=(spec,), seeds=tuple(seeds))
+
+
+def _stub_result(spec: ScenarioSpec, seed: int) -> ScenarioResult:
+    return ScenarioResult(
+        scenario=spec.name, spec_digest="stub", seed=seed,
+        replay_digest=f"r{seed}", sim_now_ns=1, events_processed=1,
+        probes_total=1, probes_ok=1, detections=(), true_positives=0,
+        false_positives=0)
+
+
+def fast_task(spec: ScenarioSpec, seed: int) -> ScenarioResult:
+    return _stub_result(spec, seed)
+
+
+def crash_once_task(spec: ScenarioSpec, seed: int) -> ScenarioResult:
+    """Raises on first call per (name, seed); spec.name is a directory."""
+    sentinel = Path(spec.name) / f"attempted-{seed}"
+    if not sentinel.exists():
+        sentinel.touch()
+        raise RuntimeError("transient crash")
+    return _stub_result(spec, seed)
+
+
+def always_crash_task(spec: ScenarioSpec, seed: int) -> ScenarioResult:
+    raise RuntimeError("permanent crash")
+
+
+def crash_by_name_task(spec: ScenarioSpec, seed: int) -> ScenarioResult:
+    """Kill the worker process outright when the spec is marked 'bad'
+    (the BrokenProcessPool path)."""
+    if spec.name.endswith("bad"):
+        os._exit(13)
+    return _stub_result(spec, seed)
+
+
+def hang_task(spec: ScenarioSpec, seed: int) -> ScenarioResult:
+    time.sleep(30)
+    return _stub_result(spec, seed)
+
+
+def _tmp_spec(tmp_path, **overrides) -> ScenarioSpec:
+    defaults = dict(name=str(tmp_path), topology=TINY, duration_s=25)
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class TestParity:
+    def test_pool_matches_inline(self):
+        """The acceptance gate: serial and parallel sweeps merge to
+        byte-identical scorecards."""
+        sweep = _sweep()
+        serial = FleetRunner(workers=1).run(sweep)
+        pooled = FleetRunner(workers=2).run(sweep)
+        assert serial.ok and pooled.ok
+        assert merge(serial.results).to_json() == \
+            merge(pooled.results).to_json()
+
+    def test_inline_runs_real_worker(self):
+        outcome = FleetRunner(workers=1).run(_sweep(seeds=(0,)))
+        assert outcome.ok
+        assert outcome.results[0].faults_detected == 1
+
+
+class TestRetries:
+    def test_inline_retry_recovers(self, tmp_path):
+        sweep = SweepSpec(scenarios=(_tmp_spec(tmp_path),), seeds=(0,))
+        outcome = FleetRunner(workers=1, max_retries=1,
+                              task=crash_once_task).run(sweep)
+        assert outcome.ok
+        assert outcome.retries == 1
+
+    def test_pool_retry_recovers(self, tmp_path):
+        sweep = SweepSpec(scenarios=(_tmp_spec(tmp_path),), seeds=(0, 1))
+        outcome = FleetRunner(workers=2, max_retries=1,
+                              task=crash_once_task).run(sweep)
+        assert outcome.ok
+        assert outcome.retries == 2
+
+    def test_attempts_exhausted_becomes_failure(self):
+        sweep = _sweep(seeds=(0,))
+        outcome = FleetRunner(workers=1, max_retries=2,
+                              task=always_crash_task).run(sweep)
+        assert not outcome.ok
+        failure = outcome.failures[0]
+        assert failure.attempts == 3
+        assert "permanent crash" in failure.error
+
+    def test_zero_retries(self):
+        outcome = FleetRunner(workers=1, max_retries=0,
+                              task=always_crash_task).run(_sweep(seeds=(0,)))
+        assert outcome.failures[0].attempts == 1
+        assert outcome.retries == 0
+
+
+class TestPoolFaults:
+    def test_worker_crash_does_not_lose_siblings(self, tmp_path):
+        """A hard-crashed worker poisons the pool; the runner rebuilds it
+        and every other job still completes exactly once."""
+        good = _tmp_spec(tmp_path, name=str(tmp_path))
+        bad = _tmp_spec(tmp_path, name=str(tmp_path / "bad"))
+        sweep = SweepSpec(scenarios=(good, bad), seeds=(0, 1))
+        outcome = FleetRunner(workers=2, max_retries=0,
+                              task=crash_by_name_task).run(sweep)
+        assert len(outcome.results) == 2
+        assert {r.seed for r in outcome.results} == {0, 1}
+        assert len(outcome.failures) == 2
+        assert all("crashed" in f.error for f in outcome.failures)
+
+    def test_hung_job_times_out(self, tmp_path):
+        spec = _tmp_spec(tmp_path, timeout_s=0.3)
+        sweep = SweepSpec(scenarios=(spec,), seeds=(0,))
+        outcome = FleetRunner(workers=2, max_retries=0,
+                              task=hang_task).run(sweep)
+        assert not outcome.ok
+        assert "timeout" in outcome.failures[0].error
+
+    def test_hung_job_retries_then_fails(self, tmp_path):
+        spec = _tmp_spec(tmp_path, timeout_s=0.3)
+        sweep = SweepSpec(scenarios=(spec,), seeds=(0,))
+        outcome = FleetRunner(workers=2, max_retries=1,
+                              task=hang_task).run(sweep)
+        assert outcome.retries == 1
+        assert outcome.failures[0].attempts == 2
+
+
+class TestProgress:
+    def test_callback_sequence(self):
+        events = []
+        runner = FleetRunner(workers=1, task=fast_task,
+                             progress=events.append)
+        runner.run(_sweep())
+        kinds = [e.kind for e in events]
+        assert kinds == ["submit", "result", "submit", "result"]
+        assert events[-1].completed == 2
+        assert events[-1].total == 2
+
+    def test_retry_and_failure_events(self):
+        events = []
+        runner = FleetRunner(workers=1, max_retries=1,
+                             task=always_crash_task,
+                             progress=events.append)
+        runner.run(_sweep(seeds=(0,)))
+        assert [e.kind for e in events] == \
+            ["submit", "retry", "submit", "failed"]
+        assert "permanent crash" in events[-1].error
+
+
+class TestValidation:
+    def test_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            FleetRunner(workers=0)
+        with pytest.raises(ValueError):
+            FleetRunner(max_retries=-1)

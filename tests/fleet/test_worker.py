@@ -1,0 +1,92 @@
+"""run_scenario: determinism, detection scoring, picklability."""
+
+import dataclasses
+import pickle
+
+from repro.fleet.spec import FaultEvent, ScenarioSpec
+from repro.fleet.worker import run_scenario
+from repro.net.clos import ClosParams
+
+TINY = ClosParams(pods=1, tors_per_pod=2, aggs_per_pod=2, spines=1,
+                  hosts_per_tor=2)
+
+RNIC_DOWN = ScenarioSpec(
+    name="w-rnic-down", topology=TINY, duration_s=30,
+    campaign=(FaultEvent.make("rnic_down", "host0-rnic0",
+                              start_s=5.0, end_s=20.0),))
+
+
+class TestDeterminism:
+    def test_same_job_same_result(self):
+        """Two in-process runs of one (spec, seed) job are identical in
+        every field except the wall clock."""
+        a = run_scenario(RNIC_DOWN, 0)
+        b = run_scenario(RNIC_DOWN, 0)
+        assert a.replay_digest == b.replay_digest
+        assert dataclasses.replace(a, wall_s=0.0) == \
+            dataclasses.replace(b, wall_s=0.0)
+
+    def test_different_seed_different_digest(self):
+        a = run_scenario(RNIC_DOWN, 0)
+        b = run_scenario(RNIC_DOWN, 1)
+        assert a.replay_digest != b.replay_digest
+        assert a.spec_digest == b.spec_digest
+
+
+class TestScoring:
+    def test_detects_and_localizes_rnic_down(self):
+        result = run_scenario(RNIC_DOWN, 0)
+        assert result.faults_total == 1
+        outcome = result.detections[0]
+        assert outcome.detected and outcome.localized
+        assert outcome.locus == "host0-rnic0"
+        assert outcome.time_to_detect_ns is not None
+        assert outcome.time_to_detect_ns >= 0
+        assert result.true_positives >= 1
+
+    def test_healthy_run_scores_clean(self):
+        spec = ScenarioSpec(name="w-healthy", topology=TINY,
+                            duration_s=25)
+        result = run_scenario(spec, 0)
+        assert result.faults_total == 0
+        assert result.false_positives == 0
+        assert result.probes_total > 0
+        assert result.probes_ok == result.probes_total
+        assert result.sla["rtt_p50_ns"] > 0
+
+    def test_duplicate_campaign_events_become_one_fault(self):
+        """Overlapping windows on one identity score as one fault."""
+        spec = ScenarioSpec(
+            name="w-overlap", topology=TINY, duration_s=30,
+            campaign=(
+                FaultEvent.make("rnic_down", "host0-rnic0",
+                                start_s=5.0, end_s=15.0),
+                FaultEvent.make("rnic_down", "host0-rnic0",
+                                start_s=10.0, end_s=20.0),
+            ))
+        result = run_scenario(spec, 0)
+        assert result.faults_total == 1
+        assert result.detections[0].start_ns == 5_000_000_000
+        assert result.detections[0].end_ns == 20_000_000_000
+
+    def test_metrics_toggle(self):
+        with_metrics = run_scenario(RNIC_DOWN, 0)
+        assert with_metrics.metrics
+        assert with_metrics.metrics["repro_sim_events_processed_total"] > 0
+        spec = dataclasses.replace(RNIC_DOWN, metrics=False)
+        without = run_scenario(spec, 0)
+        assert without.metrics is None
+
+
+class TestPickling:
+    def test_result_round_trip(self):
+        result = run_scenario(RNIC_DOWN, 0)
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone == result
+        assert clone.detections == result.detections
+
+    def test_metrics_snapshot_round_trip(self):
+        result = run_scenario(RNIC_DOWN, 0)
+        clone = pickle.loads(pickle.dumps(result.metrics))
+        assert clone == result.metrics
+        assert sorted(clone) == list(clone)  # snapshot stays key-sorted

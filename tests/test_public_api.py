@@ -72,6 +72,13 @@ PUBLIC_MODULES = [
     "repro.analysis.linter",
     "repro.analysis.runtime",
     "repro.analysis.cli",
+
+    "repro.fleet",
+    "repro.fleet.spec",
+    "repro.fleet.worker",
+    "repro.fleet.runner",
+    "repro.fleet.merge",
+    "repro.fleet.presets",
 ]
 
 
