@@ -1,0 +1,93 @@
+"""CI perf-regression smoke: steady-state events/sec vs a checked-in floor.
+
+Runs the R-Pingmesh system on the small benchmark topology, measures the
+steady-state simulation rate, emits one ``BENCH {json}`` line, writes the
+same record to an artifact file, and exits non-zero when the rate falls
+more than the configured tolerance below ``bench_floor.json``.
+
+Exit codes: 0 pass, 2 perf regression (rate < floor * tolerance).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_smoke.py [--out bench_smoke.json]
+
+Wall-clock reads here are the *product*, not simulation input — the rate
+never feeds back into sim state (the golden-digest suite pins that), so
+the determinism lint's wall-clock rule is suppressed file-wide.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.cluster import Cluster
+from repro.core.system import RPingmesh
+from repro.net.clos import ClosParams
+from repro.sim.units import seconds
+
+# Keep in sync with SIZES["small-12rnic"] in test_scalability.py.
+SMALL = ClosParams(pods=2, tors_per_pod=2, aggs_per_pod=2, spines=2,
+                   hosts_per_tor=3)
+
+
+def measure(floor_config: dict) -> dict:
+    cluster = Cluster.clos(SMALL, seed=1)
+    system = RPingmesh(cluster)
+    system.start()
+    cluster.sim.run_for(seconds(floor_config["warmup_simulated_s"]))
+
+    events_before = cluster.sim.events_processed
+    probes_before = sum(a.probes_sent for a in system.agents.values())
+    wall_start = time.perf_counter()  # detlint: disable=DET001 benchmark timer
+    cluster.sim.run_for(seconds(floor_config["measure_simulated_s"]))
+    wall_s = time.perf_counter() - wall_start  # detlint: disable=DET001 benchmark timer
+
+    events = cluster.sim.events_processed - events_before
+    probes = sum(a.probes_sent for a in system.agents.values()) - probes_before
+    floor = floor_config["events_per_sec_floor"]
+    tolerance = floor_config["tolerance"]
+    events_per_sec = round(events / wall_s) if wall_s else 0
+    return {
+        "benchmark": "bench_smoke",
+        "size": floor_config["size"],
+        "rnics": cluster.size,
+        "simulated_s": floor_config["measure_simulated_s"],
+        "wall_s": round(wall_s, 3),
+        "events": events,
+        "events_per_sec": events_per_sec,
+        "probes_per_sec": round(probes / wall_s) if wall_s else 0,
+        "floor_events_per_sec": floor,
+        "fail_below": round(floor * tolerance),
+        "passed": events_per_sec >= floor * tolerance,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="bench_smoke.json",
+                        help="artifact file for the BENCH record")
+    parser.add_argument("--floor", default=None,
+                        help="override path to bench_floor.json")
+    args = parser.parse_args(argv)
+
+    floor_path = Path(args.floor) if args.floor else (
+        Path(__file__).resolve().parent / "bench_floor.json")
+    floor_config = json.loads(floor_path.read_text())
+
+    record = measure(floor_config)
+    print("BENCH " + json.dumps(record, sort_keys=True))
+    Path(args.out).write_text(json.dumps(record, sort_keys=True, indent=2)
+                              + "\n")
+    if not record["passed"]:
+        print(f"PERF REGRESSION: {record['events_per_sec']} events/sec is "
+              f"more than {round((1 - floor_config['tolerance']) * 100)}% "
+              f"below the checked-in floor of {record['floor_events_per_sec']}"
+              f" (fail threshold {record['fail_below']})", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

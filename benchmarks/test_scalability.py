@@ -40,11 +40,14 @@ def test_steady_state_simulation_rate(benchmark, label):
         cluster.sim.run_for(seconds(10))
 
     events_before = cluster.sim.events_processed
+    probes_before = sum(a.probes_sent for a in system.agents.values())
     wall_start = time.perf_counter()
     benchmark.pedantic(ten_simulated_seconds, rounds=3, iterations=1,
                        warmup_rounds=0)
     wall_s = time.perf_counter() - wall_start
     events = cluster.sim.events_processed - events_before
+    probes = (sum(a.probes_sent for a in system.agents.values())
+              - probes_before)
     print("BENCH " + json.dumps({
         "benchmark": "scalability",
         "size": label,
@@ -53,6 +56,7 @@ def test_steady_state_simulation_rate(benchmark, label):
         "wall_s": round(wall_s, 3),
         "events": events,
         "events_per_sec": round(events / wall_s) if wall_s else 0,
+        "probes_per_sec": round(probes / wall_s) if wall_s else 0,
         "wall_per_sim_s": round(wall_s / 30, 4),
     }, sort_keys=True))
     # Sanity: the system is alive and analysing.

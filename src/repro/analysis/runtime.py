@@ -21,7 +21,8 @@ from repro.cluster import Cluster
 from repro.core.config import RPingmeshConfig
 from repro.core.system import RPingmesh
 from repro.net.clos import ClosParams
-from repro.net.faults import LinkCorruption
+from repro.net.faults import (FaultManager, LinkCorruption, LinkOverload,
+                              PfcHeadroomMisconfig)
 from repro.sim.units import MICROSECOND, SECOND
 
 Scenario = Callable[[int], Any]
@@ -200,3 +201,79 @@ def default_scenario(seed: int, *,
     fault.inject()
     system.run(duration_ns if duration_ns is not None else 45 * SECOND)
     return system_state(system)
+
+
+# -- golden reference scenarios ------------------------------------------------
+#
+# Three fixed workloads spanning the engine's behaviour space, digested by
+# tests/sim/test_golden_digests.py against hashes captured before the
+# sim-core fast path landed.  Any engine/fabric change that silently alters
+# event ordering, RNG draw order, or drop decisions flips a hash and fails
+# tier-1.  Scenario definitions are therefore FROZEN: changing topology,
+# durations, fault doses, or config here invalidates the checked-in hashes.
+
+def _golden_cluster(seed: int) -> Cluster:
+    params = ClosParams(pods=1, tors_per_pod=2, aggs_per_pod=2,
+                        spines=1, hosts_per_tor=2)
+    return Cluster.clos(params, seed=seed, check_invariants=True)
+
+
+def quiet_scenario(seed: int) -> dict[str, Any]:
+    """Golden scenario: healthy fabric, clean control plane, no faults.
+
+    Exercises the pure probe/ack/analyze machinery — the workload the
+    fault-free fast path must reproduce byte-for-byte.
+    """
+    cluster = _golden_cluster(seed)
+    config = RPingmeshConfig(
+        control_latency_ns=200 * MICROSECOND,
+        control_jitter_ns=50 * MICROSECOND,
+        control_loss_prob=0.0,
+    )
+    system = RPingmesh(cluster, config)
+    system.start()
+    system.run(45 * SECOND)
+    return system_state(system)
+
+
+def faulted_scenario(seed: int) -> dict[str, Any]:
+    """Golden scenario: the lossy-control-plane + corrupting-link reference.
+
+    Identical to :func:`default_scenario` at its defaults; named here so the
+    golden suite reads as (quiet, faulted, congested).
+    """
+    return default_scenario(seed)
+
+
+def congested_scenario(seed: int) -> dict[str, Any]:
+    """Golden scenario: a lossy saturated uplink under a fault window.
+
+    A 1.3x-overloaded tor->agg uplink with PFC headroom misconfigured on
+    the cable, active from t=5s to t=35s via FaultManager windows.  Covers
+    the fluid-queue integration, queue-overflow drops, RTT inflation, and
+    the mid-run fast-path -> slow-path -> fast-path transitions.
+    """
+    cluster = _golden_cluster(seed)
+    config = RPingmeshConfig(
+        control_latency_ns=200 * MICROSECOND,
+        control_jitter_ns=50 * MICROSECOND,
+        control_loss_prob=0.0,
+    )
+    system = RPingmesh(cluster, config)
+    system.start()
+    faults = FaultManager(cluster)
+    faults.schedule(
+        LinkOverload(cluster, "pod0-tor0", "pod0-agg0", extra_gbps=520.0),
+        start_ns=5 * SECOND, end_ns=35 * SECOND)
+    faults.schedule(
+        PfcHeadroomMisconfig(cluster, "pod0-tor0", "pod0-agg0"),
+        start_ns=5 * SECOND, end_ns=35 * SECOND)
+    system.run(45 * SECOND)
+    return system_state(system)
+
+
+GOLDEN_SCENARIOS: dict[str, Scenario] = {
+    "quiet": quiet_scenario,
+    "faulted": faulted_scenario,
+    "congested": congested_scenario,
+}

@@ -21,7 +21,7 @@ from repro.net.rail import RailFabricPlan, RailParams, build_rail
 from repro.net.topology import Topology
 from repro.net.traceroute import TracerouteService
 from repro.obs import Observability
-from repro.sim.engine import Simulator
+from repro.sim.engine import EVENT_POOL_DEFAULT, Simulator
 from repro.sim.rng import RngRegistry
 
 Plan = Union[ClosFabricPlan, RailFabricPlan]
@@ -30,12 +30,14 @@ Plan = Union[ClosFabricPlan, RailFabricPlan]
 class Cluster:
     """A fully wired simulated RoCE cluster."""
 
-    def __init__(self, sim: Simulator, rngs: RngRegistry, plan: Plan):
+    def __init__(self, sim: Simulator, rngs: RngRegistry, plan: Plan,
+                 *, pooling: bool = True):
         self.sim = sim
         self.rngs = rngs
         self.plan = plan
         self.topology: Topology = plan.topology
-        self.fabric = Fabric(sim, self.topology, rngs.stream("fabric"))
+        self.fabric = Fabric(sim, self.topology, rngs.stream("fabric"),
+                             pooling=pooling)
         self.traceroute = TracerouteService(self.fabric)
         self.hosts: dict[str, Host] = {}
         self._rnics: dict[str, Rnic] = {}
@@ -67,19 +69,30 @@ class Cluster:
 
     @classmethod
     def clos(cls, params: Optional[ClosParams] = None, *,
-             seed: int = 0, check_invariants: bool = False) -> "Cluster":
-        """Build a 3-tier Clos cluster."""
-        sim = Simulator(seed=seed, check_invariants=check_invariants)
+             seed: int = 0, check_invariants: bool = False,
+             pooling: bool = True) -> "Cluster":
+        """Build a 3-tier Clos cluster.
+
+        ``pooling=False`` disables every free-list fast path (events,
+        packets, CQEs) — behaviour must be byte-identical either way,
+        which the pooling-equivalence tests assert via replay digests.
+        """
+        sim = Simulator(seed=seed, check_invariants=check_invariants,
+                        event_pool_size=EVENT_POOL_DEFAULT if pooling else 0)
         rngs = RngRegistry(seed)
-        return cls(sim, rngs, build_clos(params or ClosParams()))
+        return cls(sim, rngs, build_clos(params or ClosParams()),
+                   pooling=pooling)
 
     @classmethod
     def rail(cls, params: Optional[RailParams] = None, *,
-             seed: int = 0, check_invariants: bool = False) -> "Cluster":
+             seed: int = 0, check_invariants: bool = False,
+             pooling: bool = True) -> "Cluster":
         """Build a two-tier rail-optimized cluster (§7.4)."""
-        sim = Simulator(seed=seed, check_invariants=check_invariants)
+        sim = Simulator(seed=seed, check_invariants=check_invariants,
+                        event_pool_size=EVENT_POOL_DEFAULT if pooling else 0)
         rngs = RngRegistry(seed)
-        return cls(sim, rngs, build_rail(params or RailParams()))
+        return cls(sim, rngs, build_rail(params or RailParams()),
+                   pooling=pooling)
 
     # -- lookups ----------------------------------------------------------------
 

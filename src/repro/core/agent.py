@@ -355,6 +355,9 @@ class Agent:
                 self._on_ack1(state, cqe)
             elif kind == "ack2":
                 self._on_ack2(state, cqe)
+        # Every handler above copies what it keeps; hand the CQE storage
+        # back to the RNIC for reuse (no-op when pooling is off).
+        state.rnic.release_cqe(cqe)
 
     def _on_send_cqe(self, state: _RnicAgentState, cqe: Cqe) -> None:
         role = state.send_roles.pop(cqe.wr_id, None)
@@ -381,6 +384,7 @@ class Agent:
         t3 = cqe.rnic_timestamp_ns                      # ③ probe recv CQE
         reply_to = CommInfo(ip=cqe.src_ip, gid=cqe.src_gid, qpn=cqe.src_qpn)
         seq = cqe.payload["seq"]
+        src_port = cqe.src_port  # copy now: the CQE is recycled on return
         # Userspace handling cost before the first ACK is posted: normal
         # CPU processing plus any Agent starvation stall (Figure 6 right).
         now = self.cluster.sim.now
@@ -390,9 +394,9 @@ class Agent:
             self.tracer.event(seq, now, "responder.recv",
                               host=self.host.name, rnic=state.rnic.name,
                               cpu_delay_ns=delay)
-        self.cluster.sim.call_later(
+        self.cluster.sim.schedule(
             delay,
-            lambda: self._post_ack1(state, reply_to, cqe.src_port, seq, t3))
+            lambda: self._post_ack1(state, reply_to, src_port, seq, t3))
 
     def _post_ack1(self, state: _RnicAgentState, reply_to: CommInfo,
                    src_port: int, seq: int, t3: int) -> None:
@@ -434,7 +438,7 @@ class Agent:
         if self.tracer.enabled:
             self.tracer.event(out.seq, now, "prober.ack1_processing",
                               host=self.host.name, cpu_delay_ns=delay)
-        self.cluster.sim.call_later(
+        self.cluster.sim.schedule(
             delay, lambda: self._stamp_t6(state, out.seq))
 
     def _stamp_t6(self, state: _RnicAgentState, seq: int) -> None:

@@ -52,6 +52,12 @@ class QPType(Enum):
     UD = "ud"   # Unreliable Datagram
 
 
+# Wire opcode used when post_send is not given one explicitly.
+_DEFAULT_OPCODE = {QPType.UD: RoCEOpcode.UD_SEND,
+                   QPType.UC: RoCEOpcode.UC_SEND,
+                   QPType.RC: RoCEOpcode.RC_SEND}
+
+
 class QPState(Enum):
     """Simplified QP state machine."""
 
@@ -165,6 +171,15 @@ class Rnic:
         self._wr_ids = itertools.count(1)
         self._next_qpn = rng.randint(0x100, 0xFFF)
         self._pending_rc_sends: dict[int, list[int]] = {}
+        # Hot-path memos: probe 5-tuples repeat per (peer, src_port) and
+        # PCIe serialization depends only on (size, pcie_gbps); both are
+        # pure.  The PCIe memo is keyed by the rate so PcieDowngrade
+        # (which writes pcie_gbps directly) invalidates it naturally.
+        self._five_tuple_memo: dict[tuple[str, int], FiveTuple] = {}
+        self._pcie_memo: tuple[float, dict[int, int]] = (pcie_gbps, {})
+        # CQE free list (bounded; active only when the fabric pools).
+        self._cqe_free: list[Cqe] = []
+        self._cqe_pool_limit = 64 if fabric.pooling else 0
         # Host TCP stack hook (Pingmesh baseline, checkpoint traffic).
         self.tcp_handler: Optional[
             Callable[[Packet, DeliveryRecord], None]] = None
@@ -280,23 +295,30 @@ class Rnic:
             raise LocalSendError("gid_index_missing")
 
         if opcode is None:
-            opcode = {QPType.UD: RoCEOpcode.UD_SEND,
-                      QPType.UC: RoCEOpcode.UC_SEND,
-                      QPType.RC: RoCEOpcode.RC_SEND}[qp.qp_type]
+            opcode = _DEFAULT_OPCODE[qp.qp_type]
         if wr_id is None:
             wr_id = next(self._wr_ids)
 
-        five_tuple = roce_five_tuple(self.ip, dst.ip, src_port)
+        tuple_key = (dst.ip, src_port)
+        five_tuple = self._five_tuple_memo.get(tuple_key)
+        if five_tuple is None:
+            if len(self._five_tuple_memo) >= 8192:
+                self._five_tuple_memo.clear()
+            five_tuple = roce_five_tuple(self.ip, dst.ip, src_port)
+            self._five_tuple_memo[tuple_key] = five_tuple
         size = ROCE_HEADER_BYTES + payload_bytes
-        packet = RoCEPacket(
-            five_tuple=five_tuple, size_bytes=size,
-            opcode=opcode, src_qpn=qp.qpn, dst_qpn=dst.qpn,
-            src_gid=self.gid.value, dst_gid=dst.gid,
-            payload=dict(payload))
+        packet = self.fabric.packet_pool.acquire_roce(
+            five_tuple, size, opcode, qp.qpn, dst.qpn,
+            self.gid.value, dst.gid, payload)
 
-        pcie_ns = serialization_delay_ns(size, self.pcie_gbps)
+        rate, pcie_sizes = self._pcie_memo
+        if rate != self.pcie_gbps:
+            rate, pcie_sizes = self._pcie_memo = (self.pcie_gbps, {})
+        pcie_ns = pcie_sizes.get(size)
+        if pcie_ns is None:
+            pcie_ns = pcie_sizes[size] = serialization_delay_ns(size, rate)
         departure_delay = TX_PIPELINE_NS + pcie_ns
-        self.sim.call_later(
+        self.sim.schedule(
             departure_delay,
             lambda: self._wire_departure(qp, packet, wr_id))
         return wr_id
@@ -363,12 +385,42 @@ class Rnic:
         timestamp = self.clock.read(self.sim.now)
         if self.tracer is not None and payload is not None:
             self._trace_cqe(payload, CqeKind.SEND, timestamp)
-        self._emit_cqe(qp, Cqe(kind=CqeKind.SEND, qpn=qp.qpn, wr_id=wr_id,
-                               rnic_timestamp_ns=timestamp))
+        self._emit_cqe(qp, self._acquire_cqe(
+            CqeKind.SEND, qp.qpn, wr_id, timestamp))
 
     def _emit_cqe(self, qp: QueuePair, cqe: Cqe) -> None:
         if qp.on_cqe is not None:
             qp.on_cqe(cqe)
+
+    def _acquire_cqe(self, kind: CqeKind, qpn: int, wr_id: int,
+                     rnic_timestamp_ns: int) -> Cqe:
+        """A CQE with these fields set and every RECV field reset.
+
+        Recycling is consumer-driven: a CQE is reused only after its
+        ``on_cqe`` handler hands it back via :meth:`release_cqe`.  Handlers
+        that never release (tests, experiments) keep plain allocation and
+        may retain the CQE forever.
+        """
+        if self._cqe_free:
+            cqe = self._cqe_free.pop()
+            cqe.kind = kind
+            cqe.qpn = qpn
+            cqe.wr_id = wr_id
+            cqe.rnic_timestamp_ns = rnic_timestamp_ns
+            cqe.payload.clear()
+            cqe.src_ip = ""
+            cqe.src_gid = ""
+            cqe.src_qpn = 0
+            cqe.src_port = 0
+            cqe.opcode = None
+            return cqe
+        return Cqe(kind=kind, qpn=qpn, wr_id=wr_id,
+                   rnic_timestamp_ns=rnic_timestamp_ns)
+
+    def release_cqe(self, cqe: Cqe) -> None:
+        """Hand a fully-consumed CQE back for reuse (copy fields first)."""
+        if len(self._cqe_free) < self._cqe_pool_limit:
+            self._cqe_free.append(cqe)
 
     # -- receive path ---------------------------------------------------------
 
@@ -425,23 +477,25 @@ class Rnic:
         timestamp = self.clock.read(self.sim.now)
         if self.tracer is not None:
             self._trace_cqe(packet.payload, CqeKind.RECV, timestamp)
-        self._emit_cqe(qp, Cqe(
-            kind=CqeKind.RECV, qpn=qp.qpn, wr_id=next(self._wr_ids),
-            rnic_timestamp_ns=timestamp,
-            payload=dict(packet.payload),
-            src_ip=packet.five_tuple.src_ip, src_gid=packet.src_gid,
-            src_qpn=packet.src_qpn, src_port=packet.five_tuple.src_port,
-            opcode=packet.opcode))
+        cqe = self._acquire_cqe(
+            CqeKind.RECV, qp.qpn, next(self._wr_ids), timestamp)
+        cqe.payload.update(packet.payload)
+        cqe.src_ip = packet.five_tuple.src_ip
+        cqe.src_gid = packet.src_gid
+        cqe.src_qpn = packet.src_qpn
+        cqe.src_port = packet.five_tuple.src_port
+        cqe.opcode = packet.opcode
+        self._emit_cqe(qp, cqe)
+
+    _EMPTY_PAYLOAD: dict[str, Any] = {}
 
     def _send_rc_hw_ack(self, packet: RoCEPacket) -> None:
         """Hardware-generated RC ACK, echoing the probe's source port (§5)."""
-        ack = RoCEPacket(
-            five_tuple=packet.five_tuple.reversed(),
-            size_bytes=ROCE_HEADER_BYTES + 4,
-            opcode=RoCEOpcode.RC_ACK,
-            src_qpn=packet.dst_qpn, dst_qpn=packet.src_qpn,
-            src_gid=self.gid.value, dst_gid=packet.src_gid)
-        self.sim.call_later(
+        ack = self.fabric.packet_pool.acquire_roce(
+            packet.five_tuple.reversed(), ROCE_HEADER_BYTES + 4,
+            RoCEOpcode.RC_ACK, packet.dst_qpn, packet.src_qpn,
+            self.gid.value, packet.src_gid, self._EMPTY_PAYLOAD)
+        self.sim.schedule(
             RC_HW_ACK_NS,
             lambda: self.fabric.inject(ack, self.name)
             if self.operational else None)
@@ -457,5 +511,5 @@ class Rnic:
         wr_id = pending.pop(0)
         # RC send CQE timestamp is ACK-arrival time, NOT wire departure —
         # this is exactly why RC cannot provide timestamps ②/④ (Table 1).
-        self._emit_cqe(qp, Cqe(kind=CqeKind.SEND, qpn=qp.qpn, wr_id=wr_id,
-                               rnic_timestamp_ns=self.clock.read(self.sim.now)))
+        self._emit_cqe(qp, self._acquire_cqe(
+            CqeKind.SEND, qp.qpn, wr_id, self.clock.read(self.sim.now)))

@@ -27,8 +27,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, Optional
 
-from repro.net.ecmp import pick_next_hop
-from repro.net.packet import TC_ROCE, Packet
+from repro.net.ecmp import EcmpHasher, pick_next_hop
+from repro.net.packet import TC_ROCE, Packet, PacketPool
 from repro.net.topology import DirectedLink, Topology
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStream
@@ -68,10 +68,45 @@ class DeliveryRecord:
     path: tuple[str, ...]    # node names traversed, inclusive of endpoints
 
 
+class _CachedPath:
+    """A fully resolved route for one 5-tuple: the fast path's unit."""
+
+    __slots__ = ("nodes", "hops", "route_epoch")
+
+    def __init__(self, nodes: tuple[str, ...],
+                 hops: tuple[tuple[DirectedLink, bool], ...],
+                 route_epoch: int):
+        self.nodes = nodes           # node names, endpoints inclusive
+        self.hops = hops             # per hop: (link, next_is_switch)
+        self.route_epoch = route_epoch
+
+
+class _Transit:
+    """Pooled per-packet walker for the fault-free fast path.
+
+    Schedules exactly one event per hop — the same event count and timing
+    as the slow path's per-hop closures — but with the route, links, and
+    ECMP choices resolved once at injection instead of at every hop.
+    """
+
+    __slots__ = ("fabric", "packet", "path", "idx", "is_roce")
+
+    def __init__(self) -> None:
+        self.fabric: Optional["Fabric"] = None
+        self.packet: Optional[Packet] = None
+        self.path: Optional[_CachedPath] = None
+        self.idx = 0
+        self.is_roce = True
+
+    def __call__(self) -> None:
+        self.fabric._transit_step(self)
+
+
 class Fabric:
     """Forwards packets over a :class:`Topology` inside a simulation."""
 
-    def __init__(self, sim: Simulator, topology: Topology, rng: RngStream):
+    def __init__(self, sim: Simulator, topology: Topology, rng: RngStream,
+                 *, pooling: bool = True, packet_pool_size: int = 4096):
         self.sim = sim
         self.topology = topology
         self.rng = rng
@@ -79,7 +114,21 @@ class Fabric:
         # take any parallel path, independent of its 5-tuple.  Probing
         # still detects problems, but traced paths stop matching the
         # packets that died — the stated localisation limitation.
-        self.adaptive_routing = False
+        self._adaptive_routing = False
+        # Pooling knob: False forces fresh allocations everywhere (digest
+        # equivalence with pooling on is a tested invariant).
+        self.pooling = pooling
+        self.packet_pool = PacketPool(limit=packet_pool_size if pooling else 0)
+        self._hasher = EcmpHasher()
+        # Fault-free fast-path state: the scan result is valid for exactly
+        # one topology knob_epoch; the resolved-path cache for exactly one
+        # route_epoch (see DESIGN.md §10 for the invalidation rule).
+        self._fault_free = False
+        self._fault_scan_epoch = -1
+        self._path_cache: dict = {}
+        self._path_cache_epoch = -1
+        self._transit_free: list[_Transit] = []
+        self._transit_pool_limit = 1024 if pooling else 0
         self._receivers: dict[str, Callable[[Packet, DeliveryRecord], None]] = {}
         self._ip_to_port: dict[str, str] = {}
         self._drop_listeners: list[Callable[[DropRecord], None]] = []
@@ -97,6 +146,16 @@ class Fabric:
         # Per-fabric packet id source: ids restart at 1 for every cluster
         # so same-process replays see identical ids.
         self._packet_ids = itertools.count(1)
+
+    @property
+    def adaptive_routing(self) -> bool:
+        """Whether per-packet adaptive routing replaces ECMP (§7.5)."""
+        return self._adaptive_routing
+
+    @adaptive_routing.setter
+    def adaptive_routing(self, value: bool) -> None:
+        self._adaptive_routing = value
+        self._fault_scan_epoch = -1   # force a fast-path re-evaluation
 
     # -- wiring ------------------------------------------------------------
 
@@ -134,7 +193,156 @@ class Fabric:
         if dst_port is None:
             self._drop(packet, DropReason.NO_ROUTE, link=None, node=src_port)
             return
+        if self.topology.knob_epoch != self._fault_scan_epoch:
+            self._refresh_fast_path()
+        if self._fault_free and self.tracer is None:
+            cached = self._cached_path(packet.five_tuple, src_port, dst_port)
+            if cached is not None:
+                self._begin_transit(packet, cached)
+                return
         self._forward(packet, src_port, dst_port, path=[src_port])
+
+    # -- fault-free fast path ------------------------------------------------
+
+    def _refresh_fast_path(self) -> None:
+        """Re-evaluate fast-path eligibility for the current knob epoch.
+
+        The fast path may run only when per-hop checking is provably a
+        no-op for every link: all links up and not routed-around, no PFC
+        deadlock, no corruption or silent-drop rules (their RNG draws and
+        counters must not be skipped), PFC healthy everywhere (so
+        ``congestion_drop_prob`` short-circuits to 0 without touching the
+        fluid queue), and no ACL rules on any switch.  Any knob write bumps
+        ``Topology.knob_epoch``, which forces this scan to rerun.
+        """
+        topology = self.topology
+        self._fault_scan_epoch = topology.knob_epoch
+        if self._adaptive_routing:
+            self._fault_free = False
+            return
+        for link in topology.links.values():
+            pair = link.pair
+            if (not pair.up
+                    or pair.routed_around
+                    or link.pfc_deadlocked
+                    or link.corruption_drop_prob > 0.0
+                    or link.silent_drop_predicate is not None
+                    or not link.pfc_enabled
+                    or not link.pfc_headroom_ok):
+                self._fault_free = False
+                return
+        for node in topology.nodes.values():
+            if node.acl.rule_count:
+                self._fault_free = False
+                return
+        self._fault_free = True
+
+    def _cached_path(self, five_tuple, src_port: str,
+                     dst_port: str) -> Optional[_CachedPath]:
+        """The resolved route for this flow, cached per route_epoch."""
+        epoch = self.topology.route_epoch
+        cache = self._path_cache
+        if self._path_cache_epoch != epoch:
+            cache.clear()
+            self._path_cache_epoch = epoch
+        cached = cache.get(five_tuple)
+        if (cached is not None and cached.nodes[0] == src_port
+                and cached.nodes[-1] == dst_port):
+            return cached
+        cached = self._resolve_path(five_tuple, src_port, dst_port)
+        if cached is not None:
+            if len(cache) >= 65536:
+                cache.clear()
+            cache[five_tuple] = cached
+        return cached
+
+    def _resolve_path(self, five_tuple, src_port: str,
+                      dst_port: str) -> Optional[_CachedPath]:
+        """Walk the per-hop ECMP choices once; None falls back to _forward."""
+        topology = self.topology
+        hasher = self._hasher
+        nodes = [src_port]
+        hops = []
+        node = src_port
+        guard = 0
+        while node != dst_port:
+            guard += 1
+            if guard > 64:
+                return None
+            candidates = topology.next_hops(node, dst_port)
+            if not candidates:
+                return None
+            next_node = hasher.pick(five_tuple, node, candidates)
+            hops.append((topology.links[(node, next_node)],
+                         topology.nodes[next_node].is_switch))
+            nodes.append(next_node)
+            node = next_node
+        return _CachedPath(tuple(nodes), tuple(hops), topology.route_epoch)
+
+    def _begin_transit(self, packet: Packet, cached: _CachedPath) -> None:
+        free = self._transit_free
+        transit = free.pop() if free else _Transit()
+        transit.fabric = self
+        transit.packet = packet
+        transit.path = cached
+        transit.idx = 0
+        transit.is_roce = packet.traffic_class == TC_ROCE
+        self._transit_step(transit)
+
+    def _release_transit(self, transit: _Transit) -> None:
+        transit.packet = None
+        transit.path = None
+        free = self._transit_free
+        if len(free) < self._transit_pool_limit:
+            free.append(transit)
+
+    def _transit_step(self, transit: _Transit) -> None:
+        cached = transit.path
+        idx = transit.idx
+        nodes = cached.nodes
+        if idx == len(nodes) - 1:
+            # Arrived: mirror _deliver (no tracer on the fast path), then
+            # recycle the packet — delivery is the only release point.
+            packet = transit.packet
+            self._release_transit(transit)
+            self.packets_delivered += 1
+            receiver = self._receivers.get(nodes[-1])
+            if receiver is not None:
+                receiver(packet, DeliveryRecord(self.sim.now, nodes))
+            self.packet_pool.release(packet)
+            return
+        topology = self.topology
+        if topology.knob_epoch != self._fault_scan_epoch:
+            self._refresh_fast_path()
+        if (not self._fault_free or self.tracer is not None
+                or cached.route_epoch != topology.route_epoch):
+            # A fault/route/tracer change landed mid-flight: resume this
+            # packet on the classic per-hop path from its current node, so
+            # it sees exactly the checks the old code would have applied.
+            packet = transit.packet
+            node = nodes[idx]
+            path = list(nodes[:idx + 1])
+            self._release_transit(transit)
+            self._forward(packet, node, nodes[-1], path)
+            return
+        packet = transit.packet
+        link, next_is_switch = cached.hops[idx]
+        if next_is_switch:
+            packet.ttl -= 1
+            if packet.ttl <= 0:
+                self._drop(packet, DropReason.TTL_EXPIRED, link=link.name,
+                           node=nodes[idx + 1])
+                self._release_transit(transit)
+                return
+        delay = link.traversal_delay_ns(self.sim.now, packet.size_bytes,
+                                        roce_queue=transit.is_roce)
+        if next_is_switch:
+            delay += SWITCH_FORWARD_LATENCY_NS
+        link.packets_forwarded += 1
+        transit.idx = idx + 1
+        self.sim.schedule(delay, transit)
+
+    # -- classic per-hop path ------------------------------------------------
 
     def _forward(self, packet: Packet, node: str, dst_port: str,
                  path: list[str]) -> None:
@@ -145,10 +353,10 @@ class Fabric:
         if not candidates:
             self._drop(packet, DropReason.NO_ROUTE, link=None, node=node)
             return
-        if self.adaptive_routing and len(candidates) > 1:
+        if self._adaptive_routing and len(candidates) > 1:
             next_node = self.rng.choice(candidates)
         else:
-            next_node = pick_next_hop(packet.five_tuple, node, candidates)
+            next_node = self._hasher.pick(packet.five_tuple, node, candidates)
         link = self.topology.link(node, next_node)
         now = self.sim.now
         is_roce = packet.traffic_class == TC_ROCE
@@ -184,7 +392,7 @@ class Fabric:
                 if link.pause_delay_ns:
                     fields["pfc_pause_ns"] = link.pause_delay_ns
                 self.tracer.event(seq, now, "fabric.hop", **fields)
-        self.sim.call_later(
+        self.sim.schedule(
             delay, lambda: self._forward(packet, next_node, dst_port, path))
 
     def _check_link(self, packet: Packet, link: DirectedLink,
@@ -221,9 +429,11 @@ class Fabric:
                 self.tracer.event(seq, self.sim.now, "fabric.deliver",
                                   leg=leg, dst=path[-1], hops=len(path) - 1)
         receiver = self._receivers.get(path[-1])
-        if receiver is None:
-            return  # host port exists but nothing listens; silently absorbed
-        receiver(packet, DeliveryRecord(self.sim.now, tuple(path)))
+        if receiver is not None:
+            receiver(packet, DeliveryRecord(self.sim.now, tuple(path)))
+        # Delivered pool-owned packets are recycled once the receiver is
+        # done with them; dropped packets never are (DropRecords keep them).
+        self.packet_pool.release(packet)
 
     def _drop(self, packet: Packet, reason: DropReason, *,
               link: Optional[str], node: Optional[str]) -> None:

@@ -47,6 +47,11 @@ class Packet:
     # breaking same-process replay — detlint DET005.)
     packet_id: int = 0
     sent_at_ns: Optional[int] = None
+    # True while a PacketPool owns this packet's storage: the fabric may
+    # recycle it after delivery.  Directly-constructed packets stay False
+    # and are never recycled, so references held by tests or DropRecords
+    # cannot be mutated behind their backs.
+    pooled: bool = False
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:
@@ -79,6 +84,75 @@ class TCPPacket(Packet):
     def __post_init__(self) -> None:
         Packet.__post_init__(self)
         self.traffic_class = TC_TCP
+
+
+class PacketPool:
+    """Bounded free list recycling :class:`RoCEPacket` storage.
+
+    Probe traffic churns through millions of short-lived RoCE packets;
+    the pool reuses their (slotted) storage and payload dicts instead of
+    re-allocating per probe.
+
+    Ownership contract (DESIGN.md §10):
+
+    * a packet acquired here belongs to the fabric until its delivery
+      callback returns — receivers must copy anything they keep (RNICs
+      snapshot payload/5-tuple fields into CQEs, so they already do);
+    * *delivered* packets are released back to the pool;
+    * *dropped* packets are never released — :class:`~repro.net.fabric.
+      DropRecord` retains them, and recycling would rewrite drop evidence;
+    * every acquired field is reassigned on reuse (payload dicts are
+      cleared), so no stale state can leak between probes;
+    * ``limit=0`` disables reuse; acquire still works and must be
+      behaviourally indistinguishable (golden digests prove it).
+    """
+
+    __slots__ = ("limit", "_free", "reused", "released")
+
+    def __init__(self, limit: int = 0):
+        self.limit = limit
+        self._free: list[RoCEPacket] = []
+        self.reused = 0
+        self.released = 0
+
+    def acquire_roce(self, five_tuple: FiveTuple, size_bytes: int,
+                     opcode: RoCEOpcode, src_qpn: int, dst_qpn: int,
+                     src_gid: str, dst_gid: str,
+                     payload: dict[str, Any]) -> RoCEPacket:
+        """A RoCE packet with exactly these fields (payload is copied)."""
+        free = self._free
+        if free:
+            self.reused += 1
+            packet = free.pop()
+            packet.five_tuple = five_tuple
+            packet.size_bytes = size_bytes
+            packet.traffic_class = TC_ROCE
+            packet.ttl = 64
+            stale = packet.payload
+            stale.clear()
+            stale.update(payload)
+            packet.packet_id = 0
+            packet.sent_at_ns = None
+            packet.opcode = opcode
+            packet.src_qpn = src_qpn
+            packet.dst_qpn = dst_qpn
+            packet.src_gid = src_gid
+            packet.dst_gid = dst_gid
+            packet.pooled = True
+            return packet
+        packet = RoCEPacket(
+            five_tuple=five_tuple, size_bytes=size_bytes,
+            opcode=opcode, src_qpn=src_qpn, dst_qpn=dst_qpn,
+            src_gid=src_gid, dst_gid=dst_gid, payload=dict(payload))
+        packet.pooled = True
+        return packet
+
+    def release(self, packet: Packet) -> None:
+        """Return a delivered pool-owned packet; foreign packets pass by."""
+        if packet.pooled and len(self._free) < self.limit:
+            self.released += 1
+            packet.pooled = False
+            self._free.append(packet)
 
 
 # Overheads used to size small control packets realistically.

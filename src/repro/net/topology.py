@@ -71,22 +71,33 @@ class Acl:
 
     def __init__(self) -> None:
         self._deny_rules: list[AclRule] = []
+        # Topology hook (set by add_node): rule edits bump the fault-knob
+        # epoch so the fabric's fault-free fast path re-evaluates.
+        self._on_change: Optional[Callable[[], None]] = None
+
+    def _changed(self) -> None:
+        callback = self._on_change
+        if callback is not None:
+            callback()
 
     def deny(self, src_ip: Optional[str] = None,
              dst_ip: Optional[str] = None) -> AclRule:
         """Install a deny rule and return it (for later removal)."""
         rule = AclRule(src_ip, dst_ip)
         self._deny_rules.append(rule)
+        self._changed()
         return rule
 
     def remove(self, rule: AclRule) -> None:
         """Remove a previously installed rule (no-op if absent)."""
         if rule in self._deny_rules:
             self._deny_rules.remove(rule)
+            self._changed()
 
     def clear(self) -> None:
         """Remove all deny rules."""
         self._deny_rules.clear()
+        self._changed()
 
     def permits(self, five_tuple: FiveTuple) -> bool:
         """Whether the packet passes the ACL."""
@@ -147,18 +158,56 @@ class Node:
         return hash(self.name)
 
 
-@dataclass
 class LinkPair:
     """Shared physical-cable state for the two directions of a cable."""
 
-    name: str
-    up: bool = True
-    # Set when routing has converged around a down link: ECMP excludes it.
-    routed_around: bool = False
-    # Last up/down transition (flap detection for transports).
-    last_transition_ns: int = -(1 << 62)
-    # Lifetime transition count (the "port flap counter" operators read).
-    transition_count: int = 0
+    __slots__ = ("name", "_up", "_routed_around", "last_transition_ns",
+                 "transition_count", "_on_change")
+
+    def __init__(self, name: str, up: bool = True,
+                 routed_around: bool = False,
+                 last_transition_ns: int = -(1 << 62),
+                 transition_count: int = 0):
+        self.name = name
+        self._up = up
+        self._routed_around = routed_around
+        # Last up/down transition (flap detection for transports).
+        self.last_transition_ns = last_transition_ns
+        # Lifetime transition count (the "port flap counter" operators read).
+        self.transition_count = transition_count
+        # Topology hook (set by add_cable), called with whether the change
+        # affects routing.  State writes route through it so that *any*
+        # writer — faults or tests poking pairs directly — invalidates the
+        # fabric's fast-path and route caches.
+        self._on_change: Optional[Callable[[bool], None]] = None
+
+    @property
+    def up(self) -> bool:
+        """Physical cable state (both directions)."""
+        return self._up
+
+    @up.setter
+    def up(self, value: bool) -> None:
+        if value == self._up:
+            return
+        self._up = value
+        callback = self._on_change
+        if callback is not None:
+            callback(False)
+
+    @property
+    def routed_around(self) -> bool:
+        """Whether routing has converged around the (down) cable."""
+        return self._routed_around
+
+    @routed_around.setter
+    def routed_around(self, value: bool) -> None:
+        if value == self._routed_around:
+            return
+        self._routed_around = value
+        callback = self._on_change
+        if callback is not None:
+            callback(True)
 
     def mark_transition(self, now_ns: int) -> None:
         """Record an up/down state change at ``now_ns``."""
@@ -190,12 +239,17 @@ class DirectedLink:
         self.propagation_ns = propagation_ns
         self.buffer_bytes = buffer_bytes
 
-        # Fault knobs (driven by repro.net.faults)
-        self.corruption_drop_prob = 0.0
-        self.silent_drop_predicate: Optional[Callable[[FiveTuple], bool]] = None
-        self.pfc_enabled = True
-        self.pfc_headroom_ok = True
-        self.pfc_deadlocked = False
+        # Fault knobs (driven by repro.net.faults).  Writes go through
+        # properties that notify the owning topology (fault-knob epoch) so
+        # the fabric's fault-free fast path re-evaluates; rate/propagation
+        # are construction-time constants, which the base-delay cache and
+        # the ECMP path cache both rely on.
+        self._corruption_drop_prob = 0.0
+        self._silent_drop_predicate: Optional[Callable[[FiveTuple], bool]] = None
+        self._pfc_enabled = True
+        self._pfc_headroom_ok = True
+        self._pfc_deadlocked = False
+        self._on_knob_change: Optional[Callable[[], None]] = None
         # Extra fixed delay, e.g. PFC storm pause pressure (Figure 8 right).
         self.pause_delay_ns = 0
 
@@ -203,12 +257,70 @@ class DirectedLink:
         self.offered_load_gbps = 0.0
         self.queue_bytes = 0.0
         self._queue_updated_ns = 0
+        # propagation + serialization per packet size (both immutable).
+        self._base_delay_ns: dict[int, int] = {}
 
         # Counters for assertions and SLA accounting
         self.packets_forwarded = 0
         self.packets_dropped = 0
         # CRC error counter, as a switch would expose for this port.
         self.crc_errors = 0
+
+    def _knob_changed(self) -> None:
+        callback = self._on_knob_change
+        if callback is not None:
+            callback()
+
+    @property
+    def corruption_drop_prob(self) -> float:
+        """Per-packet corruption drop probability (fault #2)."""
+        return self._corruption_drop_prob
+
+    @corruption_drop_prob.setter
+    def corruption_drop_prob(self, value: float) -> None:
+        self._corruption_drop_prob = value
+        self._knob_changed()
+
+    @property
+    def silent_drop_predicate(self) -> Optional[Callable[[FiveTuple], bool]]:
+        """Per-5-tuple silent-drop rule (the §4.1 problem), or None."""
+        return self._silent_drop_predicate
+
+    @silent_drop_predicate.setter
+    def silent_drop_predicate(
+            self, value: Optional[Callable[[FiveTuple], bool]]) -> None:
+        self._silent_drop_predicate = value
+        self._knob_changed()
+
+    @property
+    def pfc_enabled(self) -> bool:
+        """Whether PFC is configured on the RoCE queue."""
+        return self._pfc_enabled
+
+    @pfc_enabled.setter
+    def pfc_enabled(self, value: bool) -> None:
+        self._pfc_enabled = value
+        self._knob_changed()
+
+    @property
+    def pfc_headroom_ok(self) -> bool:
+        """Whether PFC headroom is sized correctly (fault #9 clears it)."""
+        return self._pfc_headroom_ok
+
+    @pfc_headroom_ok.setter
+    def pfc_headroom_ok(self, value: bool) -> None:
+        self._pfc_headroom_ok = value
+        self._knob_changed()
+
+    @property
+    def pfc_deadlocked(self) -> bool:
+        """Whether a PFC deadlock blocks the RoCE queue."""
+        return self._pfc_deadlocked
+
+    @pfc_deadlocked.setter
+    def pfc_deadlocked(self, value: bool) -> None:
+        self._pfc_deadlocked = value
+        self._knob_changed()
 
     @property
     def name(self) -> str:
@@ -255,9 +367,17 @@ class DirectedLink:
         class; TCP rides a separate, lightly loaded queue (§2.4), so
         non-RoCE packets see only propagation + serialization.
         """
-        delay = (self.propagation_ns
-                 + serialization_delay_ns(size_bytes, self.rate_gbps))
+        delay = self._base_delay_ns.get(size_bytes)
+        if delay is None:
+            delay = self._base_delay_ns[size_bytes] = (
+                self.propagation_ns
+                + serialization_delay_ns(size_bytes, self.rate_gbps))
         if roce_queue:
+            if self.offered_load_gbps == 0.0 and self.queue_bytes == 0.0:
+                # Idle fluid queue: integrating it is a no-op and the queue
+                # delay is exactly round(0) — skip both.
+                self._queue_updated_ns = max(self._queue_updated_ns, now_ns)
+                return delay + self.pause_delay_ns
             delay += self.queue_delay_ns(now_ns) + self.pause_delay_ns
         return delay
 
@@ -289,6 +409,26 @@ class Topology:
         self._adjacency: dict[str, list[str]] = {}
         self._next_hops: dict[str, dict[str, list[str]]] = {}
         self._routes_dirty = True
+        # Invalidations for the fabric's fast-path caches (DESIGN.md §10):
+        # knob_epoch bumps on any fault-knob / link-state / ACL change
+        # (fault-free scan result is stale); route_epoch bumps whenever
+        # next-hop tables are invalidated (resolved-path cache is stale).
+        self.knob_epoch = 0
+        self.route_epoch = 0
+        # (node, dst) -> filtered ECMP candidates, valid for the current
+        # route tables + routed_around flags.
+        self._next_hop_memo: dict[tuple[str, str], list[str]] = {}
+
+    def _bump_knob_epoch(self) -> None:
+        self.knob_epoch += 1
+
+    def _pair_changed(self, routing_changed: bool) -> None:
+        self.knob_epoch += 1
+        if routing_changed:
+            # routed_around flips alter the live next_hops filter but NOT
+            # the stale BFS tables (reconvergence needs an explicit
+            # invalidate_routes — the black-hole window depends on this).
+            self._next_hop_memo.clear()
 
     # -- construction -----------------------------------------------------
 
@@ -297,9 +437,10 @@ class Topology:
         if name in self.nodes:
             raise ValueError(f"duplicate node name: {name}")
         node = Node(name=name, kind=kind, tier=tier)
+        node.acl._on_change = self._bump_knob_epoch
         self.nodes[name] = node
         self._adjacency[name] = []
-        self._routes_dirty = True
+        self.invalidate_routes()
         return node
 
     def add_switch(self, name: str, tier: Tier) -> Node:
@@ -320,12 +461,15 @@ class Topology:
         if (a, b) in self.links:
             raise ValueError(f"duplicate cable: {a} <-> {b}")
         pair = LinkPair(name=f"{a}<->{b}")
+        pair._on_change = self._pair_changed
         for src, dst in ((a, b), (b, a)):
-            self.links[(src, dst)] = DirectedLink(
+            link = DirectedLink(
                 src, dst, pair, rate_gbps=rate_gbps,
                 propagation_ns=propagation_ns, buffer_bytes=buffer_bytes)
+            link._on_knob_change = self._bump_knob_epoch
+            self.links[(src, dst)] = link
             self._adjacency[src].append(dst)
-        self._routes_dirty = True
+        self.invalidate_routes()
         return pair
 
     # -- accessors ---------------------------------------------------------
@@ -425,6 +569,8 @@ class Topology:
     def invalidate_routes(self) -> None:
         """Force next-hop recomputation (after topology edits)."""
         self._routes_dirty = True
+        self.route_epoch += 1
+        self._next_hop_memo.clear()
 
     def next_hops(self, node: str, dst: str) -> list[str]:
         """ECMP candidate next hops from ``node`` toward host port ``dst``.
@@ -433,15 +579,26 @@ class Topology:
         link that is down but not yet converged around remains a candidate
         (packets hashed onto it black-hole), matching real fabrics between
         failure and reconvergence.
+
+        Results are memoized per (node, dst); the memo is cleared whenever
+        routes are invalidated or a routed_around flag flips, so it is
+        always equal to the unmemoized filter.  Callers must treat the
+        returned list as read-only.
         """
         if self._routes_dirty:
             self._rebuild_routes()
-        table = self._next_hops.get(dst)
-        if table is None:
-            raise KeyError(f"unknown destination host port: {dst}")
-        candidates = table.get(node, [])
-        live = [h for h in candidates
-                if not self.links[(node, h)].pair.routed_around]
-        # If everything is routed around, fall back to raw candidates so the
-        # packet visibly dies on a dead link rather than vanishing silently.
-        return live if live else candidates
+        key = (node, dst)
+        memo = self._next_hop_memo
+        hops = memo.get(key)
+        if hops is None:
+            table = self._next_hops.get(dst)
+            if table is None:
+                raise KeyError(f"unknown destination host port: {dst}")
+            candidates = table.get(node, [])
+            live = [h for h in candidates
+                    if not self.links[(node, h)].pair.routed_around]
+            # If everything is routed around, fall back to raw candidates
+            # so the packet visibly dies on a dead link rather than
+            # vanishing silently.
+            hops = memo[key] = live if live else candidates
+        return hops

@@ -6,8 +6,6 @@ including ``Simulator.events_processed`` and per-stream RNG draw counts —
 and the opt-in scheduler invariants hold throughout.
 """
 
-import heapq
-
 import pytest
 
 from repro.analysis.runtime import (default_scenario, replay_digest,
@@ -79,7 +77,7 @@ def test_invariant_violation_on_past_event():
     # event behind call_at's guard the way a buggy refactor might.
     sim = Simulator(seed=1, check_invariants=True)
     sim.run_until(100)
-    heapq.heappush(sim._heap, _Event(50, 0, lambda: None))
+    sim._queue.push(_Event(50, 0, lambda: None))
     with pytest.raises(InvariantViolation):
         sim.run_until(200)
 
@@ -87,7 +85,7 @@ def test_invariant_violation_on_past_event():
 def test_invariants_off_by_default_tolerates_same_heap_state():
     sim = Simulator(seed=1)
     sim.run_until(100)
-    heapq.heappush(sim._heap, _Event(50, 0, lambda: None))
+    sim._queue.push(_Event(50, 0, lambda: None))
     sim.run_until(200)  # silently mis-times the event, but does not raise
     assert sim.now == 200
 

@@ -1,0 +1,207 @@
+"""Differential test: CalendarQueue vs the original single-heapq scheduler.
+
+The calendar queue replaced a plain ``heapq`` of (time, seq) entries.  Its
+contract is *exact* pop order — byte-identical behaviour, not approximate
+bucket order — so this harness drives both implementations with the same
+randomized, seeded operation stream and requires identical observable
+results at every step:
+
+* pops in exact (time, seq) order, including same-timestamp ties;
+* lazy-deleted (cancelled) entries never surface as live pops;
+* cancel-after-fire is harmless;
+* pushes *before* the last popped time (the white-box replay-test path)
+  still pop, and in the right order;
+* live counts agree after every operation, including across compaction.
+
+``_HeapReference`` below is a faithful port of the pre-calendar-queue
+engine core: one heap, (time, seq, event) tuples, lazy deletion.
+"""
+
+import heapq
+import random
+
+from repro.sim.engine import CalendarQueue, _Event
+
+
+class _HeapReference:
+    """The original engine's queue: a single heap with lazy deletion."""
+
+    def __init__(self):
+        self._heap = []
+        self.live = 0
+        self._cancelled = 0
+
+    def push(self, event):
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        self.live += 1
+
+    def note_cancel(self):
+        self.live -= 1
+        self._cancelled += 1
+
+    def pop_due(self, limit):
+        heap = self._heap
+        if not heap or heap[0][0] > limit:
+            return None
+        event = heapq.heappop(heap)[2]
+        if event.cancelled:
+            self._cancelled -= 1
+        else:
+            self.live -= 1
+        return event
+
+
+class _Mirror:
+    """One logical event mirrored into both queues."""
+
+    __slots__ = ("ref_event", "cal_event", "cancelled", "fired")
+
+    def __init__(self, time, seq):
+        self.ref_event = _Event(time, seq)
+        self.cal_event = _Event(time, seq)
+        self.cancelled = False
+        self.fired = False
+
+
+class _Harness:
+    def __init__(self, seed, bucket_bits=8):
+        # Narrow buckets (2**8 ticks) so a short random schedule still
+        # spans many buckets and exercises activation/demotion constantly.
+        self.rng = random.Random(seed)
+        self.ref = _HeapReference()
+        self.cal = CalendarQueue(bucket_bits=bucket_bits)
+        self.seq = 0
+        self.now = 0
+        self.queued = []      # mirrors pushed and not yet popped-live
+        self.popped = []      # mirrors popped live, for cancel-after-fire
+
+    def push(self, time):
+        mirror = _Mirror(time, self.seq)
+        self.seq += 1
+        self.ref.push(mirror.ref_event)
+        self.cal.push(mirror.cal_event)
+        self.queued.append(mirror)
+        return mirror
+
+    def cancel_random_queued(self):
+        candidates = [m for m in self.queued if not m.cancelled]
+        if not candidates:
+            return
+        mirror = self.rng.choice(candidates)
+        mirror.cancelled = True
+        mirror.ref_event.cancelled = True
+        mirror.cal_event.cancelled = True
+        self.ref.note_cancel()
+        self.cal.note_cancel()
+
+    def cancel_random_fired(self):
+        """Cancel-after-fire: a stale handle on an already-popped event.
+
+        The engine's EventHandle guards this with a generation check; at
+        queue level the equivalent is simply that no queue accounting is
+        touched.  Flagging the popped records must not disturb anything.
+        """
+        if not self.popped:
+            return
+        mirror = self.rng.choice(self.popped)
+        mirror.ref_event.cancelled = True
+        mirror.cal_event.cancelled = True
+
+    def pop_until(self, limit):
+        """Pop both queues to ``limit``; their live pop streams must match."""
+        out = []
+        while True:
+            ref_ev = self.ref.pop_due(limit)
+            # Drain lazy-deleted entries exactly like Simulator._drain does.
+            while ref_ev is not None and ref_ev.cancelled:
+                ref_ev = self.ref.pop_due(limit)
+            cal_ev = self.cal.pop_due(limit)
+            while cal_ev is not None and cal_ev.cancelled:
+                cal_ev = self.cal.pop_due(limit)
+            if ref_ev is None or cal_ev is None:
+                assert ref_ev is None and cal_ev is None, (
+                    "one queue drained before the other")
+                break
+            assert (ref_ev.time, ref_ev.seq) == (cal_ev.time, cal_ev.seq), (
+                f"pop order diverged: heapq gave {(ref_ev.time, ref_ev.seq)},"
+                f" calendar gave {(cal_ev.time, cal_ev.seq)}")
+            self.now = ref_ev.time
+            mirror = next(m for m in self.queued if m.ref_event is ref_ev)
+            self.queued.remove(mirror)
+            mirror.fired = True
+            self.popped.append(mirror)
+            out.append((ref_ev.time, ref_ev.seq))
+        assert self.ref.live == self.cal.live
+        return out
+
+
+def _run_random_schedule(seed, steps):
+    h = _Harness(seed)
+    rng = h.rng
+    for _ in range(steps):
+        op = rng.random()
+        if op < 0.55:
+            # Mostly future pushes; deliberately coarse times so exact
+            # (time, seq) ties occur all the time.
+            h.push(h.now + rng.randrange(0, 2000, 100))
+        elif op < 0.65 and h.now > 0:
+            # Past push (white-box path): earlier than the popped clock.
+            h.push(rng.randrange(0, h.now))
+        elif op < 0.80:
+            h.cancel_random_queued()
+        elif op < 0.85:
+            h.cancel_random_fired()
+        else:
+            h.pop_until(h.now + rng.randrange(0, 3000, 250))
+    h.pop_until(1 << 62)  # drain
+    assert h.cal.live == 0 and h.ref.live == 0
+    assert not h.queued or all(m.cancelled for m in h.queued)
+
+
+def test_randomized_schedules_match_heapq_reference():
+    for seed in range(12):
+        _run_random_schedule(seed, steps=400)
+
+
+def test_same_timestamp_ties_pop_in_seq_order():
+    h = _Harness(0)
+    for _ in range(50):
+        h.push(1000)
+    assert h.pop_until(1000) == [(1000, seq) for seq in range(50)]
+
+
+def test_mass_cancel_triggers_compaction_and_order_survives():
+    h = _Harness(1)
+    mirrors = [h.push(t) for t in range(0, 20000, 7)]
+    # Cancel enough to trip the compaction threshold (>64 and > live).
+    cancelled_total = 0
+    for mirror in mirrors[: (3 * len(mirrors)) // 4]:
+        if not mirror.cancelled:
+            mirror.cancelled = True
+            mirror.ref_event.cancelled = True
+            mirror.cal_event.cancelled = True
+            h.ref.note_cancel()
+            h.cal.note_cancel()
+            cancelled_total += 1
+    # note_cancel resets the counter on every sweep; far fewer than
+    # cancelled_total still pending proves at least one sweep ran and
+    # physically dropped entries.
+    assert h.cal._cancelled < cancelled_total
+    assert len(h.cal) < len(mirrors)
+    survivors = h.pop_until(1 << 62)
+    expected = sorted((m.ref_event.time, m.ref_event.seq)
+                      for m in mirrors if not m.cancelled)
+    assert survivors == expected
+
+
+def test_interleaved_past_and_future_pushes_keep_exact_order():
+    h = _Harness(2)
+    h.push(5000)
+    h.push(100)
+    assert h.pop_until(200) == [(100, 1)]
+    # These land before the already-activated 5000 bucket...
+    h.push(300)
+    h.push(300)
+    # ...and this one in the past relative to pops so far is fine too:
+    h.push(50)
+    assert h.pop_until(1 << 62) == [(50, 4), (300, 2), (300, 3), (5000, 0)]

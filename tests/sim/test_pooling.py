@@ -1,0 +1,226 @@
+"""Pool-reuse correctness: recycled storage must be indistinguishable.
+
+Three pools run under the sim core — ``_Event`` records in the engine,
+``RoCEPacket`` storage in the fabric, and ``Cqe`` records on each RNIC.
+Pooling is purely an allocation strategy: these tests pin the two
+properties that make it invisible,
+
+1. no stale state ever leaks through a recycled record (payload keys,
+   drop/trace-adjacent annotations, wr_ids, RECV metadata), and
+2. turning pooling off entirely produces byte-identical system behaviour
+   (replay digests), so pool size can never be a correctness knob.
+"""
+
+from repro.analysis.runtime import structural_digest, system_state
+from repro.cluster import Cluster
+from repro.core.system import RPingmesh
+from repro.host.rnic import CqeKind, QPType
+from repro.net.addresses import roce_five_tuple
+from repro.net.clos import ClosParams
+from repro.net.packet import PacketPool, RoCEOpcode, RoCEPacket
+from repro.sim.engine import Simulator
+from repro.sim.units import seconds
+
+
+# -- packet pool -------------------------------------------------------------
+
+def _acquire(pool, *, src="10.0.0.1", dst="10.0.0.2", port=5000,
+             payload=None):
+    return pool.acquire_roce(
+        roce_five_tuple(src, dst, port), 108, RoCEOpcode.UD_SEND,
+        17, 23, "gid-src", "gid-dst", payload if payload is not None else {})
+
+
+class TestPacketPool:
+    def test_reuse_resets_every_field(self):
+        pool = PacketPool(limit=4)
+        first = _acquire(pool, payload={"t": "probe", "seq": 9})
+        # Simulate everything a traversal mutates or annotates.
+        first.ttl = 3
+        first.packet_id = 77
+        first.sent_at_ns = 123456
+        first.payload["drop_reason"] = "corruption"
+        first.payload["trace"] = ["tor0", "agg1"]
+        pool.release(first)
+
+        second = _acquire(pool, src="10.9.9.9", port=6001, payload={"a": 1})
+        assert second is first, "pool should have recycled the record"
+        fresh = RoCEPacket(
+            five_tuple=roce_five_tuple("10.9.9.9", "10.0.0.2", 6001),
+            size_bytes=108, opcode=RoCEOpcode.UD_SEND, src_qpn=17,
+            dst_qpn=23, src_gid="gid-src", dst_gid="gid-dst",
+            payload={"a": 1})
+        for field_name in ("five_tuple", "size_bytes", "traffic_class",
+                          "ttl", "payload", "packet_id", "sent_at_ns",
+                          "opcode", "src_qpn", "dst_qpn", "src_gid",
+                          "dst_gid"):
+            assert getattr(second, field_name) == getattr(fresh, field_name), (
+                f"stale {field_name} leaked through the pool")
+        assert second.pooled
+
+    def test_payload_is_copied_not_aliased(self):
+        pool = PacketPool(limit=4)
+        caller_payload = {"t": "probe"}
+        packet = _acquire(pool, payload=caller_payload)
+        packet.payload["mutated"] = True
+        assert caller_payload == {"t": "probe"}
+
+    def test_release_is_noop_for_foreign_packets(self):
+        pool = PacketPool(limit=4)
+        foreign = RoCEPacket(
+            five_tuple=roce_five_tuple("10.0.0.1", "10.0.0.2", 5000),
+            size_bytes=108)
+        pool.release(foreign)
+        assert pool.released == 0
+        assert _acquire(pool) is not foreign
+
+    def test_limit_zero_disables_reuse(self):
+        pool = PacketPool(limit=0)
+        packet = _acquire(pool)
+        pool.release(packet)
+        assert _acquire(pool) is not packet
+
+    def test_double_release_cannot_double_free(self):
+        pool = PacketPool(limit=4)
+        packet = _acquire(pool)
+        pool.release(packet)
+        pool.release(packet)   # pooled flag already cleared: no-op
+        assert pool.released == 1
+        first = _acquire(pool)
+        second = _acquire(pool)
+        assert first is not second
+
+    def test_dropped_packets_keep_their_evidence(self, tiny_clos):
+        """DropRecords retain the packet; the pool must never rewrite it."""
+        fabric = tiny_clos.fabric
+        a = tiny_clos.rnic("host0-rnic0")
+        b = tiny_clos.rnic("host1-rnic0")
+        # Deny b's traffic at its ToR so pooled probe packets get dropped.
+        tor = tiny_clos.tor_of(b.name)
+        tiny_clos.topology.nodes[tor].acl.deny(dst_ip=b.ip)
+        packet = fabric.packet_pool.acquire_roce(
+            roce_five_tuple(a.ip, b.ip, 5000), 108, RoCEOpcode.UD_SEND,
+            1, 2, a.gid.value, b.gid.value, {"t": "probe", "seq": 42})
+        fabric.inject(packet, a.name)
+        tiny_clos.sim.run_for(seconds(1))
+        assert len(fabric.drops) == 1
+        dropped = fabric.drops[0].packet
+        assert dropped is packet
+        # Push traffic through the pool afterwards; the drop evidence must
+        # not be recycled out from under the record.
+        for i in range(20):
+            other = fabric.packet_pool.acquire_roce(
+                roce_five_tuple(b.ip, a.ip, 6000 + i), 108,
+                RoCEOpcode.UD_SEND, 1, 2, b.gid.value, a.gid.value,
+                {"seq": i})
+            fabric.inject(other, b.name)
+            tiny_clos.sim.run_for(seconds(1))
+        assert dropped.payload == {"t": "probe", "seq": 42}
+
+
+# -- CQE pool ----------------------------------------------------------------
+
+class TestCqePool:
+    def test_recv_fields_never_leak_into_next_cqe(self, tiny_clos):
+        rnic = tiny_clos.rnic("host0-rnic0")
+        recv = rnic._acquire_cqe(CqeKind.RECV, 5, 101, 999)
+        recv.payload.update({"t": "probe", "seq": 1})
+        recv.src_ip = "10.0.0.9"
+        recv.src_gid = "stale-gid"
+        recv.src_qpn = 44
+        recv.src_port = 5009
+        recv.opcode = RoCEOpcode.UD_SEND
+        rnic.release_cqe(recv)
+
+        send = rnic._acquire_cqe(CqeKind.SEND, 6, 102, 1000)
+        assert send is recv, "CQE record should have been recycled"
+        assert send.kind == CqeKind.SEND
+        assert send.qpn == 6 and send.wr_id == 102
+        assert send.rnic_timestamp_ns == 1000
+        assert send.payload == {}
+        assert send.src_ip == "" and send.src_gid == ""
+        assert send.src_qpn == 0 and send.src_port == 0
+        assert send.opcode is None
+
+    def test_handlers_that_never_release_keep_their_cqes(self, tiny_clos):
+        """Test/experiment handlers retain CQEs; they must stay immutable."""
+        a = tiny_clos.rnic("host0-rnic0")
+        b = tiny_clos.rnic("host1-rnic0")
+        host_a = tiny_clos.host_of_rnic(a.name)
+        host_b = tiny_clos.host_of_rnic(b.name)
+        kept = []
+        qp_a = host_a.verbs.create_qp(a, QPType.UD, on_cqe=lambda c: None)
+        qp_b = host_b.verbs.create_qp(b, QPType.UD, on_cqe=kept.append)
+        for seq in range(5):
+            host_a.verbs.post_send(
+                a, qp_a, b.comm_info(qp_b.qpn), src_port=5000 + seq,
+                payload={"seq": seq}, payload_bytes=50)
+        tiny_clos.sim.run_for(seconds(1))
+        assert [c.payload["seq"] for c in kept] == [0, 1, 2, 3, 4]
+        assert len({id(c) for c in kept}) == 5
+
+
+# -- pooling off == pooling on ----------------------------------------------
+
+def _pooled_vs_unpooled_state(pooling: bool):
+    cluster = Cluster.clos(
+        ClosParams(pods=1, tors_per_pod=2, aggs_per_pod=2, spines=1,
+                   hosts_per_tor=2),
+        seed=13, pooling=pooling)
+    system = RPingmesh(cluster)
+    system.start()
+    system.run(seconds(8))
+    return system_state(system)
+
+
+class TestPoolingEquivalence:
+    def test_pool_size_zero_gives_identical_digest(self):
+        pooled = structural_digest(_pooled_vs_unpooled_state(True))
+        unpooled = structural_digest(_pooled_vs_unpooled_state(False))
+        assert pooled == unpooled, (
+            "disabling every pool changed system behaviour - pooling is "
+            "leaking state into the simulation")
+
+    def test_pooling_flag_reaches_every_layer(self):
+        on = Cluster.clos(ClosParams(pods=1, tors_per_pod=2, aggs_per_pod=2,
+                                     spines=1, hosts_per_tor=2),
+                          seed=1, pooling=True)
+        off = Cluster.clos(ClosParams(pods=1, tors_per_pod=2, aggs_per_pod=2,
+                                      spines=1, hosts_per_tor=2),
+                           seed=1, pooling=False)
+        assert on.fabric.packet_pool.limit > 0
+        assert off.fabric.packet_pool.limit == 0
+        assert on.sim._event_pool_size > 0
+        assert off.sim._event_pool_size == 0
+        assert on.rnic("host0-rnic0")._cqe_pool_limit > 0
+        assert off.rnic("host0-rnic0")._cqe_pool_limit == 0
+
+
+# -- event pool --------------------------------------------------------------
+
+class TestEventPool:
+    def test_stale_handle_cannot_cancel_recycled_event(self):
+        sim = Simulator(seed=0, event_pool_size=8)
+        fired = []
+        handle = sim.call_at(10, lambda: fired.append("first"))
+        sim.run_until(20)
+        # The record is back in the free list; the next call reuses it.
+        handle2 = sim.call_at(30, lambda: fired.append("second"))
+        assert handle2._event is handle._event, "record should be recycled"
+        handle.cancel()           # stale: generation mismatch, must be inert
+        sim.run_until(40)
+        assert fired == ["first", "second"]
+
+    def test_event_pool_zero_matches_default_execution(self):
+        def run(pool_size):
+            sim = Simulator(seed=5, event_pool_size=pool_size)
+            log = []
+            sim.every(7, lambda: log.append(("a", sim.now)), jitter=3)
+            sim.every(11, lambda: log.append(("b", sim.now)))
+            sim.call_at(50, lambda: log.append(("c", sim.now)))
+            handle = sim.call_at(60, lambda: log.append(("never", sim.now)))
+            sim.call_at(55, handle.cancel)
+            sim.run_until(500)
+            return log, sim.events_processed, sim.pending()
+
+        assert run(0) == run(8192)
