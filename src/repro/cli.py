@@ -397,8 +397,10 @@ def build_parser() -> argparse.ArgumentParser:
     fleet = sub.add_parser("fleet", help="parallel scenario sweeps")
     fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
     fleet_run = fleet_sub.add_parser("run", help="execute a named sweep")
+    # Keep in sync with repro.fleet.presets.PRESETS (imported lazily so
+    # `repro-pingmesh --help` stays light).
     fleet_run.add_argument("--preset", default="smoke",
-                           choices=["smoke", "accuracy"])
+                           choices=["smoke", "accuracy", "sharded"])
     fleet_run.add_argument("--seeds", default="",
                            help="comma-separated seeds (default: preset's)")
     fleet_run.add_argument("--workers", type=int, default=1,

@@ -103,19 +103,29 @@ class Agent:
 
     def __init__(self, host: Host, cluster: Cluster,
                  network: ManagementNetwork, config: RPingmeshConfig,
-                 rng: RngStream):
+                 rng: RngStream, *,
+                 controller_endpoint: Optional[str] = None,
+                 analyzer_endpoint: Optional[str] = None):
         self.host = host
         self.cluster = cluster
         self.config = config
         self.rng = rng
         # Control-plane wiring: one endpoint per Agent, a client shim for
         # the Controller RPCs, and the reliable upload channel (§4.2.3).
+        # In a sharded deployment the endpoints name the host's pod shard
+        # pair instead of the classic "controller"/"analyzer" singletons.
         self.endpoint = Endpoint(agent_endpoint_name(host.name), network)
         self.endpoint.on("set_pinglists", self._handle_set_pinglists)
+        client_kwargs = ({"controller": controller_endpoint}
+                         if controller_endpoint is not None else {})
         self.client = ControllerClient(self.endpoint, config,
-                                       is_alive=lambda: self.host.up)
+                                       is_alive=lambda: self.host.up,
+                                       **client_kwargs)
+        upload_kwargs = ({"analyzer": analyzer_endpoint}
+                         if analyzer_endpoint is not None else {})
         self.uploads = UploadChannel(self.endpoint, config,
-                                     is_alive=lambda: self.host.up)
+                                     is_alive=lambda: self.host.up,
+                                     **upload_kwargs)
         # Probe-lifecycle tracing (repro.obs): the Agent owns the span —
         # it opens one per probe sent and closes it exactly once, in
         # _record, which both the success and the timeout paths reach.

@@ -21,7 +21,8 @@ from typing import Iterable, Optional
 
 from repro.cluster import Cluster
 from repro.core.records import ProbeKind, ProbeResult
-from repro.core.sla import MIN_SAMPLES_FOR_AGGREGATION
+from repro.core.sla import (MIN_SAMPLES_FOR_AGGREGATION, Tracker,
+                            TrackerFactory)
 from repro.sim.stats import PercentileTracker
 
 
@@ -33,7 +34,7 @@ class TierAggregate:
     entity: str
     probes: int = 0
     timeouts: int = 0
-    rtt: PercentileTracker = field(default_factory=PercentileTracker)
+    rtt: Tracker = field(default_factory=PercentileTracker)
 
     @property
     def drop_rate(self) -> float:
@@ -45,16 +46,21 @@ class TierAggregate:
         return self.probes >= MIN_SAMPLES_FOR_AGGREGATION
 
     def rtt_p99(self) -> Optional[float]:
-        if len(self.rtt) == 0:
-            return None
+        # Both tracker shapes answer None on empty (the shared contract).
         return self.rtt.p99()
 
 
 class HierarchicalAggregator:
-    """Builds per-tier aggregates from a window's probe results."""
+    """Builds per-tier aggregates from a window's probe results.
 
-    def __init__(self, cluster: Cluster):
+    ``tracker`` selects the percentile store per cell (exact tracker by
+    default, sketches under ``sla_sketch`` configs).
+    """
+
+    def __init__(self, cluster: Cluster,
+                 tracker: TrackerFactory = PercentileTracker):
         self.cluster = cluster
+        self._tracker = tracker
 
     def _feed(self, aggregate: TierAggregate, result: ProbeResult) -> None:
         aggregate.probes += 1
@@ -72,9 +78,9 @@ class HierarchicalAggregator:
         the probe tests.
         """
         tiers: dict[str, dict[str, TierAggregate]] = {
-            "server": defaultdict_tier("server"),
-            "tor": defaultdict_tier("tor"),
-            "cluster": defaultdict_tier("cluster"),
+            "server": defaultdict_tier("server", self._tracker),
+            "tor": defaultdict_tier("tor", self._tracker),
+            "cluster": defaultdict_tier("cluster", self._tracker),
         }
         for result in results:
             if not result.kind.is_cluster_monitoring:
@@ -91,8 +97,8 @@ class HierarchicalAggregator:
             ) -> dict[str, dict[str, TierAggregate]]:
         """Server tier + whole-service tier ONLY (§7.4's lesson)."""
         tiers: dict[str, dict[str, TierAggregate]] = {
-            "server": defaultdict_tier("server"),
-            "service": defaultdict_tier("service"),
+            "server": defaultdict_tier("server", self._tracker),
+            "service": defaultdict_tier("service", self._tracker),
         }
         for result in results:
             if result.kind != ProbeKind.SERVICE_TRACING:
@@ -112,7 +118,7 @@ class HierarchicalAggregator:
         must not consume this; the test suite asserts the `reliable` flag
         exposes the problem.
         """
-        table = defaultdict_tier("tor")
+        table = defaultdict_tier("tor", self._tracker)
         for result in results:
             if result.kind != ProbeKind.SERVICE_TRACING:
                 continue
@@ -121,19 +127,22 @@ class HierarchicalAggregator:
         return list(table.values())
 
 
-def defaultdict_tier(tier: str) -> "_TierDict":
+def defaultdict_tier(tier: str,
+                     tracker: TrackerFactory = PercentileTracker
+                     ) -> "_TierDict":
     """A dict creating TierAggregates labelled with ``tier`` on demand."""
-    return _TierDict(tier)
+    return _TierDict(tier, tracker)
 
 
 class _TierDict(dict):
     """dict that materialises TierAggregate cells on first access."""
 
-    def __init__(self, tier: str):
+    def __init__(self, tier: str, tracker: TrackerFactory = PercentileTracker):
         super().__init__()
         self._tier = tier
+        self._tracker = tracker
 
     def __missing__(self, key: str) -> TierAggregate:
-        cell = TierAggregate(tier=self._tier, entity=key)
+        cell = TierAggregate(tier=self._tier, entity=key, rtt=self._tracker())
         self[key] = cell
         return cell

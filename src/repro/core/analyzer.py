@@ -42,7 +42,7 @@ from repro.core.controller import Controller
 from repro.core.localization import Localization, localize
 from repro.core.records import (AgentUpload, Priority, Problem,
                                 ProbeKind, ProbeResult, ProblemCategory)
-from repro.core.sla import SlaHistory, SlaReport
+from repro.core.sla import SlaHistory, SlaReport, tracker_factory
 
 
 class ServiceMonitor(Protocol):
@@ -74,13 +74,20 @@ class WindowAnalysis:
 
 
 class Analyzer:
-    """The 20-second analysis loop."""
+    """The 20-second analysis loop.
+
+    ``endpoint_name`` names the upload endpoint this instance binds —
+    per-pod :class:`~repro.core.sharding.AnalyzerShard` instances each
+    bind their own; the default is the classic single ``"analyzer"``.
+    """
 
     def __init__(self, cluster: Cluster, controller: Controller,
-                 config: RPingmeshConfig):
+                 config: RPingmeshConfig, *,
+                 endpoint_name: str = ANALYZER_ENDPOINT):
         self.cluster = cluster
         self.controller = controller
         self.config = config
+        self.endpoint_name = endpoint_name
         self.service_monitor: Optional[ServiceMonitor] = None
         self.endpoint: Optional[Endpoint] = None
         # Probe-lifecycle tracing (repro.obs): the Analyzer annotates each
@@ -97,6 +104,7 @@ class Analyzer:
         self._service_members: dict[str, int] = {}  # name -> last seen ns
 
         self.sla = SlaHistory()
+        self._tracker = tracker_factory(config)
         self.windows: list[WindowAnalysis] = []
         self.problems: list[Problem] = []
         self.category_counts: Counter = Counter()
@@ -111,7 +119,7 @@ class Analyzer:
     def bind(self, network: ManagementNetwork) -> Endpoint:
         """Attach the Analyzer's endpoint; uploads are acked requests."""
         self.endpoint = (
-            Endpoint(ANALYZER_ENDPOINT, network)
+            Endpoint(self.endpoint_name, network)
             .on("upload", lambda batch:
                 {"accepted": self.receive_upload(batch)}))
         return self.endpoint
@@ -501,7 +509,8 @@ class Analyzer:
     def _aggregate_sla(self, results: list[ProbeResult],
                        classification: dict[int, ProblemCategory],
                        window: WindowAnalysis) -> None:
-        report = SlaReport(window.window_start_ns, window.window_end_ns)
+        report = SlaReport(window.window_start_ns, window.window_end_ns,
+                           tracker=self._tracker)
         for result in results:
             scope = (report.service
                      if result.kind == ProbeKind.SERVICE_TRACING
@@ -590,6 +599,20 @@ class Analyzer:
                     fields["suspect"] = suspect
                     fields["votes"] = loc.votes.get(suspect, 0)
             self.tracer.event(result.seq, now, "analyzer.verdict", **fields)
+
+    # -- footprint (DESIGN.md §11) ---------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Deterministic estimate of this Analyzer's retained state.
+
+        Covers the ingest backlog (raw ProbeResults awaiting a window),
+        the per-window analysis records, and the SLA history — where
+        exact-mode percentile trackers retain every sample forever, the
+        unbounded-growth term the sketch + shard-retention path bounds.
+        """
+        pending = sum(256 * len(batch.results) for batch in self._pending)
+        windows = sum(512 + 128 * len(w.problems) for w in self.windows)
+        return 1024 + pending + windows + self.sla.memory_bytes()
 
     # -- verdict helpers (§7.2) ----------------------------------------------------------------
 

@@ -69,8 +69,28 @@ class RPingmeshConfig:
     upload_backoff_max_ns: int = 16 * SECOND
     upload_resend_buffer: int = 64
     # Analyzer ingest queue bound (batches per analysis window); arrivals
-    # beyond it are dropped and accounted, not silently absorbed.
+    # beyond it are dropped and accounted, not silently absorbed.  In the
+    # sharded deployment the bound applies *per shard*.
     analyzer_ingest_capacity: int = 4096
+
+    # Scale-out control plane (DESIGN.md §11).  ``shards`` > 1 deploys
+    # per-pod ControllerShard/AnalyzerShard pairs under a RootController /
+    # RootAnalyzer; 1 (default) keeps the single-pair wiring bit-for-bit
+    # identical to the pre-sharding system.
+    shards: int = 1
+    # SLA percentile storage: False = exact PercentileTracker retention
+    # (every sample kept per window); True = fixed-memory mergeable
+    # QuantileSketch at ``sketch_relative_accuracy``.
+    sla_sketch: bool = False
+    sketch_relative_accuracy: float = 0.01
+    # Incremental pinglist maintenance: registry deltas patch only the
+    # affected ToR-mesh entries and push only the affected agents, instead
+    # of regenerating and re-pushing every pinglist.  Off by default (the
+    # full-regeneration RNG draw sequence is golden-digest locked).
+    incremental_pinglists: bool = False
+    # How many analysed windows / SLA reports an AnalyzerShard retains
+    # locally after shipping its summary to the RootAnalyzer.
+    shard_window_retention: int = 8
 
     # Ablation switches (both True in the paper's design; turning them off
     # reproduces the failure modes §4.2.3/§4.3.2 argue against):
@@ -106,3 +126,9 @@ class RPingmeshConfig:
             raise ValueError("upload resend buffer must hold >=1 batch")
         if self.analyzer_ingest_capacity < 1:
             raise ValueError("analyzer ingest capacity must be >=1")
+        if self.shards < 1:
+            raise ValueError("shards must be >=1")
+        if not 0.0 < self.sketch_relative_accuracy < 1.0:
+            raise ValueError("sketch relative accuracy must be in (0,1)")
+        if self.shard_window_retention < 1:
+            raise ValueError("shard window retention must be >=1")

@@ -23,7 +23,7 @@ cached (stale) pinglists.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.cluster import Cluster
 from repro.controlplane.clients import CONTROLLER_ENDPOINT
@@ -41,13 +41,27 @@ from repro.sim.units import SECOND
 
 
 class Controller:
-    """Central registry + pinglist generator."""
+    """Central registry + pinglist generator.
+
+    ``scope`` restricts pinglist *ownership* to a subset of ToR switches —
+    the per-pod slice a :class:`~repro.core.sharding.ControllerShard`
+    serves.  A scoped controller generates tuples only for its own ToRs
+    (remote picks still range over the whole fabric, so inter-pod paths
+    are covered by the owning shard of each source ToR) but keeps a full
+    replicated registry for cross-pod target resolution.  ``scope=None``
+    (default) owns everything: the original single-controller behaviour,
+    draw-for-draw.
+    """
 
     def __init__(self, cluster: Cluster, config: RPingmeshConfig,
-                 rng: RngStream):
+                 rng: RngStream, *,
+                 endpoint_name: str = CONTROLLER_ENDPOINT,
+                 scope: Optional[Sequence[str]] = None):
         self.cluster = cluster
         self.config = config
         self.rng = rng
+        self.endpoint_name = endpoint_name
+        self._scope_tors = sorted(scope) if scope is not None else None
         self._registry: dict[str, CommInfo] = {}      # rnic name -> comm info
         self._by_ip: dict[str, str] = {}              # ip -> rnic name
         self._agent_endpoints: dict[str, str] = {}    # host -> endpoint name
@@ -57,6 +71,7 @@ class Controller:
         self._inter_tor_tuples: list[tuple[str, str, int]] = []
         self._started = False
         self.pinglist_pushes = 0
+        self.delta_pushes = 0
         self.rotations = 0
 
     # -- management-network wiring ------------------------------------------------
@@ -64,11 +79,17 @@ class Controller:
     def bind(self, network: ManagementNetwork) -> Endpoint:
         """Attach the Controller's endpoint and its RPC handlers."""
         self.endpoint = (
-            Endpoint(CONTROLLER_ENDPOINT, network)
+            Endpoint(self.endpoint_name, network)
             .on("register", self._handle_register)
             .on("update_comm_info", lambda p: self.update_comm_info(*p))
             .on("resolve_ip", self.resolve_ip))
         return self.endpoint
+
+    def owned_tors(self) -> list[str]:
+        """The ToR switches whose pinglists this controller generates."""
+        if self._scope_tors is not None:
+            return list(self._scope_tors)
+        return self.cluster.tors()
 
     def _handle_register(self, payload: dict) -> dict:
         self.register_host(payload["host"], payload["endpoint"],
@@ -86,10 +107,33 @@ class Controller:
             self._registry[rnic_name] = info
             self._by_ip[info.ip] = rnic_name
         if self._started:
-            # Late registration (slow management network): refresh everyone
-            # so the newcomer gets pinglists — and appears in its ToR
-            # peers' — without waiting for the 5-minute cycle.
-            self.push_pinglists()
+            # Late registration (slow management network): refresh so the
+            # newcomer gets pinglists — and appears in its ToR peers' —
+            # without waiting for the 5-minute cycle.  Incrementally when
+            # enabled (only the affected agents), else everyone.
+            if self.config.incremental_pinglists:
+                self._push_delta(sorted(comm_infos))
+            else:
+                self.push_pinglists()
+
+    def remove_host(self, host: str) -> None:
+        """Topology delta: a host left (decommission/failure domain drain).
+
+        Drops its RNICs from the registry so peers stop targeting them at
+        the next push; with incremental pinglists the affected agents are
+        re-pushed immediately.
+        """
+        rnics = self._host_rnics.pop(host, [])
+        self._agent_endpoints.pop(host, None)
+        for rnic_name in rnics:
+            info = self._registry.pop(rnic_name, None)
+            if info is not None:
+                self._by_ip.pop(info.ip, None)
+        if self._started and rnics:
+            if self.config.incremental_pinglists:
+                self._push_delta(sorted(rnics))
+            else:
+                self.push_pinglists()
 
     def update_comm_info(self, rnic_name: str, info: CommInfo) -> None:
         """Refresh one RNIC's comm info (Agent restart path)."""
@@ -152,11 +196,15 @@ class Controller:
         return self.rng.randint(MIN_SRC_PORT, MAX_SRC_PORT)
 
     def _generate_inter_tor_tuples(self) -> None:
-        """Choose k cross-ToR (src, dst, port) triples per ToR switch."""
+        """Choose k cross-ToR (src, dst, port) triples per *owned* ToR.
+
+        Remote picks range over the whole fabric: a scoped shard owns the
+        tuples sourced in its pod, including the inter-pod slice.
+        """
         k = self.tuples_per_tor()
         tuples: list[tuple[str, str, int]] = []
         tors = self.cluster.tors()
-        for tor in tors:
+        for tor in self.owned_tors():
             local = self.cluster.rnics_under_tor(tor)
             remote = [r for other in tors if other != tor
                       for r in self.cluster.rnics_under_tor(other)]
@@ -242,15 +290,59 @@ class Controller:
         self.pinglist_pushes += 1
         inter = self._inter_tor_entries()
         for host, agent_endpoint in self._agent_endpoints.items():
-            for rnic_name in self._host_rnics[host]:
-                tor_entries = self._tor_mesh_entries(rnic_name)
-                inter_entries = inter.get(rnic_name, [])
-                self.endpoint.send(agent_endpoint, "set_pinglists", {
-                    "rnic": rnic_name,
-                    "tor_mesh": tor_entries,
-                    "inter_tor": inter_entries,
-                    "tor_mesh_interval_ns":
-                        self.config.tor_mesh_interval_ns(),
-                    "inter_tor_interval_ns": self.inter_tor_interval_ns(
-                        len(inter_entries)),
-                })
+            self._push_host(host, agent_endpoint, inter)
+
+    def _push_host(self, host: str, agent_endpoint: str,
+                   inter: dict[str, list[PinglistEntry]]) -> None:
+        """Send fresh pinglists for every RNIC of one host."""
+        for rnic_name in self._host_rnics[host]:
+            tor_entries = self._tor_mesh_entries(rnic_name)
+            inter_entries = inter.get(rnic_name, [])
+            self.endpoint.send(agent_endpoint, "set_pinglists", {
+                "rnic": rnic_name,
+                "tor_mesh": tor_entries,
+                "inter_tor": inter_entries,
+                "tor_mesh_interval_ns":
+                    self.config.tor_mesh_interval_ns(),
+                "inter_tor_interval_ns": self.inter_tor_interval_ns(
+                    len(inter_entries)),
+            })
+
+    # -- incremental maintenance (DESIGN.md §11) -----------------------------------
+
+    def _push_delta(self, changed_rnics: list[str]) -> None:
+        """Patch pinglists after a registry delta, pushing only the agents
+        whose lists actually changed.
+
+        A registration/removal of ``changed_rnics`` affects exactly:
+
+        * agents with an RNIC under a changed RNIC's ToR (their ToR-mesh
+          gained/lost those peers — and the newcomer itself needs its
+          initial lists);
+        * agents sourcing an inter-ToR tuple whose destination is a
+          changed RNIC (the entry was filtered while unregistered, or
+          must be filtered now).
+
+        Tuple *choices* never change here: ``_generate_inter_tor_tuples``
+        draws from the topology, not the registry, so a registry delta
+        only re-filters existing tuples.  That is what makes the patched
+        result provably identical (ports aside) to a full regeneration.
+        """
+        assert self.endpoint is not None, "Controller not bound to a network"
+        changed = set(changed_rnics)
+        changed_tors = {self.cluster.tor_of(r) for r in changed_rnics}
+        affected_hosts: set[str] = set()
+        for host, rnics in self._host_rnics.items():
+            if any(self.cluster.tor_of(r) in changed_tors for r in rnics):
+                affected_hosts.add(host)
+        for src, dst, _port in self._inter_tor_tuples:
+            if dst in changed:
+                owner = self.cluster.host_of_rnic(src).name
+                if owner in self._host_rnics:
+                    affected_hosts.add(owner)
+        if not affected_hosts:
+            return
+        self.delta_pushes += 1
+        inter = self._inter_tor_entries()
+        for host in sorted(affected_hosts):
+            self._push_host(host, self._agent_endpoints[host], inter)

@@ -98,6 +98,14 @@ def render_control_plane(system: "RPingmesh", *,
     lines.append(f"analyzer ingest: accepted={analyzer.ingest_accepted} "
                  f"dropped={analyzer.ingest_dropped} "
                  f"queued={analyzer.ingest_backlog}")
+    # Sharded deployments: the ingest bound is per shard, so one hot pod
+    # can drop batches while the totals above look healthy.
+    for shard in getattr(analyzer, "shards", []):
+        lines.append(f"  shard{shard.shard_index}: "
+                     f"accepted={shard.ingest_accepted} "
+                     f"dropped={shard.ingest_dropped} "
+                     f"queued={shard.ingest_backlog} "
+                     f"windows={len(shard.windows)}")
 
     def unhealth(name: str) -> tuple:
         s = net.stats_for(name)

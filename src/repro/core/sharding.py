@@ -1,0 +1,725 @@
+"""Two-tier sharded control plane (DESIGN.md §11).
+
+The paper's deployment spans tens of thousands of RNICs; one Controller /
+Analyzer pair holding every probe result in RAM caps how far scenarios
+scale.  This module splits both along the fabric's natural seam — the pod:
+
+* :class:`ControllerShard` — a scoped :class:`~repro.core.controller.
+  Controller` owning registration, CommInfo, and pinglist generation for
+  the ToRs of one pod group, plus the inter-pod tuple slice sourced
+  there.  Registrations replicate through the :class:`RootController` so
+  every shard can resolve cross-pod targets.
+* :class:`AnalyzerShard` — a scoped :class:`~repro.core.analyzer.
+  Analyzer` ingesting its pod's uploads locally and running the full
+  classification / Algorithm-1 pipeline on pod-local evidence.  After
+  each window it ships a :class:`ShardWindowSummary` — mergeable plain
+  data (vote tallies, SLA counts, quantile-sketch states), never raw
+  ``ProbeResult``s — to the :class:`RootAnalyzer`, then trims its local
+  retention to ``shard_window_retention`` windows.
+* :class:`RootAnalyzer` — collects summaries per window, fuses them into
+  cluster-wide verdicts (vote Counters merge across pods; fused switch
+  suspects replace the shards' pod-local ones) and cluster SLAs (sketch
+  merges in sorted shard order — byte-stable by construction), and
+  broadcasts fused cluster state (down hosts, quarantines) back to the
+  shards, which apply it from the next window on (one-window lag).
+
+Everything crosses the simulated management network as messages; with the
+default inline transport the sharded system stays fully deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.cluster import Cluster
+from repro.controlplane.clients import ANALYZER_ENDPOINT, CONTROLLER_ENDPOINT
+from repro.controlplane.endpoint import Endpoint
+from repro.controlplane.transport import ManagementNetwork
+from repro.core.analyzer import Analyzer, ServiceMonitor, WindowAnalysis
+from repro.core.config import RPingmeshConfig
+from repro.core.controller import Controller
+from repro.core.localization import Localization, localize
+from repro.core.records import (Priority, ProbeKind, Problem,
+                                ProblemCategory)
+from repro.core.sla import SlaHistory, SlaReport, SlaWindow
+from repro.host.rnic import CommInfo
+from repro.sim.sketch import QuantileSketch
+
+
+def controller_shard_endpoint(index: int) -> str:
+    """Management-network endpoint name of one controller shard."""
+    return f"controller.shard{index}"
+
+
+def analyzer_shard_endpoint(index: int) -> str:
+    """Management-network endpoint name of one analyzer shard."""
+    return f"analyzer.shard{index}"
+
+
+# -- pod partitioning ----------------------------------------------------------
+
+
+def pod_of_tor(tor: str) -> str:
+    """The pod group a ToR-tier switch belongs to.
+
+    Clos switches are named ``pod{p}-tor{t}`` so the prefix is the pod;
+    rail switches (``rail{r}``) have no pod tier and each forms its own
+    group, which degrades gracefully to per-switch sharding.
+    """
+    return tor.split("-", 1)[0] if "-" in tor else tor
+
+
+@dataclass(frozen=True, slots=True)
+class PodMap:
+    """Assignment of ToR switches to shards (pods never split)."""
+
+    shard_tors: tuple[tuple[str, ...], ...]
+
+    @classmethod
+    def build(cls, cluster: Cluster, shard_count: int) -> "PodMap":
+        """Group ToRs by pod, then deal pod groups round-robin.
+
+        Requesting more shards than pods yields one shard per pod — a
+        shard with no ToRs would be dead weight.
+        """
+        pods: dict[str, list[str]] = {}
+        for tor in cluster.tors():  # sorted by Topology.switches
+            pods.setdefault(pod_of_tor(tor), []).append(tor)
+        groups = [tuple(pods[name]) for name in sorted(pods)]
+        count = max(1, min(shard_count, len(groups)))
+        assigned: list[list[str]] = [[] for _ in range(count)]
+        for i, group in enumerate(groups):
+            assigned[i % count].extend(group)
+        return cls(tuple(tuple(tors) for tors in assigned))
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shard_tors)
+
+    def shard_of_tor(self, tor: str) -> int:
+        """Which shard owns a ToR."""
+        for index, tors in enumerate(self.shard_tors):
+            if tor in tors:
+                return index
+        raise KeyError(f"no shard owns ToR {tor!r}")
+
+    def shard_of_host(self, cluster: Cluster, host_name: str) -> int:
+        """Which shard serves a host (by its first RNIC's ToR)."""
+        host = cluster.hosts[host_name]
+        return self.shard_of_tor(cluster.tor_of(host.rnics[0].name))
+
+
+# -- mergeable shard summaries -------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ScopeSlaSummary:
+    """One scope's SLA numbers as mergeable plain data.
+
+    Counts are exact integers (sums merge them); percentile distributions
+    travel as :meth:`QuantileSketch.state` forms, whose bucket-wise merge
+    is order-independent.
+    """
+
+    probes_total: int
+    probes_ok: int
+    timeouts_rnic: int
+    timeouts_switch: int
+    timeouts_non_network: int
+    rtt_sketch: tuple[tuple[str, Any], ...]
+    processing_sketch: tuple[tuple[str, Any], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardWindowSummary:
+    """Everything one AnalyzerShard concluded for one window, as data.
+
+    This is the *only* thing shards ship upward — bounded size regardless
+    of probe volume, unlike the raw ``ProbeResult`` stream.
+    """
+
+    shard: int
+    window_start_ns: int
+    window_end_ns: int
+    results_processed: int
+    down_hosts: tuple[str, ...]
+    qpn_reset_timeouts: int
+    anomalous_rnics: tuple[str, ...]
+    cpu_noise_hosts: tuple[str, ...]
+    quarantined: tuple[tuple[str, int], ...]   # rnic -> quarantined-until ns
+    problems: tuple[Problem, ...]              # pod-local verdicts (copies)
+    cluster_votes: tuple[tuple[str, int], ...]
+    cluster_paths: int
+    cluster_anomalies: int
+    service_votes: tuple[tuple[str, int], ...]
+    service_paths: int
+    service_anomalies: int
+    service_members: tuple[str, ...]
+    cluster_sla: ScopeSlaSummary
+    service_sla: ScopeSlaSummary
+
+
+def _sketch_state(tracker, accuracy: float) -> tuple[tuple[str, Any], ...]:
+    """A tracker's distribution as canonical sketch state items.
+
+    Sketch-mode trackers export directly; exact trackers are folded into
+    a sketch first (the shard keeps exactness locally, the wire format is
+    always the mergeable sketch).
+    """
+    if isinstance(tracker, QuantileSketch):
+        state = tracker.state()
+    else:
+        sketch = QuantileSketch(accuracy)
+        sketch.extend(tracker.samples())
+        state = sketch.state()
+    return tuple(sorted(state.items()))
+
+
+def _scope_summary(window: SlaWindow, accuracy: float) -> ScopeSlaSummary:
+    return ScopeSlaSummary(
+        probes_total=window.probes_total,
+        probes_ok=window.probes_ok,
+        timeouts_rnic=window.timeouts_rnic,
+        timeouts_switch=window.timeouts_switch,
+        timeouts_non_network=window.timeouts_non_network,
+        rtt_sketch=_sketch_state(window.rtt, accuracy),
+        processing_sketch=_sketch_state(window.processing, accuracy))
+
+
+def _loc_items(loc: Optional[Localization]
+               ) -> tuple[tuple[tuple[str, int], ...], int]:
+    if loc is None:
+        return (), 0
+    return tuple(sorted(loc.votes.items())), loc.paths_considered
+
+
+# -- controller tier -----------------------------------------------------------
+
+
+class ControllerShard(Controller):
+    """A Controller scoped to one pod group's ToRs.
+
+    Owns its pod's registrations, ToR-mesh pinglists, and the inter-ToR
+    tuples *sourced* in its pod (destinations range over the whole
+    fabric, so inter-pod paths stay covered).  Registry writes replicate
+    through the root so peer shards can resolve cross-pod targets.
+    """
+
+    def __init__(self, cluster: Cluster, config: RPingmeshConfig, rng,
+                 shard_index: int, tors: tuple[str, ...], *,
+                 root_endpoint: str = CONTROLLER_ENDPOINT):
+        super().__init__(cluster, config, rng,
+                         endpoint_name=controller_shard_endpoint(shard_index),
+                         scope=tors)
+        self.shard_index = shard_index
+        self._root_endpoint = root_endpoint
+
+    def bind(self, network: ManagementNetwork) -> Endpoint:
+        endpoint = super().bind(network)
+        endpoint.on("registry_delta", self._handle_registry_delta)
+        return endpoint
+
+    def register_host(self, host: str, agent_endpoint: str,
+                      comm_infos: dict[str, CommInfo]) -> None:
+        super().register_host(host, agent_endpoint, comm_infos)
+        assert self.endpoint is not None
+        self.endpoint.send(self._root_endpoint, "replicate_registry", {
+            "shard": self.shard_index, "comm_infos": dict(comm_infos)})
+
+    def update_comm_info(self, rnic_name: str, info: CommInfo) -> None:
+        super().update_comm_info(rnic_name, info)
+        if self.endpoint is not None:
+            self.endpoint.send(self._root_endpoint, "replicate_registry", {
+                "shard": self.shard_index, "comm_infos": {rnic_name: info}})
+
+    def _handle_registry_delta(self, payload: dict) -> None:
+        """Peer-pod registry entries relayed by the root.
+
+        Merged without taking ownership (no agent endpoint here); a
+        late-arriving cross-pod registration still refreshes this shard's
+        pinglists so inter-pod tuples targeting the newcomer un-filter —
+        the sharded analogue of the single controller's late-registration
+        refresh.
+        """
+        comm_infos: dict[str, CommInfo] = payload["comm_infos"]
+        fresh = []
+        for rnic_name in sorted(comm_infos):
+            info = comm_infos[rnic_name]
+            if rnic_name not in self._registry:
+                fresh.append(rnic_name)
+            self._registry[rnic_name] = info
+            self._by_ip[info.ip] = rnic_name
+        if self._started and fresh:
+            if self.config.incremental_pinglists:
+                self._push_delta(fresh)
+            else:
+                self.push_pinglists()
+
+
+class RootController:
+    """The thin root of the controller tier.
+
+    Holds the fused registry, relays registry deltas between shards, and
+    answers ``resolve_ip`` on the legacy ``"controller"`` endpoint for
+    anything not wired to a shard.  It generates no pinglists itself —
+    that work is entirely sharded.
+    """
+
+    def __init__(self, cluster: Cluster, config: RPingmeshConfig,
+                 shards: list[ControllerShard]):
+        self.cluster = cluster
+        self.config = config
+        self.shards = shards
+        self.endpoint: Optional[Endpoint] = None
+        self._registry: dict[str, CommInfo] = {}
+        self._by_ip: dict[str, str] = {}
+        self._started = False
+
+    # -- wiring -----------------------------------------------------------------
+
+    def bind(self, network: ManagementNetwork) -> Endpoint:
+        """Attach the root endpoint and bind every shard."""
+        self.endpoint = (
+            Endpoint(CONTROLLER_ENDPOINT, network)
+            .on("replicate_registry", self._handle_replicate)
+            .on("resolve_ip", self.resolve_ip))
+        for shard in self.shards:
+            shard.bind(network)
+        return self.endpoint
+
+    def start(self) -> None:
+        """Start every shard's pinglist generation (root has no loop)."""
+        if self._started:
+            return
+        self._started = True
+        for shard in self.shards:
+            shard.start()
+
+    def _handle_replicate(self, payload: dict) -> None:
+        comm_infos: dict[str, CommInfo] = payload["comm_infos"]
+        for rnic_name in sorted(comm_infos):
+            info = comm_infos[rnic_name]
+            self._registry[rnic_name] = info
+            self._by_ip[info.ip] = rnic_name
+        assert self.endpoint is not None
+        for shard in self.shards:
+            if shard.shard_index != payload["shard"]:
+                self.endpoint.send(shard.endpoint_name, "registry_delta",
+                                   {"comm_infos": comm_infos})
+
+    # -- Controller-compatible read surface --------------------------------------
+
+    def comm_info(self, rnic_name: str) -> CommInfo:
+        """Latest replicated comm info for an RNIC."""
+        try:
+            return self._registry[rnic_name]
+        except KeyError:
+            raise KeyError(f"RNIC not registered: {rnic_name}") from None
+
+    def current_qpn(self, rnic_name: str) -> Optional[int]:
+        """The fused registry's QPN for an RNIC (None if unregistered)."""
+        info = self._registry.get(rnic_name)
+        return info.qpn if info else None
+
+    def resolve_ip(self, ip: str) -> Optional[tuple[str, CommInfo]]:
+        """Service-tracing lookup against the fused registry."""
+        rnic_name = self._by_ip.get(ip)
+        if rnic_name is None:
+            return None
+        return rnic_name, self._registry[rnic_name]
+
+    def registered_rnics(self) -> list[str]:
+        """All replicated RNIC names, sorted."""
+        return sorted(self._registry)
+
+    def push_pinglists(self) -> None:
+        """Force a full refresh on every shard."""
+        for shard in self.shards:
+            shard.push_pinglists()
+
+    @property
+    def pinglist_pushes(self) -> int:
+        return sum(s.pinglist_pushes for s in self.shards)
+
+    @property
+    def delta_pushes(self) -> int:
+        return sum(s.delta_pushes for s in self.shards)
+
+    @property
+    def rotations(self) -> int:
+        return sum(s.rotations for s in self.shards)
+
+
+# -- analyzer tier -------------------------------------------------------------
+
+
+class AnalyzerShard(Analyzer):
+    """An Analyzer scoped to one pod group's uploads.
+
+    Runs the unmodified classification pipeline on pod-local evidence,
+    augmented by the root's fused cluster state (remote down hosts and
+    quarantines, applied with a one-window lag), ships a summary upward
+    after every window, and trims local retention."""
+
+    def __init__(self, cluster: Cluster, controller: Controller,
+                 config: RPingmeshConfig, shard_index: int, *,
+                 root_endpoint: str = ANALYZER_ENDPOINT):
+        super().__init__(cluster, controller, config,
+                         endpoint_name=analyzer_shard_endpoint(shard_index))
+        self.shard_index = shard_index
+        self._root_endpoint = root_endpoint
+        self._remote_down: set[str] = set()
+        # Per-side (cluster/service) localization evidence for the window
+        # being analysed, WITHOUT the min-anomalies gate: Algorithm-1
+        # votes are additive over disjoint anomaly sets, so shipping the
+        # ungated tallies lets the root reproduce the unsharded vote
+        # exactly and apply the threshold to the cluster-wide sum.
+        self._side_evidence: dict[bool, tuple[Optional[Localization], int]]
+        self._side_evidence = {}
+
+    def bind(self, network: ManagementNetwork) -> Endpoint:
+        endpoint = super().bind(network)
+        endpoint.on("cluster_state", self._handle_cluster_state)
+        return endpoint
+
+    def _handle_cluster_state(self, payload: dict) -> None:
+        """Root broadcast after each fused window: cross-pod evidence."""
+        self._remote_down = set(payload["down_hosts"])
+        for rnic, until in payload["quarantined"]:
+            if self._quarantined_until.get(rnic, 0) < until:
+                self._quarantined_until[rnic] = until
+
+    def _down_hosts(self, now: int) -> set[str]:
+        """Pod-local silence detection plus the root's fused verdicts.
+
+        A shard only hears uploads from its own pod, so cross-pod down
+        hosts (targets of this pod's inter-ToR probes) come from the
+        root's previous fusion round."""
+        down = super()._down_hosts(now)
+        return down | {h for h in self._remote_down
+                       if h not in self._last_upload_ns}
+
+    def analyze(self) -> WindowAnalysis:
+        window = super().analyze()
+        assert self.endpoint is not None
+        self.endpoint.send(self._root_endpoint, "shard_summary",
+                           self._summarize(window))
+        self._trim_retention()
+        return window
+
+    def _emit_problems(self, results, classification, window, now) -> None:
+        super()._emit_problems(results, classification, window, now)
+        # Capture the ungated per-side vote tallies for the summary (the
+        # base class only localizes above min_anomalies_for_localization;
+        # the root needs every shard's votes to reproduce the cluster-wide
+        # tally and apply that gate to the summed count).
+        by_seq = {r.seq: r for r in results}
+        self._side_evidence = {}
+        for service_side in (False, True):
+            anomalies = [
+                by_seq[s] for s, c in classification.items()
+                if c == ProblemCategory.SWITCH_NETWORK_PROBLEM
+                and (by_seq[s].kind == ProbeKind.SERVICE_TRACING)
+                == service_side]
+            loc = (localize([r.probe_path for r in anomalies],
+                            [r.ack_path for r in anomalies])
+                   if anomalies else None)
+            self._side_evidence[service_side] = (loc, len(anomalies))
+
+    def _summarize(self, window: WindowAnalysis) -> ShardWindowSummary:
+        accuracy = self.config.sketch_relative_accuracy
+        report = self.sla.latest()
+        assert report is not None  # analyze() always appends one
+        cluster_loc, cluster_n = self._side_evidence.get(False, (None, 0))
+        service_loc, service_n = self._side_evidence.get(True, (None, 0))
+        cluster_votes, cluster_paths = _loc_items(cluster_loc)
+        service_votes, service_paths = _loc_items(service_loc)
+        cls = ProblemCategory.SWITCH_NETWORK_PROBLEM
+        return ShardWindowSummary(
+            shard=self.shard_index,
+            window_start_ns=window.window_start_ns,
+            window_end_ns=window.window_end_ns,
+            results_processed=window.results_processed,
+            down_hosts=tuple(sorted(window.down_hosts)),
+            qpn_reset_timeouts=window.qpn_reset_timeouts,
+            anomalous_rnics=tuple(sorted(window.anomalous_rnics)),
+            cpu_noise_hosts=tuple(sorted(window.cpu_noise_hosts)),
+            quarantined=tuple(sorted(self._quarantined_until.items())),
+            # Copies: the root re-prioritises fused problems; aliasing the
+            # shard's Problem objects would let that mutation leak back.
+            problems=tuple(dataclasses.replace(p) for p in window.problems
+                           if p.category != cls),
+            cluster_votes=cluster_votes,
+            cluster_paths=cluster_paths,
+            cluster_anomalies=cluster_n,
+            service_votes=service_votes,
+            service_paths=service_paths,
+            service_anomalies=service_n,
+            service_members=tuple(sorted(self._service_members)),
+            cluster_sla=_scope_summary(report.cluster, accuracy),
+            service_sla=_scope_summary(report.service, accuracy))
+
+    def _trim_retention(self) -> None:
+        """Drop windows/reports already summarised to the root."""
+        keep = self.config.shard_window_retention
+        if len(self.windows) > keep:
+            del self.windows[:-keep]
+            cutoff = self.windows[0].window_start_ns
+            self.problems = [p for p in self.problems
+                             if p.window_start_ns >= cutoff]
+        if len(self.sla.reports) > keep:
+            del self.sla.reports[:-keep]
+
+
+class RootAnalyzer:
+    """Fuses per-pod shard summaries into cluster-wide conclusions.
+
+    Exposes the same read surface as :class:`Analyzer` (``windows``,
+    ``problems``, ``sla``, ``network_innocent`` …) so dashboards, replay
+    digests, and experiments consume fused output unchanged."""
+
+    def __init__(self, cluster: Cluster, config: RPingmeshConfig,
+                 shards: list[AnalyzerShard]):
+        self.cluster = cluster
+        self.config = config
+        self.shards = shards
+        self.service_monitor: Optional[ServiceMonitor] = None
+        self.endpoint: Optional[Endpoint] = None
+        self.sla = SlaHistory()
+        self.windows: list[WindowAnalysis] = []
+        self.problems: list[Problem] = []
+        self.category_counts: Counter = Counter()
+        self.fusions = 0
+        # window_end_ns -> shard index -> summary, fused once complete.
+        self._pending: dict[int, dict[int, ShardWindowSummary]] = {}
+        self._service_members: dict[str, int] = {}
+        self._started = False
+
+    # -- wiring -----------------------------------------------------------------
+
+    def bind(self, network: ManagementNetwork) -> Endpoint:
+        """Attach the root endpoint and bind every shard."""
+        self.endpoint = (
+            Endpoint(ANALYZER_ENDPOINT, network)
+            .on("shard_summary", self._receive_summary))
+        for shard in self.shards:
+            shard.bind(network)
+        return self.endpoint
+
+    def start(self) -> None:
+        """Start every shard's analysis loop (fusion is arrival-driven)."""
+        if self._started:
+            return
+        self._started = True
+        for shard in self.shards:
+            shard.start()
+
+    def attach_service_monitor(self, monitor: ServiceMonitor) -> None:
+        """Feed the degradation signal to the root and every shard."""
+        self.service_monitor = monitor
+        for shard in self.shards:
+            shard.attach_service_monitor(monitor)
+
+    def add_upload_listener(self, listener) -> None:
+        """Tap the raw upload stream on every shard."""
+        for shard in self.shards:
+            shard.add_upload_listener(listener)
+
+    # -- summary ingestion & fusion ----------------------------------------------
+
+    def _receive_summary(self, summary: ShardWindowSummary) -> None:
+        bucket = self._pending.setdefault(summary.window_end_ns, {})
+        bucket[summary.shard] = summary
+        if len(bucket) == len(self.shards):
+            # Straggler discipline: a complete window also flushes any
+            # older partial ones (a dead/partitioned shard must not wedge
+            # fusion forever).
+            for end in sorted(self._pending):
+                if end <= summary.window_end_ns:
+                    self._fuse(end, self._pending.pop(end))
+
+    def _fuse(self, window_end_ns: int,
+              summaries: dict[int, ShardWindowSummary]) -> None:
+        """Merge one window's shard summaries into cluster conclusions."""
+        self.fusions += 1
+        ordered = [summaries[i] for i in sorted(summaries)]
+        window = WindowAnalysis(
+            window_start_ns=min(s.window_start_ns for s in ordered),
+            window_end_ns=window_end_ns)
+        window.results_processed = sum(s.results_processed for s in ordered)
+        window.qpn_reset_timeouts = sum(s.qpn_reset_timeouts
+                                        for s in ordered)
+        for s in ordered:
+            window.down_hosts.update(s.down_hosts)
+            window.anomalous_rnics.update(s.anomalous_rnics)
+            window.cpu_noise_hosts.update(s.cpu_noise_hosts)
+            for member in s.service_members:
+                self._service_members[member] = window_end_ns
+
+        # Pod-local problems (RNIC/latency verdicts) pass through; switch
+        # problems are re-derived from the *merged* votes so a fault on a
+        # spine seen from several pods localises once, with the combined
+        # tally.  HOST_DOWN merges by host: once the cluster-state
+        # broadcast marks a host down, every pod probing it reports the
+        # same verdict, and the fused evidence is the sum of each pod's
+        # timeouts against it — one problem, cluster-wide evidence.
+        host_down: dict[str, Problem] = {}
+        for s in ordered:
+            for p in s.problems:
+                if p.category != ProblemCategory.HOST_DOWN:
+                    window.problems.append(p)
+                elif p.locus in host_down:
+                    host_down[p.locus].evidence_count += p.evidence_count
+                else:
+                    host_down[p.locus] = p
+        window.problems.extend(host_down[h] for h in sorted(host_down))
+        for service_side in (False, True):
+            loc, anomalies = self._merge_localization(ordered, service_side)
+            # Same gate as the unsharded path, applied to the cluster-wide
+            # sum: votes merge additively over the pods' disjoint anomaly
+            # sets, so tally and threshold match the single Analyzer.
+            if anomalies < self.config.min_anomalies_for_localization:
+                continue
+            if service_side:
+                window.service_localization = loc
+            else:
+                window.cluster_localization = loc
+            suspects = loc.suspects[:3] or ["unlocalized"]
+            for suspect in suspects:
+                window.problems.append(Problem(
+                    category=ProblemCategory.SWITCH_NETWORK_PROBLEM,
+                    locus=suspect, detected_at_ns=window_end_ns,
+                    window_start_ns=window.window_start_ns,
+                    evidence_count=anomalies,
+                    from_service_tracing=service_side,
+                    detail=f"votes={loc.votes.get(suspect, 0)}"))
+
+        self._fuse_sla(window, ordered)
+        self._assign_priorities(window)
+        self.windows.append(window)
+        self.problems.extend(window.problems)
+        self.category_counts.update(p.category for p in window.problems)
+        self._broadcast_cluster_state(window, ordered)
+
+    def _merge_localization(self, ordered: list[ShardWindowSummary],
+                            service_side: bool
+                            ) -> tuple[Localization, int]:
+        """Cluster-wide Algorithm-1 tally from per-pod partial tallies.
+
+        Mirrors :func:`~repro.core.localization._argmax` on the merged
+        Counter — including the all-paths-unknown case, where the result
+        carries no suspects and the caller reports "unlocalized"."""
+        votes: Counter = Counter()
+        paths = 0
+        anomalies = 0
+        for s in ordered:
+            items = s.service_votes if service_side else s.cluster_votes
+            votes.update(dict(items))
+            paths += s.service_paths if service_side else s.cluster_paths
+            anomalies += (s.service_anomalies if service_side
+                          else s.cluster_anomalies)
+        if not votes:
+            return Localization(paths_considered=paths), anomalies
+        best = max(votes.values())
+        suspects = sorted(name for name, count in votes.items()
+                          if count == best)
+        return Localization(suspects=suspects, votes=votes,
+                            paths_considered=paths), anomalies
+
+    def _fuse_sla(self, window: WindowAnalysis,
+                  ordered: list[ShardWindowSummary]) -> None:
+        report = SlaReport(
+            window.window_start_ns, window.window_end_ns,
+            tracker=lambda: QuantileSketch(
+                self.config.sketch_relative_accuracy))
+        for scope_name in ("cluster", "service"):
+            scope: SlaWindow = getattr(report, scope_name)
+            for s in ordered:  # sorted shard order: deterministic fold
+                part: ScopeSlaSummary = getattr(s, f"{scope_name}_sla")
+                scope.probes_total += part.probes_total
+                scope.probes_ok += part.probes_ok
+                scope.timeouts_rnic += part.timeouts_rnic
+                scope.timeouts_switch += part.timeouts_switch
+                scope.timeouts_non_network += part.timeouts_non_network
+                scope.rtt.merge(QuantileSketch.from_state(
+                    dict(part.rtt_sketch)))
+                scope.processing.merge(QuantileSketch.from_state(
+                    dict(part.processing_sketch)))
+        self.sla.append(report)
+
+    def _broadcast_cluster_state(
+            self, window: WindowAnalysis,
+            ordered: list[ShardWindowSummary]) -> None:
+        """Push the fused cross-pod evidence back down to every shard."""
+        assert self.endpoint is not None
+        quarantined: dict[str, int] = {}
+        for s in ordered:
+            for rnic, until in s.quarantined:
+                if quarantined.get(rnic, 0) < until:
+                    quarantined[rnic] = until
+        payload = {
+            "window_end_ns": window.window_end_ns,
+            "down_hosts": tuple(sorted(window.down_hosts)),
+            "quarantined": tuple(sorted(quarantined.items())),
+        }
+        for shard in self.shards:
+            self.endpoint.send(shard.endpoint_name, "cluster_state", payload)
+
+    # -- Analyzer-compatible read surface -----------------------------------------
+
+    def in_service_network(self, locus: str,
+                           now: Optional[int] = None) -> bool:
+        """Whether a device/link was in the service network recently."""
+        if now is None:
+            now = self.cluster.sim.now
+        seen = self._service_members.get(locus)
+        if seen is None:
+            return False
+        return now - seen <= 3 * self.config.analysis_period_ns
+
+    def _assign_priorities(self, window: WindowAnalysis) -> None:
+        degraded = (self.service_monitor.degraded()
+                    if self.service_monitor is not None else False)
+        for problem in window.problems:
+            affects_service = (problem.from_service_tracing
+                               or self.in_service_network(
+                                   problem.locus, window.window_end_ns))
+            if affects_service:
+                problem.priority = Priority.P0 if degraded else Priority.P1
+            else:
+                problem.priority = Priority.P2
+
+    def network_innocent(self) -> bool:
+        """§4.3.4 over the latest *fused* window."""
+        if not self.windows:
+            return True
+        return all(p.priority == Priority.P2
+                   for p in self.windows[-1].problems)
+
+    def distinct_problems(self) -> dict[tuple[str, str], list[Problem]]:
+        """Fused problems grouped by (category, locus)."""
+        grouped: dict[tuple[str, str], list[Problem]] = {}
+        for problem in self.problems:
+            grouped.setdefault(problem.key(), []).append(problem)
+        return grouped
+
+    @property
+    def ingest_accepted(self) -> int:
+        return sum(s.ingest_accepted for s in self.shards)
+
+    @property
+    def ingest_dropped(self) -> int:
+        return sum(s.ingest_dropped for s in self.shards)
+
+    @property
+    def ingest_backlog(self) -> int:
+        return sum(s.ingest_backlog for s in self.shards)
+
+    def memory_bytes(self) -> int:
+        """Whole analyzer tier: fused state plus every shard's retention."""
+        windows = sum(512 + 128 * len(w.problems) for w in self.windows)
+        own = 1024 + windows + self.sla.memory_bytes()
+        return own + sum(s.memory_bytes() for s in self.shards)

@@ -11,17 +11,40 @@ service network separately, the Analyzer reports:
 §7.4's aggregation caveat is honoured: aggregates below
 ``MIN_SAMPLES_FOR_AGGREGATION`` samples are marked unreliable — a service
 using two servers under a ToR must not produce a "50% ToR drop rate".
+
+Percentile storage is pluggable (DESIGN.md §11): the default
+:class:`~repro.sim.stats.PercentileTracker` keeps every sample exactly;
+``RPingmeshConfig(sla_sketch=True)`` swaps in the fixed-memory mergeable
+:class:`~repro.sim.sketch.QuantileSketch` via :func:`tracker_factory`.
+Both answer ``None`` on empty, so the reporting surface is identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional, Union
 
+from repro.sim.sketch import QuantileSketch
 from repro.sim.stats import PercentileTracker
 
 # Below this many probes an aggregate is statistically meaningless (§7.4).
 MIN_SAMPLES_FOR_AGGREGATION = 20
+
+Tracker = Union[PercentileTracker, QuantileSketch]
+TrackerFactory = Callable[[], Tracker]
+
+
+def tracker_factory(config=None) -> TrackerFactory:
+    """The percentile-store constructor a config selects.
+
+    ``None`` (or ``sla_sketch=False``) keeps exact sample retention;
+    sketch mode trades <= ``sketch_relative_accuracy`` relative error for
+    a fixed per-window footprint and order-independent mergeability.
+    """
+    if config is not None and config.sla_sketch:
+        accuracy = config.sketch_relative_accuracy
+        return lambda: QuantileSketch(accuracy)
+    return PercentileTracker
 
 
 @dataclass
@@ -36,8 +59,8 @@ class SlaWindow:
     timeouts_rnic: int = 0
     timeouts_switch: int = 0
     timeouts_non_network: int = 0     # host down, QPN reset, agent noise
-    rtt: PercentileTracker = field(default_factory=PercentileTracker)
-    processing: PercentileTracker = field(default_factory=PercentileTracker)
+    rtt: Tracker = field(default_factory=PercentileTracker)
+    processing: Tracker = field(default_factory=PercentileTracker)
 
     @property
     def reliable(self) -> bool:
@@ -63,33 +86,46 @@ class SlaWindow:
 
     def rtt_percentiles(self) -> Optional[dict[str, float]]:
         """Network RTT distribution (None when no successful probes)."""
-        if len(self.rtt) == 0:
-            return None
         return self.rtt.summary()
 
     def processing_percentiles(self) -> Optional[dict[str, float]]:
         """End-host processing delay distribution."""
-        if len(self.processing) == 0:
-            return None
         return self.processing.summary()
+
+    def memory_bytes(self) -> int:
+        """Estimated footprint of this window's percentile stores."""
+        return 256 + self.rtt.memory_bytes() + self.processing.memory_bytes()
 
 
 @dataclass
 class SlaReport:
-    """Cluster + service SLA for one analysis window."""
+    """Cluster + service SLA for one analysis window.
+
+    ``tracker`` picks the percentile store for both scopes; it is consumed
+    during ``__post_init__`` and not retained.
+    """
 
     window_start_ns: int
     window_end_ns: int
     cluster: SlaWindow = field(default=None)  # type: ignore[assignment]
     service: SlaWindow = field(default=None)  # type: ignore[assignment]
+    tracker: Optional[TrackerFactory] = None
 
     def __post_init__(self) -> None:
+        make = self.tracker if self.tracker is not None else PercentileTracker
+        self.tracker = None
         if self.cluster is None:
             self.cluster = SlaWindow("cluster", self.window_start_ns,
-                                     self.window_end_ns)
+                                     self.window_end_ns,
+                                     rtt=make(), processing=make())
         if self.service is None:
             self.service = SlaWindow("service", self.window_start_ns,
-                                     self.window_end_ns)
+                                     self.window_end_ns,
+                                     rtt=make(), processing=make())
+
+    def memory_bytes(self) -> int:
+        """Estimated footprint of both scopes."""
+        return self.cluster.memory_bytes() + self.service.memory_bytes()
 
 
 class SlaHistory:
@@ -108,6 +144,10 @@ class SlaHistory:
     def latest(self) -> Optional[SlaReport]:
         """Most recent report, if any."""
         return self.reports[-1] if self.reports else None
+
+    def memory_bytes(self) -> int:
+        """Estimated footprint across all retained reports."""
+        return 64 + sum(r.memory_bytes() for r in self.reports)
 
     def series(self, scope: str, metric: str) -> list[tuple[int, float]]:
         """(window_start, value) pairs for plotting.

@@ -26,6 +26,10 @@ from repro.core.agent import Agent
 from repro.core.analyzer import Analyzer, ServiceMonitor
 from repro.core.config import RPingmeshConfig
 from repro.core.controller import Controller
+from repro.core.sharding import (AnalyzerShard, ControllerShard, PodMap,
+                                 RootAnalyzer, RootController,
+                                 analyzer_shard_endpoint,
+                                 controller_shard_endpoint)
 from repro.obs import Observability
 
 
@@ -55,16 +59,45 @@ class RPingmesh:
                 loss_prob=self.config.control_loss_prob),
             metrics=(self.obs.metrics if self.obs.metrics_enabled else None))
         cluster.management = self.network
-        self.controller = Controller(cluster, self.config,
-                                     cluster.rngs.stream("controller"))
-        self.controller.bind(self.network)
-        self.analyzer = Analyzer(cluster, self.controller, self.config)
-        self.analyzer.bind(self.network)
-        self.agents: dict[str, Agent] = {
-            host_name: Agent(host, cluster, self.network, self.config,
-                             cluster.rngs.stream(f"agent.{host_name}"))
-            for host_name, host in sorted(cluster.hosts.items())
-        }
+        self.pod_map: Optional[PodMap] = None
+        if self.config.shards > 1:
+            # Two-tier deployment (DESIGN.md §11): per-pod shard pairs
+            # under thin roots.  Each Agent talks to its pod's shards.
+            self.pod_map = PodMap.build(cluster, self.config.shards)
+            controller_shards = [
+                ControllerShard(
+                    cluster, self.config,
+                    cluster.rngs.stream(controller_shard_endpoint(i)),
+                    i, tors)
+                for i, tors in enumerate(self.pod_map.shard_tors)]
+            self.controller = RootController(cluster, self.config,
+                                             controller_shards)
+            self.controller.bind(self.network)
+            analyzer_shards = [
+                AnalyzerShard(cluster, controller_shards[i], self.config, i)
+                for i in range(self.pod_map.shard_count)]
+            self.analyzer = RootAnalyzer(cluster, self.config,
+                                         analyzer_shards)
+            self.analyzer.bind(self.network)
+            self.agents: dict[str, Agent] = {}
+            for host_name, host in sorted(cluster.hosts.items()):
+                shard = self.pod_map.shard_of_host(cluster, host_name)
+                self.agents[host_name] = Agent(
+                    host, cluster, self.network, self.config,
+                    cluster.rngs.stream(f"agent.{host_name}"),
+                    controller_endpoint=controller_shard_endpoint(shard),
+                    analyzer_endpoint=analyzer_shard_endpoint(shard))
+        else:
+            self.controller = Controller(cluster, self.config,
+                                         cluster.rngs.stream("controller"))
+            self.controller.bind(self.network)
+            self.analyzer = Analyzer(cluster, self.controller, self.config)
+            self.analyzer.bind(self.network)
+            self.agents = {
+                host_name: Agent(host, cluster, self.network, self.config,
+                                 cluster.rngs.stream(f"agent.{host_name}"))
+                for host_name, host in sorted(cluster.hosts.items())
+            }
         self._started = False
         if self.obs.metrics_enabled:
             self.obs.metrics.register_collector(self._collect_system)
@@ -112,6 +145,17 @@ class RPingmesh:
             self.analyzer.ingest_dropped
         m.gauge("repro_analyzer_ingest_backlog").set(
             self.analyzer.ingest_backlog)
+        # Sharded deployments additionally expose per-shard ingest health
+        # (the bounded queue is per shard, so the sums above can hide one
+        # hot pod saturating its own slice).
+        for shard in getattr(self.analyzer, "shards", []):
+            label = str(shard.shard_index)
+            m.counter("repro_analyzer_shard_ingest_accepted_total",
+                      shard=label).value = shard.ingest_accepted
+            m.counter("repro_analyzer_shard_ingest_dropped_total",
+                      shard=label).value = shard.ingest_dropped
+            m.gauge("repro_analyzer_shard_ingest_backlog",
+                    shard=label).set(shard.ingest_backlog)
         m.gauge("repro_analyzer_windows_analyzed").set(
             len(self.analyzer.windows))
         m.gauge("repro_analyzer_problems_total").set(

@@ -78,7 +78,34 @@ def accuracy_sweep(seeds: Sequence[int] = (0, 1, 2), *,
                      replicates=replicates)
 
 
+def sharded_sweep(seeds: Sequence[int] = (0, 1), *,
+                  replicates: int = 1) -> SweepSpec:
+    """Scale-out path (DESIGN.md §11): per-pod shards + SLA sketches.
+
+    The same link-corruption campaign runs unsharded/exact and with one
+    Analyzer/Controller shard pair per pod over sketch-backed SLAs, so a
+    merged scorecard puts the two deployments' detection and SLA numbers
+    side by side.
+    """
+    topology = ClosParams(pods=4, tors_per_pod=2, aggs_per_pod=2,
+                          spines=2, hosts_per_tor=2)
+    campaign = (
+        FaultEvent.make("link_corruption", "pod1-tor0", "pod1-agg0",
+                        start_s=10.0, end_s=45.0, drop_prob=0.5),
+    )
+    unsharded = ScenarioSpec(
+        name="podfault-unsharded",
+        topology=topology, duration_s=60, campaign=campaign)
+    sharded = ScenarioSpec(
+        name="podfault-sharded",
+        topology=topology, duration_s=60, campaign=campaign,
+        shards=4, sla_sketch=True)
+    return SweepSpec(scenarios=(unsharded, sharded), seeds=tuple(seeds),
+                     replicates=replicates)
+
+
 PRESETS = {
     "smoke": smoke_sweep,
     "accuracy": accuracy_sweep,
+    "sharded": sharded_sweep,
 }

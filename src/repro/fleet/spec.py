@@ -136,6 +136,10 @@ class ScenarioSpec:
     control_latency_us: int = 0
     control_jitter_us: int = 0
     control_loss_prob: float = 0.0
+    # Control-plane scale-out (DESIGN.md §11): per-pod Analyzer/Controller
+    # shard pairs, and the fixed-memory quantile sketch for SLA windows.
+    shards: int = 1
+    sla_sketch: bool = False
     # Wall-clock budget one worker may spend on this scenario before the
     # FleetRunner counts the attempt as hung (None = no limit).
     timeout_s: Optional[float] = None
@@ -147,6 +151,8 @@ class ScenarioSpec:
             raise ValueError("duration_s must be positive")
         if not 0.0 <= self.control_loss_prob < 1.0:
             raise ValueError("control_loss_prob must be in [0, 1)")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ValueError("timeout_s must be positive")
         for event in self.campaign:

@@ -105,7 +105,9 @@ def run_scenario(spec: ScenarioSpec, seed: int) -> ScenarioResult:
     config = RPingmeshConfig(
         control_latency_ns=spec.control_latency_us * MICROSECOND,
         control_jitter_ns=spec.control_jitter_us * MICROSECOND,
-        control_loss_prob=spec.control_loss_prob)
+        control_loss_prob=spec.control_loss_prob,
+        shards=spec.shards,
+        sla_sketch=spec.sla_sketch)
     obs = Observability(metrics=spec.metrics, tracing=spec.tracing)
     system = RPingmesh(cluster, config, obs=obs)
 

@@ -8,6 +8,7 @@ RNG streams, so scenario runs are exactly reproducible for a given seed.
 from repro.sim.engine import (EventHandle, PeriodicTask, SimulationError,
                               Simulator)
 from repro.sim.rng import RngRegistry, RngStream, derive_seed
+from repro.sim.sketch import QuantileSketch
 from repro.sim.stats import PercentileTracker, RateMeter, TimeSeries
 from repro.sim import units
 
@@ -20,6 +21,7 @@ __all__ = [
     "RngStream",
     "derive_seed",
     "PercentileTracker",
+    "QuantileSketch",
     "TimeSeries",
     "RateMeter",
     "units",

@@ -18,7 +18,10 @@ class PercentileTracker:
     """Collects float samples and answers percentile queries.
 
     Keeps all samples for exactness (windows in this package hold at most a
-    few hundred thousand samples); sorts lazily on query.
+    few hundred thousand samples); sorts lazily on query.  Every query on
+    an empty tracker answers ``None`` — the one empty-sample contract
+    shared with :class:`~repro.sim.sketch.QuantileSketch` and
+    ``TierAggregate.rtt_p99`` — so call sites need no ``len()`` guards.
     """
 
     def __init__(self) -> None:
@@ -43,57 +46,67 @@ class PercentileTracker:
         self._samples.clear()
         self._sorted = True
 
+    def samples(self) -> list[float]:
+        """A copy of the retained samples (sketch conversion, tests)."""
+        return list(self._samples)
+
     def _ensure_sorted(self) -> None:
         if not self._sorted:
             self._samples.sort()
             self._sorted = True
 
-    def percentile(self, pct: float) -> float:
-        """Return the ``pct``-th percentile (nearest-rank, pct in [0, 100])."""
-        if not self._samples:
-            raise ValueError("no samples recorded")
+    def percentile(self, pct: float) -> Optional[float]:
+        """The ``pct``-th percentile (nearest-rank, pct in [0, 100]).
+
+        ``None`` when no samples were recorded; out-of-range ``pct``
+        raises regardless.
+        """
         if not 0.0 <= pct <= 100.0:
             raise ValueError(f"percentile out of range: {pct}")
+        if not self._samples:
+            return None
         self._ensure_sorted()
         if pct == 0.0:
             return self._samples[0]
         rank = math.ceil(pct / 100.0 * len(self._samples))
         return self._samples[max(0, rank - 1)]
 
-    def p50(self) -> float:
+    def p50(self) -> Optional[float]:
         """Median."""
         return self.percentile(50)
 
-    def p99(self) -> float:
+    def p99(self) -> Optional[float]:
         """99th percentile."""
         return self.percentile(99)
 
-    def p999(self) -> float:
+    def p999(self) -> Optional[float]:
         """99.9th percentile (the paper's P999)."""
         return self.percentile(99.9)
 
-    def mean(self) -> float:
-        """Arithmetic mean."""
+    def mean(self) -> Optional[float]:
+        """Arithmetic mean (None when empty)."""
         if not self._samples:
-            raise ValueError("no samples recorded")
+            return None
         return sum(self._samples) / len(self._samples)
 
-    def max(self) -> float:
-        """Largest sample."""
+    def max(self) -> Optional[float]:
+        """Largest sample (None when empty)."""
         if not self._samples:
-            raise ValueError("no samples recorded")
+            return None
         self._ensure_sorted()
         return self._samples[-1]
 
-    def min(self) -> float:
-        """Smallest sample."""
+    def min(self) -> Optional[float]:
+        """Smallest sample (None when empty)."""
         if not self._samples:
-            raise ValueError("no samples recorded")
+            return None
         self._ensure_sorted()
         return self._samples[0]
 
-    def summary(self) -> dict[str, float]:
-        """P50/P90/P99/P999 plus mean/min/max, as the SLA reports use."""
+    def summary(self) -> Optional[dict[str, float]]:
+        """P50/P90/P99/P999 plus mean/min/max; None when empty."""
+        if not self._samples:
+            return None
         return {
             "count": float(len(self._samples)),
             "mean": self.mean(),
@@ -104,6 +117,12 @@ class PercentileTracker:
             "p999": self.percentile(99.9),
             "max": self.max(),
         }
+
+    def memory_bytes(self) -> int:
+        """Deterministic footprint estimate: list slot + float object per
+        retained sample.  Grows without bound with the sample count — the
+        cost :class:`~repro.sim.sketch.QuantileSketch` exists to avoid."""
+        return 64 + 32 * len(self._samples)
 
 
 @dataclass

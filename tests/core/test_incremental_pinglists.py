@@ -1,0 +1,182 @@
+"""Incremental pinglist maintenance vs full regeneration.
+
+The property under test: after any sequence of registry deltas (late
+registrations, host removals), a Controller with
+``incremental_pinglists=True`` leaves every Agent holding pinglists that
+are *structurally identical* — same (kind, target) entries per RNIC — to
+what a full-regeneration Controller would have pushed.  Only source
+ports may differ (they are re-rolled per push by design).
+"""
+
+import random
+
+from repro.cluster import Cluster
+from repro.controlplane.endpoint import Endpoint
+from repro.controlplane.transport import ManagementNetwork
+from repro.core.config import RPingmeshConfig
+from repro.core.controller import Controller
+from repro.host.rnic import CommInfo
+from repro.net.clos import ClosParams
+
+PARAMS = ClosParams(pods=2, tors_per_pod=2, aggs_per_pod=2, spines=2,
+                    hosts_per_tor=3)
+SEED = 5
+
+
+class Harness:
+    """One Controller wired to fake Agent endpoints that capture pushes."""
+
+    def __init__(self, *, incremental: bool):
+        self.cluster = Cluster.clos(PARAMS, seed=SEED)
+        self.config = RPingmeshConfig(incremental_pinglists=incremental)
+        self.network = ManagementNetwork(
+            self.cluster.sim, self.cluster.rngs.stream("controlplane"))
+        self.controller = Controller(
+            self.cluster, self.config,
+            self.cluster.rngs.stream("controller"))
+        self.controller.bind(self.network)
+        # rnic name -> latest "set_pinglists" payload it received.
+        self.captured: dict[str, dict] = {}
+        self.pushes = 0
+        for host in sorted(self.cluster.hosts):
+            Endpoint(f"agent.{host}", self.network).on(
+                "set_pinglists", self._capture)
+
+    def _capture(self, payload: dict) -> None:
+        self.pushes += 1
+        self.captured[payload["rnic"]] = payload
+
+    def comm_infos(self, host: str) -> dict[str, CommInfo]:
+        rnics = self.cluster.hosts[host].rnics
+        return {r.name: CommInfo(ip=r.ip, gid=f"gid-{r.name}", qpn=100)
+                for r in rnics}
+
+    def register(self, host: str) -> None:
+        self.controller.register_host(host, f"agent.{host}",
+                                      self.comm_infos(host))
+
+    def remove(self, host: str) -> None:
+        self.controller.remove_host(host)
+
+    def structural_state(self) -> dict[str, dict]:
+        """Per-RNIC pinglists with ports stripped (the equivalence form).
+
+        Inter-ToR entries keep multiplicity (two tuples to the same
+        destination are two probe slots), ToR-mesh entries are a set."""
+        state = {}
+        for rnic in sorted(self.controller._registry):
+            payload = self.captured.get(rnic)
+            if payload is None:
+                state[rnic] = None
+                continue
+            state[rnic] = {
+                "tor_mesh": sorted(
+                    (e.kind.value, e.target_rnic)
+                    for e in payload["tor_mesh"]),
+                "inter_tor": sorted(
+                    (e.kind.value, e.target_rnic)
+                    for e in payload["inter_tor"]),
+            }
+        return state
+
+
+def make_pair() -> tuple[Harness, Harness]:
+    """Two Controllers on identical clusters/RNG seeds, one per mode.
+
+    Same seed means identical inter-ToR tuple draws at ``start()``; after
+    that the modes diverge only in *how* they maintain the lists."""
+    return Harness(incremental=False), Harness(incremental=True)
+
+
+def assert_equivalent(full: Harness, inc: Harness) -> None:
+    assert full.structural_state() == inc.structural_state()
+
+
+class TestIncrementalEquivalence:
+    def test_initial_push_identical(self):
+        full, inc = make_pair()
+        for h in (full, inc):
+            for host in sorted(h.cluster.hosts):
+                h.register(host)
+            h.controller.start()
+        assert_equivalent(full, inc)
+
+    def test_late_registration(self):
+        full, inc = make_pair()
+        late = "host0"
+        for h in (full, inc):
+            for host in sorted(h.cluster.hosts):
+                if host != late:
+                    h.register(host)
+            h.controller.start()
+            h.register(late)
+        assert_equivalent(full, inc)
+        # The newcomer got its lists through the delta path, not a full
+        # regeneration.
+        assert inc.controller.delta_pushes == 1
+        assert inc.controller.pinglist_pushes == 1  # only start()'s
+
+    def test_host_removal(self):
+        full, inc = make_pair()
+        for h in (full, inc):
+            for host in sorted(h.cluster.hosts):
+                h.register(host)
+            h.controller.start()
+            h.remove("host3")
+        assert_equivalent(full, inc)
+        # No surviving pinglist targets the removed host's RNICs.
+        gone = {r.name for r in full.cluster.hosts["host3"].rnics}
+        for h in (full, inc):
+            for rnic, lists in h.structural_state().items():
+                targets = {t for _, t in
+                           lists["tor_mesh"] + lists["inter_tor"]}
+                assert not targets & gone
+
+    def test_randomized_delta_sequence(self):
+        """Equivalence must survive an arbitrary add/remove interleaving."""
+        full, inc = make_pair()
+        hosts = sorted(Cluster.clos(PARAMS, seed=SEED).hosts)
+        initially_out = {"host0", "host5", "host9"}
+        for h in (full, inc):
+            for host in hosts:
+                if host not in initially_out:
+                    h.register(host)
+            h.controller.start()
+
+        rng = random.Random(2024)
+        registered = set(hosts) - initially_out
+        unregistered = set(initially_out)
+        for _ in range(12):
+            if unregistered and (not registered or rng.random() < 0.5):
+                host = rng.choice(sorted(unregistered))
+                unregistered.discard(host)
+                registered.add(host)
+                for h in (full, inc):
+                    h.register(host)
+            else:
+                host = rng.choice(sorted(registered))
+                registered.discard(host)
+                unregistered.add(host)
+                for h in (full, inc):
+                    h.remove(host)
+            assert_equivalent(full, inc)
+
+    def test_incremental_pushes_fewer_messages(self):
+        full, inc = make_pair()
+        for h in (full, inc):
+            for host in sorted(h.cluster.hosts):
+                if host != "host0":
+                    h.register(host)
+            h.controller.start()
+            baseline = h.pushes
+            h.register("host0")
+            h.delta_cost = h.pushes - baseline
+        # Full mode re-pushes every host; incremental only the affected
+        # ones (host0's ToR peers + inter-ToR sources targeting host0).
+        assert inc.delta_cost < full.delta_cost
+
+    def test_delta_before_start_is_a_no_op(self):
+        _, inc = make_pair()
+        inc.register("host0")
+        assert inc.pushes == 0
+        assert inc.controller.delta_pushes == 0

@@ -7,9 +7,24 @@ from repro.sim.stats import PercentileTracker, RateMeter, TimeSeries
 
 
 class TestPercentileTracker:
-    def test_empty_raises(self):
+    def test_empty_returns_none(self):
+        t = PercentileTracker()
+        assert t.percentile(50) is None
+        assert t.p50() is None
+        assert t.mean() is None
+        assert t.min() is None
+        assert t.max() is None
+        assert t.summary() is None
+
+    def test_out_of_range_raises_even_when_empty(self):
         with pytest.raises(ValueError):
-            PercentileTracker().percentile(50)
+            PercentileTracker().percentile(101)
+
+    def test_memory_bytes_grows_with_samples(self):
+        t = PercentileTracker()
+        empty = t.memory_bytes()
+        t.extend(float(i) for i in range(1000))
+        assert t.memory_bytes() >= empty + 1000 * 8
 
     def test_single_sample_everywhere(self):
         t = PercentileTracker()
