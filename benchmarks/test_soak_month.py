@@ -76,9 +76,9 @@ def run_soak(seed: int = 30, episode_s: int = 50, quiet_s: int = 90):
 
 
 def test_soak_month_of_operation(benchmark):
-    wall_start = time.perf_counter()
+    wall_start = time.perf_counter()  # detlint: disable=DET001 benchmark output: soak wall-time report only
     result = run_once(benchmark, run_soak)
-    wall_s = time.perf_counter() - wall_start
+    wall_s = time.perf_counter() - wall_start  # detlint: disable=DET001 benchmark output: soak wall-time report only
     tracker = result["tracker"]
     matching = sum(o["matching"] for o in result["outcomes"])
     print("BENCH " + json.dumps({

@@ -1,34 +1,51 @@
 """Determinism tooling for the simulation substrate.
 
-Two halves, one contract (DESIGN.md "Determinism contract"):
+Three legs, one contract (DESIGN.md "Determinism contract"):
 
 * **detlint** — an AST-based static pass (:mod:`repro.analysis.rules`)
   that rejects the constructs which silently break bit-for-bit replay:
   wall clocks, the global ``random`` module, unordered iteration feeding
-  the scheduler, identity-based ordering, shared mutable state, and
-  mutable message envelopes.  Run it as ``python -m repro.analysis src``.
+  the scheduler, identity-based ordering, shared mutable state, mutable
+  message envelopes, pooled objects escaping their handlers, in-place
+  mutation of wire-form state, and out-of-module pool internals access.
+  Run it as ``python -m repro.analysis src`` (``--format json|sarif``
+  for CI artifacts, ``--audit-allowlist`` for stale-entry checks).
 * **runtime invariants** — draw-count accounting on every
   :class:`~repro.sim.rng.RngStream`, opt-in scheduler assertions
   (``Simulator(check_invariants=True)``), and the
   :func:`~repro.analysis.runtime.replay_digest` harness that runs a
   scenario twice and compares structural state digests.
+* **PoolSan** (:mod:`repro.analysis.sanitize`) — the opt-in pooled-object
+  lifetime sanitizer behind the ``sanitize=True`` knob: poison-on-release,
+  double-release and use-after-release detection, and end-of-run leak
+  accounting, with zero digest impact
+  (:func:`~repro.analysis.runtime.sanitize_check` pins that).
 """
 
 from repro.analysis.findings import Finding, RULES
-from repro.analysis.linter import LintReport, lint_paths, lint_source
-from repro.analysis.runtime import (ReplayReport, default_scenario,
-                                    replay_digest, structural_digest,
+from repro.analysis.linter import (AllowlistAudit, LintReport,
+                                   audit_allowlist, lint_paths, lint_source)
+from repro.analysis.runtime import (ReplayReport, SanitizeReport,
+                                    default_scenario, replay_digest,
+                                    sanitize_check, structural_digest,
                                     system_state)
+from repro.analysis.sanitize import PoolSanitizer, PoolSanitizerError
 
 __all__ = [
     "Finding",
     "RULES",
+    "AllowlistAudit",
     "LintReport",
+    "audit_allowlist",
     "lint_paths",
     "lint_source",
     "ReplayReport",
+    "SanitizeReport",
     "default_scenario",
     "replay_digest",
+    "sanitize_check",
     "structural_digest",
     "system_state",
+    "PoolSanitizer",
+    "PoolSanitizerError",
 ]

@@ -14,7 +14,8 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis.findings import RULES
-from repro.analysis.linter import DEFAULT_ALLOWLIST, lint_paths
+from repro.analysis.linter import (DEFAULT_ALLOWLIST, audit_allowlist,
+                                   lint_paths)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -36,12 +37,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-hints", action="store_true",
         help="omit per-finding fix hints")
     parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text); json/sarif are "
+             "byte-stable for CI artifacts")
+    parser.add_argument(
+        "--audit-allowlist", action="store_true",
+        help="also fail if any allowlist entry has no matching inline "
+             "'# detlint: disable=' comment under the linted paths")
+    parser.add_argument(
         "--check-invariants", action="store_true",
         help="also run the replay-digest harness (two seeded runs of the "
              "reference scenario) with scheduler invariants enabled")
     parser.add_argument(
+        "--sanitize-check", action="store_true",
+        help="also run the golden + sharded scenarios under the PoolSan "
+             "pool-lifetime sanitizer; fails on any finding or on a "
+             "digest drift vs the plain run")
+    parser.add_argument(
         "--seed", type=int, default=7,
-        help="seed for --check-invariants (default: 7)")
+        help="seed for --check-invariants / --sanitize-check "
+             "(default: 7)")
     return parser
 
 
@@ -51,20 +66,40 @@ def _list_rules() -> None:
         print(f"        fix: {rule.hint}")
 
 
-def _run_invariants(seed: int) -> int:
+def _run_sanitize(seed: int, out) -> int:
+    # Lazy import for the same reason as _run_invariants.
+    from repro.analysis.runtime import sanitize_check
+    failed = 0
+    for rep in sanitize_check(seed):
+        if rep.ok:
+            print(f"poolsan: OK {rep.scenario} seed={rep.seed} "
+                  f"digest={rep.digest_plain[:16]}", file=out)
+            continue
+        failed += 1
+        print(f"poolsan: FAIL {rep.scenario} seed={rep.seed}", file=out)
+        if rep.digest_plain != rep.digest_sanitized:
+            print(f"  digest drift: plain={rep.digest_plain} "
+                  f"sanitized={rep.digest_sanitized}", file=out)
+        for finding in rep.findings:
+            print(f"  {finding.render()}", file=out)
+    return 1 if failed else 0
+
+
+def _run_invariants(seed: int, out) -> int:
     # Imported lazily: the static pass must work even if the simulation
     # stack is mid-refactor.
     from repro.analysis.runtime import default_scenario, replay_digest
     report = replay_digest(
         lambda s: default_scenario(s, check_invariants=True), seed)
     if report.identical:
-        print(f"replay: OK seed={seed} digest={report.digest_first[:16]}")
+        print(f"replay: OK seed={seed} digest={report.digest_first[:16]}",
+              file=out)
         return 0
-    print(f"replay: MISMATCH seed={seed}")
-    print(f"  first:  {report.digest_first}")
-    print(f"  second: {report.digest_second}")
+    print(f"replay: MISMATCH seed={seed}", file=out)
+    print(f"  first:  {report.digest_first}", file=out)
+    print(f"  second: {report.digest_second}", file=out)
     for key in report.mismatched_keys:
-        print(f"  diverged: {key}")
+        print(f"  diverged: {key}", file=out)
     return 1
 
 
@@ -84,9 +119,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     allowlist = Path(args.allowlist) if args.allowlist else None
     report = lint_paths(paths, allowlist_file=allowlist)
-    print(report.render(show_hints=not args.no_hints))
+    if args.format == "json":
+        from repro.analysis.output import to_json
+        print(to_json(report))
+    elif args.format == "sarif":
+        from repro.analysis.output import to_sarif
+        print(to_sarif(report))
+    else:
+        print(report.render(show_hints=not args.no_hints))
 
+    # With a machine format on stdout, auxiliary check output moves to
+    # stderr so the document stays parseable as a whole.
+    aux = sys.stdout if args.format == "text" else sys.stderr
     exit_code = 0 if report.ok else 1
+    if args.audit_allowlist:
+        audit = audit_allowlist(paths, allowlist_file=allowlist)
+        print(audit.render(), file=aux)
+        exit_code = max(exit_code, 0 if audit.ok else 1)
     if args.check_invariants:
-        exit_code = max(exit_code, _run_invariants(args.seed))
+        exit_code = max(exit_code, _run_invariants(args.seed, aux))
+    if args.sanitize_check:
+        exit_code = max(exit_code, _run_sanitize(args.seed, aux))
     return exit_code

@@ -236,3 +236,77 @@ def lint_paths(paths: Sequence[Path], *,
             lint_source(str(file_path), source, allowlist=allowlist))
         report.files_checked += 1
     return report
+
+
+# -- allowlist audit -----------------------------------------------------------
+
+@dataclass(slots=True)
+class AllowlistAudit:
+    """Stale-entry check: every allowlist line must back a live comment.
+
+    The double bookkeeping cuts both ways — an inline suppression
+    without an allowlist entry is DET000, and an allowlist entry whose
+    inline comment was deleted is *stale*: it pre-authorizes a future
+    suppression nobody reviewed.  ``stale`` holds ``(lineno, entry)``
+    pairs pointing into the allowlist file itself.
+    """
+
+    allowlist_file: Optional[Path]
+    entries: int = 0
+    stale: list[tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.stale
+
+    def render(self) -> str:
+        name = self.allowlist_file or DEFAULT_ALLOWLIST
+        if self.ok:
+            return (f"allowlist audit: OK — {self.entries} entr"
+                    f"{'y' if self.entries == 1 else 'ies'} in {name}, "
+                    "all backed by inline suppressions")
+        lines = [f"allowlist audit: {len(self.stale)} stale entr"
+                 f"{'y' if len(self.stale) == 1 else 'ies'} in {name} "
+                 "(no matching inline '# detlint: disable=' in tree):"]
+        for lineno, entry in self.stale:
+            lines.append(f"  delete {name}:{lineno}: {entry}")
+        return "\n".join(lines)
+
+
+def audit_allowlist(paths: Sequence[Path], *,
+                    allowlist_file: Optional[Path] = None
+                    ) -> AllowlistAudit:
+    """Cross-check allowlist entries against the tree's inline comments."""
+    if allowlist_file is None:
+        default = Path(DEFAULT_ALLOWLIST)
+        allowlist_file = default if default.is_file() else None
+    audit = AllowlistAudit(allowlist_file=allowlist_file)
+    if allowlist_file is None or not allowlist_file.is_file():
+        return audit
+    numbered: list[tuple[int, str, str, str]] = []  # lineno, entry, path, code
+    for lineno, raw in enumerate(
+            allowlist_file.read_text(encoding="utf-8").splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        entry = line.replace("\\", "/")
+        entry_path, _, entry_code = entry.rpartition(":")
+        numbered.append((lineno, entry, entry_path, entry_code))
+    audit.entries = len(numbered)
+    backed: set[int] = set()
+    for file_path in iter_python_files(paths):
+        norm = str(file_path).replace("\\", "/")
+        suppressions = scan_suppressions(
+            norm, file_path.read_text(encoding="utf-8"))
+        codes_here = {c for sup in suppressions for c in sup.codes}
+        if not codes_here:
+            continue
+        for lineno, _entry, entry_path, entry_code in numbered:
+            if entry_code in codes_here and (
+                    norm == entry_path
+                    or norm.endswith("/" + entry_path)):
+                backed.add(lineno)
+    audit.stale = [(lineno, entry)
+                   for lineno, entry, _p, _c in numbered
+                   if lineno not in backed]
+    return audit

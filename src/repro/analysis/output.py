@@ -1,0 +1,113 @@
+"""Machine-readable detlint reports: ``--format json|sarif``.
+
+Both serializers order findings by ``(path, line, col, code)`` so output
+is byte-stable across runs and platforms — diffs of CI artifacts mean
+real changes, never dict-order noise.  The SARIF form targets the 2.1.0
+schema consumed by code-scanning UIs; suppressed findings are emitted
+with an ``inSource`` suppression record instead of being dropped, so the
+full exception surface stays visible in the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.findings import Finding, RULES
+from repro.analysis.linter import LintReport
+
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+SARIF_VERSION = "2.1.0"
+
+
+def _ordered(findings: list[Finding]) -> list[Finding]:
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
+
+
+def report_payload(report: LintReport) -> dict:
+    """The JSON-format document, as plain data."""
+    return {
+        "tool": "detlint",
+        "files_checked": report.files_checked,
+        "summary": {
+            "findings": len(report.unsuppressed),
+            "suppressed": len(report.suppressed),
+            "by_code": report.by_code(),
+        },
+        "findings": [
+            {
+                "code": f.code,
+                "path": f.path.replace("\\", "/"),
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "hint": f.hint,
+                "suppressed": f.suppressed,
+                "suppress_reason": f.suppress_reason,
+            }
+            for f in _ordered(report.findings)
+        ],
+    }
+
+
+def to_json(report: LintReport) -> str:
+    """Render the report as the detlint JSON document."""
+    return json.dumps(report_payload(report), indent=2, sort_keys=False)
+
+
+def sarif_payload(report: LintReport) -> dict:
+    """The SARIF 2.1.0 document, as plain data."""
+    rule_ids = sorted(RULES)
+    rule_index = {code: i for i, code in enumerate(rule_ids)}
+    results = []
+    for finding in _ordered(report.findings):
+        result = {
+            "ruleId": finding.code,
+            "ruleIndex": rule_index[finding.code],
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": max(finding.col, 1),
+                    },
+                },
+            }],
+        }
+        if finding.suppressed:
+            result["suppressions"] = [{
+                "kind": "inSource",
+                "justification": finding.suppress_reason,
+            }]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "detlint",
+                    "informationUri":
+                        "https://example.invalid/repro/detlint",
+                    "rules": [
+                        {
+                            "id": code,
+                            "shortDescription":
+                                {"text": RULES[code].title},
+                            "help": {"text": RULES[code].hint},
+                        }
+                        for code in rule_ids
+                    ],
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def to_sarif(report: LintReport) -> str:
+    """Render the report as SARIF 2.1.0."""
+    return json.dumps(sarif_payload(report), indent=2, sort_keys=False)

@@ -1,4 +1,4 @@
-"""The detlint AST rules (DET001-DET006).
+"""The detlint AST rules (DET001-DET009).
 
 One :class:`FileChecker` pass per file.  The checker is deliberately
 heuristic — it resolves imports and simple local/attribute bindings, not
@@ -48,6 +48,48 @@ MUTABLE_FACTORIES = frozenset({
     "deque", "bytearray",
 })
 
+# -- DET007: pooled-object escapes --------------------------------------------
+
+# Parameter annotations that mean "this object belongs to a pool and is
+# recycled once the handler returns".
+POOLED_PARAM_TYPES = frozenset({"Packet", "RoCEPacket", "TCPPacket", "Cqe"})
+# Calls whose result is a pool loan rather than an owned object.
+POOLED_ACQUIRE_METHODS = frozenset({"acquire_roce", "_acquire_cqe"})
+
+# -- DET008: wire-form mutation -----------------------------------------------
+
+# Constructors whose instances are wire-form payloads shared across the
+# control plane (mutating one mutates every reader's copy).
+WIREFORM_FACTORIES = frozenset({"ShardWindowSummary"})
+# Method calls that mutate a dict/list/set in place.
+WIREFORM_MUTATORS = frozenset({
+    "update", "clear", "pop", "popitem", "setdefault", "append",
+    "extend", "add", "insert", "remove", "discard", "sort", "reverse",
+    "appendleft",
+})
+# Scopes where object.__setattr__ on a frozen dataclass is construction,
+# not mutation.
+CONSTRUCTION_SCOPES = frozenset({
+    "__init__", "__post_init__", "__new__", "__setstate__",
+    "__setattr__", "__delattr__", "__copy__", "__deepcopy__",
+})
+
+# -- DET009: pool/engine internals --------------------------------------------
+
+# attribute name -> path suffix of the one module allowed to touch it.
+POOL_INTERNAL_ATTRS = {
+    "_free": "repro/net/packet.py",
+    "_event_free": "repro/sim/engine.py",
+    "_event_pool_size": "repro/sim/engine.py",
+    "_cur_heap": "repro/sim/engine.py",
+    "_bucket_heap": "repro/sim/engine.py",
+    "_cur_index": "repro/sim/engine.py",
+    "_cqe_free": "repro/host/rnic.py",
+    "_cqe_pool_limit": "repro/host/rnic.py",
+    "_transit_free": "repro/net/fabric.py",
+    "_transit_pool_limit": "repro/net/fabric.py",
+}
+
 
 def _dotted(node: ast.AST) -> Optional[str]:
     """'a.b.c' for a Name/Attribute chain, else None."""
@@ -86,6 +128,52 @@ def _is_counter_call(node: ast.AST) -> bool:
         return False
     name = _dotted(node.func)
     return name in ("itertools.count", "count")
+
+
+def _scope_nodes(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Pre-order walk of a body, skipping nested function/class scopes.
+
+    DET007/DET008 track per-handler taint; a nested ``def`` or ``lambda``
+    is its own scope (and closures are intentionally out of DET007's
+    reach — the runtime sanitizer covers actual escapes through them).
+    """
+    stack: list[ast.AST] = list(reversed(body))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(reversed(list(ast.iter_child_nodes(node))))
+
+
+def _pooled_annotation(annotation: ast.AST) -> bool:
+    """The annotation's top-level type is a pooled class.
+
+    ``Packet``, ``"RoCEPacket"``, and ``Optional[Cqe]`` all qualify; a
+    ``Callable[[Cqe], None]`` callback or ``list[Packet]`` batch does
+    not — only a parameter that *is* the loan carries taint.
+    """
+    text = ast.unparse(annotation).strip().strip("\"'").strip()
+    head, bracket, rest = text.partition("[")
+    if head.strip() == "Optional" and bracket:
+        text = rest.rsplit("]", 1)[0].strip().strip("\"'")
+        head = text.partition("[")[0]
+    return head.strip().split(".")[-1] in POOLED_PARAM_TYPES
+
+
+def _subscript_base(node: ast.AST) -> ast.AST:
+    """Unwrap x[i][j].attr chains down to the root expression."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return node
+
+
+def _is_state_call(node: ast.AST) -> bool:
+    """``something.state()`` — a wire-form sketch/window payload."""
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "state" and not node.args)
 
 
 def _span(node: ast.AST) -> tuple[int, int]:
@@ -135,6 +223,7 @@ class FileChecker:
                 self._check_call(node)
             elif isinstance(node, ast.Attribute):
                 self._check_numpy_random(node)
+                self._check_pool_internals(node)
             elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 self._check_function(node)
             elif isinstance(node, ast.ClassDef):
@@ -243,6 +332,8 @@ class FileChecker:
                            "mutable default argument is shared across "
                            f"calls of {node.name}()")
         self._check_loops(node)
+        self._check_pooled_escape(node)
+        self._check_wireform(node)
 
     # -- classes: DET005 class state + DET006 frozen --------------------------
 
@@ -379,6 +470,192 @@ class FileChecker:
                         "from unordered set iteration",
                         span=_span(node))
 
+    # -- DET007 ---------------------------------------------------------------
+
+    def _pooled_names(self,
+                      func: ast.FunctionDef | ast.AsyncFunctionDef
+                      ) -> set[str]:
+        """Local names bound to pool loans (params, acquires, wrappers)."""
+        tainted: set[str] = set()
+        all_args = [*func.args.posonlyargs, *func.args.args,
+                    *func.args.kwonlyargs]
+        for arg in all_args:
+            if arg.annotation is not None \
+                    and _pooled_annotation(arg.annotation):
+                tainted.add(arg.arg)
+        # Fixpoint over assignments: aliases, fresh acquires, and records
+        # wrapping a loan (``DropRecord(..., packet)``) all carry taint.
+        for _ in range(3):
+            changed = False
+            for node in _scope_nodes(func.body):
+                if not (isinstance(node, ast.Assign)
+                        and len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Name)):
+                    continue
+                name = node.targets[0].id
+                if name in tainted:
+                    continue
+                if self._carries_pool_taint(node.value, tainted):
+                    tainted.add(name)
+                    changed = True
+            if not changed:
+                break
+        return tainted
+
+    @staticmethod
+    def _carries_pool_taint(value: ast.AST, tainted: set[str]) -> bool:
+        if isinstance(value, ast.Name):
+            return value.id in tainted
+        if not isinstance(value, ast.Call):
+            return False
+        func = value.func
+        if isinstance(func, ast.Attribute) \
+                and func.attr in POOLED_ACQUIRE_METHODS:
+            return True
+        # Constructor-looking calls (CapWord) propagate taint from their
+        # arguments; plain function calls (len, copy helpers) do not.
+        ctor = (isinstance(func, ast.Name) and func.id[:1].isupper()) or \
+            (isinstance(func, ast.Attribute) and func.attr[:1].isupper())
+        if not ctor:
+            return False
+        operands = [*value.args,
+                    *[kw.value for kw in value.keywords]]
+        return any(isinstance(a, ast.Name) and a.id in tainted
+                   for a in operands)
+
+    def _check_pooled_escape(
+            self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        tainted = self._pooled_names(func)
+        if not tainted:
+            return
+        for node in _scope_nodes(func.body):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                value = node.value
+                if not (isinstance(value, ast.Name)
+                        and value.id in tainted):
+                    continue
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Attribute) or (
+                            isinstance(target, ast.Subscript)
+                            and isinstance(target.value,
+                                           (ast.Attribute, ast.Subscript))):
+                        self._emit(
+                            "DET007", node,
+                            f"pooled object {value.id!r} stored beyond "
+                            "the handler scope; it is recycled after "
+                            "release")
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in ACCUMULATOR_METHODS \
+                    and isinstance(node.func.value,
+                                   (ast.Attribute, ast.Subscript)):
+                container = node.func.value
+                if isinstance(container, ast.Attribute):
+                    owner = POOL_INTERNAL_ATTRS.get(container.attr)
+                    if owner is not None and self.path.replace(
+                            "\\", "/").endswith(owner):
+                        # The pool pushing onto its own free list IS the
+                        # release mechanism, not an escape.
+                        continue
+                escaping = [a.id for a in node.args
+                            if isinstance(a, ast.Name) and a.id in tainted]
+                if escaping:
+                    self._emit(
+                        "DET007", node,
+                        f"pooled object {escaping[0]!r} accumulated into "
+                        f"{_dotted(node.func.value) or 'a container'} "
+                        "that outlives the handler")
+
+    # -- DET008 ---------------------------------------------------------------
+
+    def _check_wireform(
+            self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        state_names: set[str] = set()
+        for node in _scope_nodes(func.body):
+            # Track (and untrack on reassignment) wire-form bindings in
+            # document order, so the documented fix — ``state =
+            # dict(state)`` before mutating — clears the taint.
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                name = node.targets[0].id
+                if self._is_wireform_value(node.value):
+                    state_names.add(name)
+                else:
+                    state_names.discard(name)
+                continue
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute):
+                attr = node.func.attr
+                if attr in ("__setattr__", "__delattr__") \
+                        and isinstance(node.func.value, ast.Name) \
+                        and node.func.value.id == "object" \
+                        and func.name not in CONSTRUCTION_SCOPES:
+                    self._emit(
+                        "DET008", node,
+                        f"object.{attr}() bypasses frozen=True outside "
+                        "construction — build a new instance instead")
+                elif attr in WIREFORM_MUTATORS \
+                        and self._is_wireform_expr(node.func.value,
+                                                   state_names):
+                    self._emit(
+                        "DET008", node,
+                        f"in-place {attr}() on wire-form state; copy "
+                        "before mutating (dict(state))")
+            elif isinstance(node, (ast.AugAssign,)) \
+                    and isinstance(node.target, ast.Subscript) \
+                    and self._is_wireform_expr(
+                        _subscript_base(node.target), state_names):
+                self._emit("DET008", node,
+                           "in-place update of wire-form state; copy "
+                           "before mutating (dict(state))")
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) \
+                            and self._is_wireform_expr(
+                                _subscript_base(target), state_names):
+                        self._emit(
+                            "DET008", node,
+                            "item assignment into wire-form state; copy "
+                            "before mutating (dict(state))")
+
+    @staticmethod
+    def _is_wireform_value(value: ast.AST) -> bool:
+        if _is_state_call(value):
+            return True
+        if isinstance(value, ast.Call):
+            name = _dotted(value.func)
+            return (name is not None
+                    and name.split(".")[-1] in WIREFORM_FACTORIES)
+        return False
+
+    @staticmethod
+    def _is_wireform_expr(node: ast.AST, state_names: set[str]) -> bool:
+        """The expression being mutated is (part of) wire-form state."""
+        if _is_state_call(node):
+            return True
+        root = _subscript_base(node)
+        if _is_state_call(root):
+            return True
+        return isinstance(root, ast.Name) and root.id in state_names
+
+    # -- DET009 ---------------------------------------------------------------
+
+    def _check_pool_internals(self, node: ast.Attribute) -> None:
+        owner = POOL_INTERNAL_ATTRS.get(node.attr)
+        if owner is None:
+            return
+        if self.path.replace("\\", "/").endswith(owner):
+            return
+        base = _dotted(node.value)
+        if base in ("self", "cls"):
+            return
+        self._emit(
+            "DET009", node,
+            f"direct access to pool internal {node.attr!r} from outside "
+            f"its owning module ({owner})")
+
     @staticmethod
     def _order_sensitive_effect(body: list[ast.stmt]) -> Optional[str]:
         """Why the loop body is order-sensitive, or None if it isn't."""
@@ -419,4 +696,4 @@ def check_module(path: str, source: str) -> list[Finding]:
 def iter_codes() -> Iterator[str]:
     """All rule codes, in order."""
     yield from ("DET000", "DET001", "DET002", "DET003", "DET004",
-                "DET005", "DET006")
+                "DET005", "DET006", "DET007", "DET008", "DET009")

@@ -173,7 +173,9 @@ def replay_digest(scenario: Scenario, seed: int) -> ReplayReport:
 def default_scenario(seed: int, *,
                      check_invariants: bool = True,
                      duration_ns: Optional[int] = None,
-                     obs: Optional[Any] = None) -> dict[str, Any]:
+                     obs: Optional[Any] = None,
+                     sanitize: bool = False,
+                     poolsan_out: Optional[list] = None) -> dict[str, Any]:
     """The reference scenario for replay tests: small, noisy, eventful.
 
     A tiny Clos cluster with a lossy/jittery control plane and a
@@ -183,12 +185,19 @@ def default_scenario(seed: int, *,
 
     ``obs`` (an :class:`~repro.obs.Observability`) opts the run into the
     observability layer; the returned snapshot is sim state only, so it
-    must be identical with or without it (DESIGN.md §8).
+    must be identical with or without it (DESIGN.md §8).  ``sanitize``
+    opts into the PoolSan lifetime sanitizer under the same contract
+    (DESIGN.md §12); ``poolsan_out``, if given, receives the live
+    :class:`~repro.analysis.sanitize.PoolSanitizer` so callers can pull
+    its findings without the snapshot (and thus the digest) changing.
     """
     params = ClosParams(pods=1, tors_per_pod=2, aggs_per_pod=2,
                         spines=1, hosts_per_tor=2)
     cluster = Cluster.clos(params, seed=seed,
-                           check_invariants=check_invariants)
+                           check_invariants=check_invariants,
+                           sanitize=sanitize)
+    if poolsan_out is not None:
+        poolsan_out.append(cluster.sanitizer)
     config = RPingmeshConfig(
         control_latency_ns=200 * MICROSECOND,
         control_jitter_ns=50 * MICROSECOND,
@@ -212,19 +221,23 @@ def default_scenario(seed: int, *,
 # tier-1.  Scenario definitions are therefore FROZEN: changing topology,
 # durations, fault doses, or config here invalidates the checked-in hashes.
 
-def _golden_cluster(seed: int) -> Cluster:
+def _golden_cluster(seed: int, *, sanitize: bool = False) -> Cluster:
     params = ClosParams(pods=1, tors_per_pod=2, aggs_per_pod=2,
                         spines=1, hosts_per_tor=2)
-    return Cluster.clos(params, seed=seed, check_invariants=True)
+    return Cluster.clos(params, seed=seed, check_invariants=True,
+                        sanitize=sanitize)
 
 
-def quiet_scenario(seed: int) -> dict[str, Any]:
+def quiet_scenario(seed: int, *, sanitize: bool = False,
+                   poolsan_out: Optional[list] = None) -> dict[str, Any]:
     """Golden scenario: healthy fabric, clean control plane, no faults.
 
     Exercises the pure probe/ack/analyze machinery — the workload the
     fault-free fast path must reproduce byte-for-byte.
     """
-    cluster = _golden_cluster(seed)
+    cluster = _golden_cluster(seed, sanitize=sanitize)
+    if poolsan_out is not None:
+        poolsan_out.append(cluster.sanitizer)
     config = RPingmeshConfig(
         control_latency_ns=200 * MICROSECOND,
         control_jitter_ns=50 * MICROSECOND,
@@ -236,16 +249,19 @@ def quiet_scenario(seed: int) -> dict[str, Any]:
     return system_state(system)
 
 
-def faulted_scenario(seed: int) -> dict[str, Any]:
+def faulted_scenario(seed: int, *, sanitize: bool = False,
+                     poolsan_out: Optional[list] = None) -> dict[str, Any]:
     """Golden scenario: the lossy-control-plane + corrupting-link reference.
 
     Identical to :func:`default_scenario` at its defaults; named here so the
     golden suite reads as (quiet, faulted, congested).
     """
-    return default_scenario(seed)
+    return default_scenario(seed, sanitize=sanitize,
+                            poolsan_out=poolsan_out)
 
 
-def congested_scenario(seed: int) -> dict[str, Any]:
+def congested_scenario(seed: int, *, sanitize: bool = False,
+                       poolsan_out: Optional[list] = None) -> dict[str, Any]:
     """Golden scenario: a lossy saturated uplink under a fault window.
 
     A 1.3x-overloaded tor->agg uplink with PFC headroom misconfigured on
@@ -253,7 +269,9 @@ def congested_scenario(seed: int) -> dict[str, Any]:
     the fluid-queue integration, queue-overflow drops, RTT inflation, and
     the mid-run fast-path -> slow-path -> fast-path transitions.
     """
-    cluster = _golden_cluster(seed)
+    cluster = _golden_cluster(seed, sanitize=sanitize)
+    if poolsan_out is not None:
+        poolsan_out.append(cluster.sanitizer)
     config = RPingmeshConfig(
         control_latency_ns=200 * MICROSECOND,
         control_jitter_ns=50 * MICROSECOND,
@@ -277,3 +295,83 @@ GOLDEN_SCENARIOS: dict[str, Scenario] = {
     "faulted": faulted_scenario,
     "congested": congested_scenario,
 }
+
+
+# -- sanitized sweeps ----------------------------------------------------------
+
+def sharded_smoke_scenario(seed: int, *, sanitize: bool = False,
+                           poolsan_out: Optional[list] = None
+                           ) -> dict[str, Any]:
+    """A two-pod, ``shards=2`` + sketch-SLA scenario for sanitized runs.
+
+    Not a golden scenario (no pinned hash): its job is to drag the
+    sharded control plane — summary shipping, sketch states, fused
+    verdicts — across the sanitized pools, per the PoolSan acceptance
+    criteria.  Sanitize-on/off digest equality is what tests pin.
+    """
+    params = ClosParams(pods=2, tors_per_pod=2, aggs_per_pod=2,
+                        spines=1, hosts_per_tor=1)
+    cluster = Cluster.clos(params, seed=seed, check_invariants=True,
+                           sanitize=sanitize)
+    if poolsan_out is not None:
+        poolsan_out.append(cluster.sanitizer)
+    config = RPingmeshConfig(
+        control_latency_ns=200 * MICROSECOND,
+        control_jitter_ns=50 * MICROSECOND,
+        control_loss_prob=0.01,
+        shards=2,
+        sla_sketch=True,
+    )
+    system = RPingmesh(cluster, config)
+    system.start()
+    fault = LinkCorruption(cluster, "pod0-tor0", "pod0-agg0",
+                           drop_prob=0.25)
+    fault.inject()
+    system.run(45 * SECOND)
+    return system_state(system)
+
+
+#: What ``python -m repro.analysis --sanitize-check`` (and the CI
+#: sanitizer-smoke job) sweeps: every golden scenario plus the sharded one.
+SANITIZE_SCENARIOS: dict[str, Scenario] = {
+    **GOLDEN_SCENARIOS,
+    "sharded": sharded_smoke_scenario,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class SanitizeReport:
+    """Outcome of one sanitized-vs-plain scenario comparison."""
+
+    scenario: str
+    seed: int
+    digest_plain: str
+    digest_sanitized: str
+    findings: tuple = ()
+    summary: Optional[dict[str, dict[str, int]]] = None
+
+    @property
+    def ok(self) -> bool:
+        """Digest-neutral and violation-free."""
+        return (self.digest_plain == self.digest_sanitized
+                and not self.findings)
+
+
+def sanitize_check(seed: int = 7, *,
+                   scenarios: Optional[Mapping[str, Scenario]] = None
+                   ) -> list[SanitizeReport]:
+    """Run each scenario plain and sanitized; compare digests, collect
+    findings.  The runtime half of the CI sanitizer-smoke gate."""
+    out: list[SanitizeReport] = []
+    for name, scenario in (scenarios or SANITIZE_SCENARIOS).items():
+        plain = structural_digest(scenario(seed))
+        sink: list = []
+        sanitized = structural_digest(
+            scenario(seed, sanitize=True, poolsan_out=sink))
+        sanitizer = sink[0]
+        out.append(SanitizeReport(
+            scenario=name, seed=seed,
+            digest_plain=plain, digest_sanitized=sanitized,
+            findings=tuple(sanitizer.report()),
+            summary=sanitizer.summary()))
+    return out

@@ -262,6 +262,10 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
     builder = PRESETS[args.preset]
     sweep = (builder(seeds, replicates=replicates) if seeds is not None
              else builder(replicates=replicates))
+    if args.sanitize:
+        from dataclasses import replace
+        sweep = replace(sweep, scenarios=tuple(
+            replace(spec, sanitize=True) for spec in sweep.scenarios))
 
     def show(event: FleetProgress) -> None:
         if args.quiet or event.kind == "submit":
@@ -415,6 +419,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write the scorecard JSON artifact here")
     fleet_run.add_argument("--quiet", action="store_true",
                            help="suppress per-job progress lines")
+    fleet_run.add_argument("--sanitize", action="store_true",
+                           help="run every scenario under the PoolSan "
+                                "pool-lifetime sanitizer; jobs fail on "
+                                "any finding (digests are unchanged)")
     fleet_run.add_argument("--selftest", action="store_true",
                            help="replicate jobs and assert determinism "
                                 "+ merge order-independence")

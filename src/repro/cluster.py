@@ -31,13 +31,21 @@ class Cluster:
     """A fully wired simulated RoCE cluster."""
 
     def __init__(self, sim: Simulator, rngs: RngRegistry, plan: Plan,
-                 *, pooling: bool = True):
+                 *, pooling: bool = True, sanitize: bool = False):
         self.sim = sim
         self.rngs = rngs
         self.plan = plan
         self.topology: Topology = plan.topology
+        # Opt-in pool lifetime sanitizer (PoolSan, DESIGN.md §12): one
+        # instance shared by the event, packet, transit, and CQE pools.
+        # Imported lazily — repro.analysis.runtime imports this module.
+        self.sanitizer = None
+        if sanitize:
+            from repro.analysis.sanitize import PoolSanitizer
+            self.sanitizer = PoolSanitizer()
+            sim.set_sanitizer(self.sanitizer)
         self.fabric = Fabric(sim, self.topology, rngs.stream("fabric"),
-                             pooling=pooling)
+                             pooling=pooling, sanitizer=self.sanitizer)
         self.traceroute = TracerouteService(self.fabric)
         self.hosts: dict[str, Host] = {}
         self._rnics: dict[str, Rnic] = {}
@@ -70,29 +78,31 @@ class Cluster:
     @classmethod
     def clos(cls, params: Optional[ClosParams] = None, *,
              seed: int = 0, check_invariants: bool = False,
-             pooling: bool = True) -> "Cluster":
+             pooling: bool = True, sanitize: bool = False) -> "Cluster":
         """Build a 3-tier Clos cluster.
 
         ``pooling=False`` disables every free-list fast path (events,
         packets, CQEs) — behaviour must be byte-identical either way,
         which the pooling-equivalence tests assert via replay digests.
+        ``sanitize=True`` wraps every pool in the PoolSan lifetime
+        sanitizer (same byte-identical contract, same tests).
         """
         sim = Simulator(seed=seed, check_invariants=check_invariants,
                         event_pool_size=EVENT_POOL_DEFAULT if pooling else 0)
         rngs = RngRegistry(seed)
         return cls(sim, rngs, build_clos(params or ClosParams()),
-                   pooling=pooling)
+                   pooling=pooling, sanitize=sanitize)
 
     @classmethod
     def rail(cls, params: Optional[RailParams] = None, *,
              seed: int = 0, check_invariants: bool = False,
-             pooling: bool = True) -> "Cluster":
+             pooling: bool = True, sanitize: bool = False) -> "Cluster":
         """Build a two-tier rail-optimized cluster (§7.4)."""
         sim = Simulator(seed=seed, check_invariants=check_invariants,
                         event_pool_size=EVENT_POOL_DEFAULT if pooling else 0)
         rngs = RngRegistry(seed)
         return cls(sim, rngs, build_rail(params or RailParams()),
-                   pooling=pooling)
+                   pooling=pooling, sanitize=sanitize)
 
     # -- lookups ----------------------------------------------------------------
 

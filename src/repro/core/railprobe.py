@@ -122,6 +122,16 @@ class RailProber:
     # -- completion ----------------------------------------------------------
 
     def _on_cqe(self, rnic_name: str, cqe: Cqe) -> None:
+        # Everything _handle_cqe keeps is copied (timestamps into the
+        # pending record, plain ints into OneWayResult), so the CQE can
+        # go straight back to its RNIC's pool — without this, every rail
+        # probe's CQE stayed live forever (PoolSan SAN003 leak finding).
+        try:
+            self._handle_cqe(rnic_name, cqe)
+        finally:
+            self.host.rnic_by_name(rnic_name).release_cqe(cqe)
+
+    def _handle_cqe(self, rnic_name: str, cqe: Cqe) -> None:
         if cqe.kind == CqeKind.SEND:
             # We match send CQEs to pendings by order per source RNIC;
             # wr_id-based matching keeps it exact.

@@ -140,6 +140,9 @@ class ScenarioSpec:
     # shard pairs, and the fixed-memory quantile sketch for SLA windows.
     shards: int = 1
     sla_sketch: bool = False
+    # Run under the PoolSan pool-lifetime sanitizer (DESIGN.md §12).
+    # The worker fails the job on any sanitizer finding.
+    sanitize: bool = False
     # Wall-clock budget one worker may spend on this scenario before the
     # FleetRunner counts the attempt as hung (None = no limit).
     timeout_s: Optional[float] = None
@@ -168,10 +171,15 @@ class ScenarioSpec:
         ``timeout_s`` is excluded: it budgets *wall clock*, which must
         never influence what a scenario computes — two specs differing
         only in timeout produce identical simulations, so they must
-        produce the same digest.
+        produce the same digest.  ``sanitize`` is excluded for the same
+        reason: PoolSan only observes, and the sanitized run's replay
+        digest is pinned byte-identical to the plain run's
+        (tests/analysis/test_sanitize.py), so both runs are mergeable
+        under one key.
         """
         from repro.analysis.runtime import structural_digest
-        return structural_digest(replace(self, timeout_s=None))
+        return structural_digest(replace(self, timeout_s=None,
+                                         sanitize=False))
 
     @property
     def label(self) -> str:

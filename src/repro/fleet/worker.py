@@ -100,7 +100,8 @@ def run_scenario(spec: ScenarioSpec, seed: int) -> ScenarioResult:
     """Execute one ``(spec, seed)`` job and condense it for merging."""
     start_wall = time.perf_counter()  # detlint: disable=DET001 wall_s bookkeeping
 
-    cluster = Cluster.clos(spec.topology, seed=seed)
+    cluster = Cluster.clos(spec.topology, seed=seed,
+                           sanitize=spec.sanitize)
     validate_campaign_loci(spec, cluster)
     config = RPingmeshConfig(
         control_latency_ns=spec.control_latency_us * MICROSECOND,
@@ -114,6 +115,14 @@ def run_scenario(spec: ScenarioSpec, seed: int) -> ScenarioResult:
     manager = FaultManager(cluster)
     faults = _schedule_campaign(manager, cluster, spec)
     system.run(seconds(spec.duration_s))
+
+    if cluster.sanitizer is not None:
+        poolsan = cluster.sanitizer.report()
+        if poolsan:
+            raise RuntimeError(
+                f"poolsan: {len(poolsan)} finding(s) in "
+                f"{spec.label} seed={seed}:\n"
+                + "\n".join(f.render() for f in poolsan))
 
     detections = tuple(
         _score_fault(fault, window, system.analyzer.problems)

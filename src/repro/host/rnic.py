@@ -143,7 +143,7 @@ class Rnic:
     def __init__(self, name: str, ip: str, sim: Simulator, fabric: Fabric,
                  clock: Clock, rng: RngStream, *,
                  link_gbps: float = 400.0, pcie_gbps: float = 512.0,
-                 qpc_cache_slots: int = 256):
+                 qpc_cache_slots: int = 256, sanitizer=None):
         self.name = name
         self.ip = ip
         self.sim = sim
@@ -180,6 +180,9 @@ class Rnic:
         # CQE free list (bounded; active only when the fabric pools).
         self._cqe_free: list[Cqe] = []
         self._cqe_pool_limit = 64 if fabric.pooling else 0
+        # Pool sanitizer: explicit kwarg wins, else inherited from the
+        # fabric (the same way the pooling knob is).
+        self._san = sanitizer if sanitizer is not None else fabric.sanitizer
         # Host TCP stack hook (Pingmesh baseline, checkpoint traffic).
         self.tcp_handler: Optional[
             Callable[[Packet, DeliveryRecord], None]] = None
@@ -403,6 +406,8 @@ class Rnic:
         """
         if self._cqe_free:
             cqe = self._cqe_free.pop()
+            if self._san is not None:
+                self._san.reacquire_cqe(cqe)
             cqe.kind = kind
             cqe.qpn = qpn
             cqe.wr_id = wr_id
@@ -414,12 +419,18 @@ class Rnic:
             cqe.src_port = 0
             cqe.opcode = None
             return cqe
-        return Cqe(kind=kind, qpn=qpn, wr_id=wr_id,
-                   rnic_timestamp_ns=rnic_timestamp_ns)
+        cqe = Cqe(kind=kind, qpn=qpn, wr_id=wr_id,
+                  rnic_timestamp_ns=rnic_timestamp_ns)
+        if self._san is not None:
+            self._san.acquire_cqe(cqe)
+        return cqe
 
     def release_cqe(self, cqe: Cqe) -> None:
         """Hand a fully-consumed CQE back for reuse (copy fields first)."""
-        if len(self._cqe_free) < self._cqe_pool_limit:
+        recycled = len(self._cqe_free) < self._cqe_pool_limit
+        if self._san is not None:
+            self._san.release_cqe(cqe, recycled=recycled)
+        if recycled:
             self._cqe_free.append(cqe)
 
     # -- receive path ---------------------------------------------------------

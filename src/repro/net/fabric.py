@@ -106,10 +106,14 @@ class Fabric:
     """Forwards packets over a :class:`Topology` inside a simulation."""
 
     def __init__(self, sim: Simulator, topology: Topology, rng: RngStream,
-                 *, pooling: bool = True, packet_pool_size: int = 4096):
+                 *, pooling: bool = True, packet_pool_size: int = 4096,
+                 sanitizer=None):
         self.sim = sim
         self.topology = topology
         self.rng = rng
+        # Opt-in pool sanitizer (repro.analysis.sanitize); shared with the
+        # packet pool here and inherited by every attached Rnic.
+        self.sanitizer = sanitizer
         # InfiniBand-style Adaptive Routing (paper §7.5): every packet may
         # take any parallel path, independent of its 5-tuple.  Probing
         # still detects problems, but traced paths stop matching the
@@ -118,7 +122,8 @@ class Fabric:
         # Pooling knob: False forces fresh allocations everywhere (digest
         # equivalence with pooling on is a tested invariant).
         self.pooling = pooling
-        self.packet_pool = PacketPool(limit=packet_pool_size if pooling else 0)
+        self.packet_pool = PacketPool(
+            limit=packet_pool_size if pooling else 0, sanitizer=sanitizer)
         self._hasher = EcmpHasher()
         # Fault-free fast-path state: the scan result is valid for exactly
         # one topology knob_epoch; the resolved-path cache for exactly one
@@ -281,9 +286,16 @@ class Fabric:
 
     def _begin_transit(self, packet: Packet, cached: _CachedPath) -> None:
         free = self._transit_free
-        transit = free.pop() if free else _Transit()
+        if free:
+            transit = free.pop()
+            if self.sanitizer is not None:
+                self.sanitizer.reacquire_transit(transit)
+        else:
+            transit = _Transit()
+            if self.sanitizer is not None:
+                self.sanitizer.acquire_transit(transit)
         transit.fabric = self
-        transit.packet = packet
+        transit.packet = packet  # detlint: disable=DET007 in-flight slot; cleared by _release_transit before the packet is recycled
         transit.path = cached
         transit.idx = 0
         transit.is_roce = packet.traffic_class == TC_ROCE
@@ -293,7 +305,10 @@ class Fabric:
         transit.packet = None
         transit.path = None
         free = self._transit_free
-        if len(free) < self._transit_pool_limit:
+        recycled = len(free) < self._transit_pool_limit
+        if self.sanitizer is not None:
+            self.sanitizer.release_transit(transit, recycled=recycled)
+        if recycled:
             free.append(transit)
 
     def _transit_step(self, transit: _Transit) -> None:
@@ -440,8 +455,12 @@ class Fabric:
         record = DropRecord(self.sim.now, packet, reason, link, node)
         self.drop_counts[reason.value] = \
             self.drop_counts.get(reason.value, 0) + 1
+        if self.sanitizer is not None and packet.pooled:
+            # Dropped packets are never recycled: the DropRecord keeps
+            # them as evidence (DESIGN.md §10).  Tell the leak detector.
+            self.sanitizer.retain_packet(packet, f"drop evidence: {reason.value}")
         if len(self.drops) < self.max_drop_log:
-            self.drops.append(record)
+            self.drops.append(record)  # detlint: disable=DET007 DropRecords retain dropped packets as evidence; never recycled
         if self.tracer is not None:
             seq, leg = self._probe_leg(packet)
             if seq is not None:

@@ -104,16 +104,20 @@ class PacketPool:
     * every acquired field is reassigned on reuse (payload dicts are
       cleared), so no stale state can leak between probes;
     * ``limit=0`` disables reuse; acquire still works and must be
-      behaviourally indistinguishable (golden digests prove it).
+      behaviourally indistinguishable (golden digests prove it);
+    * with a ``sanitizer`` (PoolSan, DESIGN.md §12) every acquire/release
+      is tracked, released packets are poisoned, and double-releasing a
+      pool-owned packet raises instead of passing silently.
     """
 
-    __slots__ = ("limit", "_free", "reused", "released")
+    __slots__ = ("limit", "_free", "reused", "released", "_san")
 
-    def __init__(self, limit: int = 0):
+    def __init__(self, limit: int = 0, *, sanitizer=None):
         self.limit = limit
         self._free: list[RoCEPacket] = []
         self.reused = 0
         self.released = 0
+        self._san = sanitizer
 
     def acquire_roce(self, five_tuple: FiveTuple, size_bytes: int,
                      opcode: RoCEOpcode, src_qpn: int, dst_qpn: int,
@@ -124,6 +128,8 @@ class PacketPool:
         if free:
             self.reused += 1
             packet = free.pop()
+            if self._san is not None:
+                self._san.reacquire_packet(packet)
             packet.five_tuple = five_tuple
             packet.size_bytes = size_bytes
             packet.traffic_class = TC_ROCE
@@ -145,13 +151,30 @@ class PacketPool:
             opcode=opcode, src_qpn=src_qpn, dst_qpn=dst_qpn,
             src_gid=src_gid, dst_gid=dst_gid, payload=dict(payload))
         packet.pooled = True
+        if self._san is not None:
+            self._san.acquire_packet(packet)
         return packet
 
     def release(self, packet: Packet) -> None:
-        """Return a delivered pool-owned packet; foreign packets pass by."""
-        if packet.pooled and len(self._free) < self.limit:
+        """Return a delivered pool-owned packet; foreign packets pass by.
+
+        A packet without the ``pooled`` flag is ignored: either it was
+        never pool-owned (hand-constructed), or it was *already released*
+        — the first release clears the flag.  The sanitizer tells those
+        apart and raises :class:`~repro.analysis.sanitize.
+        PoolSanitizerError` on the double-release case, which plain mode
+        cannot distinguish and must let pass.
+        """
+        if not packet.pooled:
+            if self._san is not None:
+                self._san.foreign_release(packet)
+            return
+        packet.pooled = False
+        recycled = len(self._free) < self.limit
+        if self._san is not None:
+            self._san.release_packet(packet, recycled=recycled)
+        if recycled:
             self.released += 1
-            packet.pooled = False
             self._free.append(packet)
 
 

@@ -328,7 +328,8 @@ class Simulator:
 
     def __init__(self, *, seed: int = 0, check_invariants: bool = False,
                  bucket_bits: int = BUCKET_BITS_DEFAULT,
-                 event_pool_size: int = EVENT_POOL_DEFAULT):
+                 event_pool_size: int = EVENT_POOL_DEFAULT,
+                 sanitizer=None):
         self._queue = CalendarQueue(bucket_bits=bucket_bits)
         self._seq = itertools.count()
         self._now = 0
@@ -352,6 +353,34 @@ class Simulator:
         # so pool size 0 is behaviourally identical to any positive size.
         self._event_pool_size = event_pool_size
         self._event_free: list[_Event] = []
+        # Opt-in pool sanitizer (repro.analysis.sanitize.PoolSanitizer):
+        # observes every _Event acquire/recycle and poisons recycled
+        # records.  Like the profiler it only watches — digests must be
+        # byte-identical with or without it.
+        self._san = None
+        if sanitizer is not None:
+            self.set_sanitizer(sanitizer)
+
+    def set_sanitizer(self, sanitizer) -> None:
+        """Install (or, with None, remove) a pool sanitizer."""
+        self._san = sanitizer
+        if sanitizer is not None:
+            sanitizer.bind_sim(self)
+
+    @property
+    def sanitizer(self):
+        """The installed pool sanitizer, if any."""
+        return self._san
+
+    @property
+    def queue_depth(self) -> int:
+        """Queued events including cancelled-but-unpopped ones.
+
+        The sanitizer's event-accounting invariant compares this against
+        its outstanding-record count; ordinary code wants :meth:`pending`
+        (live events only).
+        """
+        return len(self._queue)
 
     def set_profiler(self, profiler) -> None:
         """Install (or, with None, remove) an event profiler."""
@@ -375,12 +404,16 @@ class Simulator:
         free = self._event_free
         if free:
             event = free.pop()
+            if self._san is not None:
+                self._san.reacquire_event(event)
             event.time = time
             event.seq = next(self._seq)
             event.callback = callback
             event.cancelled = False
         else:
             event = _Event(time, next(self._seq), callback)
+            if self._san is not None:
+                self._san.acquire_event(event)
         self._queue.push(event)
         return EventHandle(event, self._queue)
 
@@ -403,12 +436,16 @@ class Simulator:
         free = self._event_free
         if free:
             event = free.pop()
+            if self._san is not None:
+                self._san.reacquire_event(event)
             event.time = self._now + delay
             event.seq = next(self._seq)
             event.callback = callback
             event.cancelled = False
         else:
             event = _Event(self._now + delay, next(self._seq), callback)
+            if self._san is not None:
+                self._san.acquire_event(event)
         self._queue.push(event)
 
     def every(self, interval: int, callback: Callable[[], None], *,
@@ -423,7 +460,10 @@ class Simulator:
         event.gen += 1
         event.callback = None
         free = self._event_free
-        if len(free) < self._event_pool_size:
+        recycled = len(free) < self._event_pool_size
+        if self._san is not None:
+            self._san.release_event(event, recycled=recycled)
+        if recycled:
             free.append(event)
 
     def _drain(self, limit_time: int, max_events: Optional[int] = None) -> None:

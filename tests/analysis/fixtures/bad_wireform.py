@@ -1,0 +1,34 @@
+"""detlint fixture: DET008 — mutating wire-form state in place."""
+
+
+class Aggregator:
+    def patch_summary(self, summary) -> None:
+        object.__setattr__(summary, "window_end_ns", 0)  # DET008
+
+    def tweak_sketch(self, sketch) -> None:
+        state = sketch.state()
+        state["buckets"] = {}  # DET008: item assignment
+
+    def bump(self, sketch) -> None:
+        state = sketch.state()
+        state["count"] += 1  # DET008: augmented update
+
+    def mutate_directly(self, tracker) -> None:
+        tracker.state().update({"n": 0})  # DET008: mutator on .state()
+
+    def grow_summary(self, shard) -> None:
+        summary = ShardWindowSummary(shard)
+        summary.problems.append("x")  # DET008: mutator one level deep
+
+    def copy_first_is_fine(self, sketch) -> None:
+        state = dict(sketch.state())
+        state["count"] = 1  # copied before mutating: ok
+
+    def reading_is_fine(self, sketch) -> int:
+        state = sketch.state()
+        return sum(state.values())
+
+
+class FrozenRecord:
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "derived", 1)  # construction: ok

@@ -1,0 +1,13 @@
+"""detlint fixture: valid suppressions for the pooling rules."""
+
+
+class Evidence:
+    def keep(self, packet: Packet) -> None:
+        self.evidence.append(packet)  # detlint: disable=DET007 fixture: documented retain, never recycled
+
+    def rebuild(self, sketch) -> None:
+        state = sketch.state()
+        state["n"] = 0  # detlint: disable=DET008 fixture: scratch copy semantics
+
+    def introspect(self, pool) -> int:
+        return len(pool._free)  # detlint: disable=DET009 fixture: debug introspection

@@ -90,6 +90,29 @@ class TestPacketPool:
         second = _acquire(pool)
         assert first is not second
 
+    def test_double_release_raises_under_sanitize(self):
+        """The silent no-op above becomes a hard error with PoolSan on.
+
+        Plain pools must stay forgiving (foreign packets legitimately
+        pass through release), but under ``sanitize=True`` a second
+        release of a pool-owned packet is the exact double-free bug the
+        sanitizer exists for — it must raise, not pass.
+        """
+        import pytest
+        from repro.analysis.sanitize import PoolSanitizer, \
+            PoolSanitizerError
+        sanitizer = PoolSanitizer()
+        sanitizer.bind_sim(Simulator(seed=0))
+        pool = PacketPool(limit=4, sanitizer=sanitizer)
+        packet = _acquire(pool)
+        pool.release(packet)
+        with pytest.raises(PoolSanitizerError, match="double release"):
+            pool.release(packet)
+        # The free list is intact: exactly one copy was banked, so two
+        # acquires still hand out distinct objects.
+        assert pool.released == 1
+        assert _acquire(pool) is not _acquire(pool)
+
     def test_dropped_packets_keep_their_evidence(self, tiny_clos):
         """DropRecords retain the packet; the pool must never rewrite it."""
         fabric = tiny_clos.fabric
