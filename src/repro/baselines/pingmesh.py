@@ -16,6 +16,7 @@ Structural limitations reproduced here, which motivate R-Pingmesh:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Optional
 
 from repro.cluster import Cluster
@@ -77,7 +78,7 @@ class PingmeshAgent:
             issued_at_ns=self.cluster.sim.now)
         self._pending[seq] = pending
         pending.timeout_handle = self.cluster.sim.call_later(
-            self.timeout_ns, lambda: self._on_timeout(seq))
+            self.timeout_ns, partial(self._on_timeout, seq))
         if not self.host.up or not self.nic.operational:
             return  # will time out
         # Userspace + kernel stack cost before the packet hits the wire —
@@ -90,9 +91,7 @@ class PingmeshAgent:
             size_bytes=PROBE_BYTES,
             payload={"t": "ping", "seq": seq, "from": self.nic.ip})
         self.cluster.sim.call_later(
-            send_delay,
-            lambda: self.cluster.fabric.inject(packet, self.nic.name)
-            if self.nic.operational else None)
+            send_delay, partial(self._inject_if_up, packet))
 
     def _on_timeout(self, seq: int) -> None:
         pending = self._pending.pop(seq, None)
@@ -123,9 +122,11 @@ class PingmeshAgent:
             size_bytes=PROBE_BYTES,
             payload={"t": "pong", "seq": packet.payload["seq"]})
         self.cluster.sim.call_later(
-            delay,
-            lambda: self.cluster.fabric.inject(reply, self.nic.name)
-            if self.nic.operational else None)
+            delay, partial(self._inject_if_up, reply))
+
+    def _inject_if_up(self, packet: Packet) -> None:
+        if self.nic.operational:
+            self.cluster.fabric.inject(packet, self.nic.name)
 
     def _complete(self, packet: Packet) -> None:
         pending = self._pending.pop(packet.payload["seq"], None)

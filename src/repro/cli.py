@@ -2,7 +2,8 @@
 
 Usage (installed as ``repro-pingmesh``, or ``python -m repro.cli``)::
 
-    repro-pingmesh monitor  [--seed N] [--duration S]
+    repro-pingmesh monitor  [--seed N] [--duration S] [--metrics-port P]
+    repro-pingmesh serve    [--port P] [--pace S] [--checkpoint PATH]
     repro-pingmesh inject   --fault FAULT [--duration S] [--seed N]
     repro-pingmesh triage   [--scenario compute_bug|switch_drops]
     repro-pingmesh catalog  [--rows 1,2,...]
@@ -12,7 +13,12 @@ Usage (installed as ``repro-pingmesh``, or ``python -m repro.cli``)::
     repro-pingmesh fleet    run [--preset P] [--workers N] [--out PATH]
     repro-pingmesh fleet    report --artifact PATH
 
-* ``monitor`` — deploy on a healthy cluster and print SLA dashboards.
+* ``monitor`` — deploy on a healthy cluster and print SLA dashboards;
+  alert rules are evaluated every simulated second and ``--metrics-port``
+  exposes ``/metrics`` for the duration of the batch run.
+* ``serve``   — the long-running service mode: wall-clock-paced ticks, a
+  Prometheus ``/metrics`` endpoint, health/readiness probes, on-demand
+  checkpoints, and an optional live TUI (DESIGN.md §13).
 * ``inject``  — inject one named fault and watch detection/localisation.
 * ``triage``  — the §7.2 "is it a network problem?" workflow.
 * ``catalog`` — run Table 2 rows end to end.
@@ -81,15 +87,108 @@ def _deploy(seed: int,
 
 
 def cmd_monitor(args: argparse.Namespace) -> int:
-    cluster, system = _deploy(args.seed, _config_from_args(args))
-    print(f"monitoring a {cluster.size}-RNIC cluster for "
+    from repro.serve import ServeSession, ServeSpec
+    from repro.serve.alerts import AlertRule
+    from repro.serve.session import DEFAULT_ALERT_RULES
+
+    config = _config_from_args(args)
+    rules = tuple(AlertRule.parse(text)
+                  for text in (args.rule or DEFAULT_ALERT_RULES))
+    spec = ServeSpec(seed=args.seed, pods=2, tors_per_pod=2,
+                     aggs_per_pod=2, spines=2, hosts_per_tor=3,
+                     control_latency_ns=config.control_latency_ns,
+                     control_jitter_ns=config.control_jitter_ns,
+                     control_loss_prob=config.control_loss_prob,
+                     rules=rules)
+    session = ServeSession(spec)
+    server = None
+    if args.metrics_port is not None:
+        from repro.serve.http import ServeHTTPServer
+        server = ServeHTTPServer(session, port=args.metrics_port)
+        server.start()
+        print(f"metrics: {server.url}/metrics")
+    print(f"monitoring a {session.cluster.size}-RNIC cluster for "
           f"{args.duration}s of simulated time...")
-    step = 20
-    for _ in range(max(1, args.duration // step)):
-        cluster.sim.run_for(seconds(step))
-    print(render_analyzer_state(system.analyzer))
+    try:
+        for _ in range(args.duration):
+            if server is not None:
+                with server.lock:
+                    transitions = session.tick()
+            else:
+                transitions = session.tick()
+            for event in transitions:
+                print(f"  alert {event.state:<8} {event.alert} "
+                      f"value={event.value} at t={event.sim_now_ns // 10**9}s")
+    finally:
+        if server is not None:
+            server.stop()
+    print(render_analyzer_state(session.system.analyzer))
     if args.control_plane:
-        print(render_control_plane(system))
+        print(render_control_plane(session.system))
+    firing = session.alerts.firing()
+    if firing:
+        print("alerts firing: " + ", ".join(firing))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import (ServeSession, ServeSpec, load_checkpoint,
+                             parse_fault_spec, save_checkpoint)
+    from repro.serve.alerts import AlertRule
+    from repro.serve.http import ServeHTTPServer
+    from repro.serve.runner import run_serve
+    from repro.serve.session import DEFAULT_ALERT_RULES
+    from repro.serve.tui import render_serve
+
+    if args.restore:
+        session = load_checkpoint(args.restore)
+        print(f"restored {args.restore}: tick={session.ticks} "
+              f"sim={session.cluster.sim.now // 10**9}s "
+              f"config={session.config_digest[:12]}")
+    else:
+        campaign = tuple(parse_fault_spec(text) for text in args.fault)
+        rules = tuple(AlertRule.parse(text)
+                      for text in (args.rule or DEFAULT_ALERT_RULES))
+        spec = ServeSpec(seed=args.seed, pods=args.pods,
+                         tors_per_pod=args.tors_per_pod,
+                         aggs_per_pod=args.aggs_per_pod,
+                         spines=args.spines,
+                         hosts_per_tor=args.hosts_per_tor,
+                         shards=args.shards, campaign=campaign,
+                         rules=rules)
+        session = ServeSession(spec)
+    server = ServeHTTPServer(session, host=args.host, port=args.port,
+                             checkpoint_path=args.checkpoint or None,
+                             allow_inject=args.allow_inject)
+    server.start()
+    print(f"serving on {server.url}  seed={session.spec.seed} "
+          f"shards={session.spec.shards} tick={session.ticks}")
+
+    def frame(s: "ServeSession") -> None:
+        if args.tui:
+            prefix = "\x1b[2J\x1b[H" if sys.stdout.isatty() else ""
+            print(prefix + render_serve(s, url=server.url))
+        if (args.checkpoint and args.checkpoint_every
+                and s.ticks % args.checkpoint_every == 0):
+            with server.lock:
+                save_checkpoint(s, args.checkpoint)
+
+    try:
+        executed = run_serve(session, server, pace_s=args.pace,
+                             max_ticks=args.ticks, render=frame)
+    except KeyboardInterrupt:
+        executed = None
+        print("interrupted; shutting down cleanly")
+    finally:
+        if args.checkpoint:
+            with server.lock:
+                save_checkpoint(session, args.checkpoint)
+            print(f"checkpoint written: {args.checkpoint} "
+                  f"(tick={session.ticks})")
+        server.stop()
+    suffix = "" if executed is None else f" ({executed} this run)"
+    print(f"stopped at tick={session.ticks}{suffix} "
+          f"digest={session.replay_digest()[:12]}")
     return 0
 
 
@@ -346,7 +445,53 @@ def build_parser() -> argparse.ArgumentParser:
                          help="management-network latency (default 0)")
     monitor.add_argument("--control-loss", type=float, default=0.0,
                          help="management-network loss probability")
+    monitor.add_argument("--rule", action="append", default=[],
+                         help="alert rule 'NAME: SERIES OP THRESHOLD "
+                              "[for N] [keep M]' (repeatable; default: "
+                              "the built-in pair)")
+    monitor.add_argument("--metrics-port", type=int, default=None,
+                         help="expose /metrics on this port during the "
+                              "batch run (0 = ephemeral)")
     monitor.set_defaults(func=cmd_monitor)
+
+    serve = sub.add_parser("serve",
+                           help="long-running monitor with /metrics, "
+                                "alerting, checkpoints, and a live TUI")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--pods", type=int, default=1)
+    serve.add_argument("--tors-per-pod", type=int, default=2)
+    serve.add_argument("--aggs-per-pod", type=int, default=2)
+    serve.add_argument("--spines", type=int, default=1)
+    serve.add_argument("--hosts-per-tor", type=int, default=2)
+    serve.add_argument("--shards", type=int, default=1,
+                       help="control-plane shards (1 = unsharded)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="HTTP port (0 = ephemeral; printed on boot)")
+    serve.add_argument("--pace", type=float, default=1.0,
+                       help="wall-clock seconds per tick (0 = flat out)")
+    serve.add_argument("--ticks", type=int, default=None,
+                       help="stop after this many ticks (default: run "
+                            "until POST /shutdown or SIGINT)")
+    serve.add_argument("--checkpoint", default="",
+                       help="checkpoint file path; written on exit, on "
+                            "POST /checkpoint, and every "
+                            "--checkpoint-every ticks")
+    serve.add_argument("--checkpoint-every", type=int, default=0,
+                       help="auto-checkpoint period in ticks (0 = off)")
+    serve.add_argument("--restore", default="",
+                       help="resume from this checkpoint file (world "
+                            "flags are ignored; the spec rides along)")
+    serve.add_argument("--fault", action="append", default=[],
+                       help="schedule 'KIND@START[-END]:LOCUS,...[:k=v,"
+                            "...]' (repeatable, simulated seconds)")
+    serve.add_argument("--rule", action="append", default=[],
+                       help="alert rule (same grammar as monitor --rule)")
+    serve.add_argument("--allow-inject", action="store_true",
+                       help="enable the POST /inject endpoint")
+    serve.add_argument("--tui", action="store_true",
+                       help="render a live dashboard frame every tick")
+    serve.set_defaults(func=cmd_serve)
 
     inject = sub.add_parser("inject", help="inject one fault and watch")
     inject.add_argument("--fault", required=True,

@@ -17,6 +17,7 @@ is a crash of the host (an Agent's RAM buffer does not survive reboots).
 from __future__ import annotations
 
 from collections import OrderedDict
+from functools import partial
 from typing import Callable, Optional
 
 from repro.controlplane.endpoint import Endpoint, ReplyCallback
@@ -26,6 +27,15 @@ from repro.host.rnic import CommInfo
 
 CONTROLLER_ENDPOINT = "controller"
 ANALYZER_ENDPOINT = "analyzer"
+
+
+def _always_alive() -> bool:
+    """Default liveness probe (module-level so client graphs pickle)."""
+    return True
+
+
+def _discard_reply(reply) -> None:
+    """Fire-and-forget reply sink for acked requests."""
 
 
 class ControllerClient:
@@ -41,7 +51,7 @@ class ControllerClient:
 
     def __init__(self, endpoint: Endpoint, config: RPingmeshConfig,
                  controller: str = CONTROLLER_ENDPOINT, *,
-                 is_alive: Callable[[], bool] = lambda: True):
+                 is_alive: Callable[[], bool] = _always_alive):
         self._endpoint = endpoint
         self._config = config
         self._controller = controller
@@ -65,9 +75,9 @@ class ControllerClient:
                       self._config.upload_backoff_max_ns)
         self._endpoint.request(
             self._controller, method, payload,
-            on_reply=lambda reply: None,
+            on_reply=_discard_reply,
             timeout_ns=timeout,
-            on_timeout=lambda: self._on_timeout(method, payload, attempt))
+            on_timeout=partial(self._on_timeout, method, payload, attempt))
 
     def _on_timeout(self, method: str, payload, attempt: int) -> None:
         if not self._is_alive():
@@ -88,7 +98,7 @@ class UploadChannel:
 
     def __init__(self, endpoint: Endpoint, config: RPingmeshConfig, *,
                  analyzer: str = ANALYZER_ENDPOINT,
-                 is_alive: Callable[[], bool] = lambda: True):
+                 is_alive: Callable[[], bool] = _always_alive):
         self._endpoint = endpoint
         self._config = config
         self._analyzer = analyzer
@@ -129,9 +139,9 @@ class UploadChannel:
             return  # dropped from the buffer while a retry was pending
         self._endpoint.request(
             self._analyzer, "upload", batch,
-            on_reply=lambda reply, uid=uid: self._on_ack(uid, reply),
+            on_reply=partial(self._on_ack, uid),
             timeout_ns=self._ack_timeout_ns(attempt),
-            on_timeout=lambda uid=uid, a=attempt: self._on_timeout(uid, a))
+            on_timeout=partial(self._on_timeout, uid, attempt))
 
     def _on_ack(self, uid: int, reply: Optional[dict]) -> None:
         if self._buffer.pop(uid, None) is None:

@@ -15,6 +15,7 @@ bit-for-bit identical to direct calls.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Callable, Optional
 
 from repro.controlplane.messages import Envelope, MessageKind
@@ -76,7 +77,7 @@ class Endpoint:
             payload=payload, msg_id=msg_id, sent_at_ns=self.sim.now))
         if timeout_ns is not None and msg_id in self._pending:
             pending.timeout_handle = self.sim.call_later(
-                timeout_ns, lambda: self._expire(msg_id, on_timeout))
+                timeout_ns, partial(self._expire, msg_id, on_timeout))
         return msg_id
 
     def cancel_request(self, msg_id: int) -> None:

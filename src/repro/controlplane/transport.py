@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Optional
 
 from repro.controlplane.messages import Envelope
@@ -80,6 +81,7 @@ class EndpointStats:
     def __init__(self, registry: MetricsRegistry, endpoint: str):
         object.__setattr__(self, "_counters", {
             name: registry.counter(self._series_name(name),
+                                   help=self._FIELDS[name],
                                    endpoint=endpoint)
             for name in self._FIELDS})
 
@@ -101,6 +103,14 @@ class EndpointStats:
         if name not in counters:
             raise AttributeError(f"EndpointStats has no field {name!r}")
         counters[name].value = value
+
+    # The __setattr__ override would reject the default slot-state
+    # restore path, so pickling spells the round-trip out explicitly.
+    def __getstate__(self):
+        return object.__getattribute__(self, "_counters")
+
+    def __setstate__(self, counters) -> None:
+        object.__setattr__(self, "_counters", counters)
 
     @property
     def dropped(self) -> int:
@@ -246,7 +256,7 @@ class ManagementNetwork:
         if delay <= 0:
             self._deliver(env, 0)
         else:
-            self.sim.call_later(delay, lambda: self._deliver(env, delay))
+            self.sim.call_later(delay, partial(self._deliver, env, delay))
         return True
 
     def _deliver(self, env: Envelope, delay: int) -> None:

@@ -36,6 +36,7 @@ hotspot paths are sampled at random phases of the DML cycle.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Optional
 
 from repro.cluster import Cluster
@@ -119,12 +120,12 @@ class Agent:
         client_kwargs = ({"controller": controller_endpoint}
                          if controller_endpoint is not None else {})
         self.client = ControllerClient(self.endpoint, config,
-                                       is_alive=lambda: self.host.up,
+                                       is_alive=self.host.is_up,
                                        **client_kwargs)
         upload_kwargs = ({"analyzer": analyzer_endpoint}
                          if analyzer_endpoint is not None else {})
         self.uploads = UploadChannel(self.endpoint, config,
-                                     is_alive=lambda: self.host.up,
+                                     is_alive=self.host.is_up,
                                      **upload_kwargs)
         # Probe-lifecycle tracing (repro.obs): the Agent owns the span —
         # it opens one per probe sent and closes it exactly once, in
@@ -167,20 +168,20 @@ class Agent:
         state = _RnicAgentState(rnic=rnic, qp=None)  # type: ignore[arg-type]
         state.qp = self.host.verbs.create_qp(
             rnic, QPType.UD,
-            on_cqe=lambda cqe, s=state: self._on_cqe(s, cqe))
+            on_cqe=partial(self._on_cqe, state))
         sim = self.cluster.sim
         cfg = self.config
         state.tasks.append(sim.every(
             cfg.tor_mesh_interval_ns(),
-            lambda s=state: self._probe_next(s, ProbeKind.TOR_MESH),
+            partial(self._probe_next, state, ProbeKind.TOR_MESH),
             jitter=cfg.tor_mesh_interval_ns() // 4))
         state.tasks.append(sim.every(
             cfg.tor_mesh_interval_ns(),  # retimed when pinglists arrive
-            lambda s=state: self._probe_next(s, ProbeKind.INTER_TOR),
+            partial(self._probe_next, state, ProbeKind.INTER_TOR),
             jitter=cfg.tor_mesh_interval_ns() // 4))
         state.tasks.append(sim.every(
             cfg.service_probe_interval_ns,
-            lambda s=state: self._probe_next_service(s),
+            partial(self._probe_next_service, state),
             jitter=cfg.service_probe_interval_ns // 4))
         return state
 
@@ -201,7 +202,7 @@ class Agent:
             self.host.verbs.destroy_qp(state.rnic, state.qp)
             state.qp = self.host.verbs.create_qp(
                 state.rnic, QPType.UD,
-                on_cqe=lambda cqe, s=state: self._on_cqe(s, cqe))
+                on_cqe=partial(self._on_cqe, state))
             comm_infos[name] = state.rnic.comm_info(state.qp.qpn)
         for name, info in comm_infos.items():
             self.client.update_comm_info(name, info)
@@ -252,8 +253,7 @@ class Agent:
             state.service_live.add(qpn)
             self.client.resolve_ip(
                 event.remote_ip,
-                lambda resolved, s=state, q=qpn, p=src_port:
-                    self._on_service_resolved(s, q, p, resolved))
+                partial(self._on_service_resolved, state, qpn, src_port))
         elif event.kind == QpEventKind.DESTROY:
             state.service_live.discard(event.local_qpn)
             state.service.pop(event.local_qpn, None)
@@ -280,8 +280,7 @@ class Agent:
             for qpn, entry in list(state.service.items()):
                 self.client.resolve_ip(
                     entry.target.ip,
-                    lambda resolved, s=state, q=qpn, e=entry:
-                        self._on_service_refreshed(s, q, e, resolved))
+                    partial(self._on_service_refreshed, state, qpn, entry))
 
     def _on_service_refreshed(self, state: _RnicAgentState, qpn: int,
                               entry: PinglistEntry, resolved) -> None:
@@ -325,7 +324,7 @@ class Agent:
         state.outstanding[seq] = out
         out.timeout_handle = self.cluster.sim.call_later(
             self.config.probe_timeout_ns,
-            lambda: self._on_timeout(state, seq))
+            partial(self._on_timeout, state, seq))
         if self.tracer.enabled:
             self.tracer.open_span(
                 seq, now, kind=entry.kind.value,
@@ -406,7 +405,7 @@ class Agent:
                               cpu_delay_ns=delay)
         self.cluster.sim.schedule(
             delay,
-            lambda: self._post_ack1(state, reply_to, src_port, seq, t3))
+            partial(self._post_ack1, state, reply_to, src_port, seq, t3))
 
     def _post_ack1(self, state: _RnicAgentState, reply_to: CommInfo,
                    src_port: int, seq: int, t3: int) -> None:
@@ -449,7 +448,7 @@ class Agent:
             self.tracer.event(out.seq, now, "prober.ack1_processing",
                               host=self.host.name, cpu_delay_ns=delay)
         self.cluster.sim.schedule(
-            delay, lambda: self._stamp_t6(state, out.seq))
+            delay, partial(self._stamp_t6, state, out.seq))
 
     def _stamp_t6(self, state: _RnicAgentState, seq: int) -> None:
         out = state.outstanding.get(seq)

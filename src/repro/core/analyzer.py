@@ -120,9 +120,11 @@ class Analyzer:
         """Attach the Analyzer's endpoint; uploads are acked requests."""
         self.endpoint = (
             Endpoint(self.endpoint_name, network)
-            .on("upload", lambda batch:
-                {"accepted": self.receive_upload(batch)}))
+            .on("upload", self._handle_upload))
         return self.endpoint
+
+    def _handle_upload(self, batch) -> dict:
+        return {"accepted": self.receive_upload(batch)}
 
     def attach_service_monitor(self, monitor: ServiceMonitor) -> None:
         """Plug in the service team's degradation signal (§4.3.4)."""

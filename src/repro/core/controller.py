@@ -81,7 +81,7 @@ class Controller:
         self.endpoint = (
             Endpoint(self.endpoint_name, network)
             .on("register", self._handle_register)
-            .on("update_comm_info", lambda p: self.update_comm_info(*p))
+            .on("update_comm_info", self._handle_update_comm_info)
             .on("resolve_ip", self.resolve_ip))
         return self.endpoint
 
@@ -90,6 +90,9 @@ class Controller:
         if self._scope_tors is not None:
             return list(self._scope_tors)
         return self.cluster.tors()
+
+    def _handle_update_comm_info(self, payload) -> None:
+        self.update_comm_info(*payload)
 
     def _handle_register(self, payload: dict) -> dict:
         self.register_host(payload["host"], payload["endpoint"],

@@ -7,7 +7,7 @@ tests and examples.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Mapping, Optional
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional
 
 from repro.core.analyzer import Analyzer
 from repro.core.records import Problem
@@ -16,6 +16,36 @@ from repro.core.sla import SlaWindow
 if TYPE_CHECKING:
     from repro.core.system import RPingmesh
     from repro.obs import Observability
+
+# Eight-level block ramp for terminal sparklines.
+SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def render_sparkline(values: Iterable[Optional[float]], *,
+                     width: int = 48) -> str:
+    """Render a numeric series as a unicode sparkline.
+
+    ``None`` entries (no sample that tick) render as spaces, holding
+    their place in the timeline.  A constant series renders at the
+    middle level; a single point likewise.  Only the most recent
+    ``width`` entries are drawn.
+    """
+    window = list(values)[-width:]
+    present = [v for v in window if v is not None]
+    if not present:
+        return " " * len(window)  # all gaps still hold the timeline
+    lo, hi = min(present), max(present)
+    mid = SPARK_LEVELS[len(SPARK_LEVELS) // 2]
+    out = []
+    for value in window:
+        if value is None:
+            out.append(" ")
+        elif hi == lo:
+            out.append(mid)
+        else:
+            index = int((value - lo) / (hi - lo) * (len(SPARK_LEVELS) - 1))
+            out.append(SPARK_LEVELS[index])
+    return "".join(out)
 
 
 def _fmt_ns_as_us(ns: Optional[float]) -> str:

@@ -17,6 +17,7 @@ describes:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Optional
 
 from repro.cluster import Cluster
@@ -74,7 +75,7 @@ class RailProber:
         for rnic in host.rnics:
             self._qps[rnic.name] = host.verbs.create_qp(
                 rnic, QPType.UD,
-                on_cqe=lambda cqe, name=rnic.name: self._on_cqe(name, cqe))
+                on_cqe=partial(self._on_cqe, rnic.name))
 
     # -- probing -------------------------------------------------------------
 
@@ -91,7 +92,7 @@ class RailProber:
                            issued_at_ns=self.cluster.sim.now)
         self._pending[seq] = pending
         pending.timeout_handle = self.cluster.sim.call_later(
-            self.timeout_ns, lambda: self._on_timeout(seq))
+            self.timeout_ns, partial(self._on_timeout, seq))
         try:
             src.post_send(self._qps[src_rnic],
                           dst.comm_info(self._qps[dst_rnic].qpn),

@@ -32,6 +32,7 @@ from __future__ import annotations
 import dataclasses
 from collections import Counter
 from dataclasses import dataclass
+from functools import partial
 from typing import Any, Optional
 
 from repro.cluster import Cluster
@@ -633,8 +634,8 @@ class RootAnalyzer:
                   ordered: list[ShardWindowSummary]) -> None:
         report = SlaReport(
             window.window_start_ns, window.window_end_ns,
-            tracker=lambda: QuantileSketch(
-                self.config.sketch_relative_accuracy))
+            tracker=partial(QuantileSketch,
+                            self.config.sketch_relative_accuracy))
         for scope_name in ("cluster", "service"):
             scope: SlaWindow = getattr(report, scope_name)
             for s in ordered:  # sorted shard order: deterministic fold

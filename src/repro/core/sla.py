@@ -22,6 +22,7 @@ Both answer ``None`` on empty, so the reporting surface is identical.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Optional, Union
 
 from repro.sim.sketch import QuantileSketch
@@ -42,8 +43,7 @@ def tracker_factory(config=None) -> TrackerFactory:
     a fixed per-window footprint and order-independent mergeability.
     """
     if config is not None and config.sla_sketch:
-        accuracy = config.sketch_relative_accuracy
-        return lambda: QuantileSketch(accuracy)
+        return partial(QuantileSketch, config.sketch_relative_accuracy)
     return PercentileTracker
 
 

@@ -116,6 +116,43 @@ class FaultEvent:
                                       **self.params_dict())
 
 
+def schedule_campaign(manager, cluster: "Cluster",
+                      campaign) -> list[tuple[Fault,
+                                              tuple[int, Optional[int]]]]:
+    """Realise a declarative campaign onto the simulator.
+
+    Shared by the fleet worker and the serve-mode fault injector.  Events
+    sharing one identity (kind, loci, params) become one fault instance
+    with several refcounted windows; the returned scoring window of that
+    fault spans from its earliest start to its latest end (or ``None`` if
+    any window is open-ended).  ``manager`` is a
+    :class:`~repro.net.faults.FaultManager`; ``campaign`` an iterable of
+    :class:`FaultEvent`.
+    """
+    from repro.sim.units import seconds
+    built: dict[tuple, Fault] = {}
+    windows: dict[tuple, list[tuple[int, Optional[int]]]] = {}
+    for event in campaign:
+        fault = built.get(event.identity)
+        if fault is None:
+            fault = event.build(cluster)
+            built[event.identity] = fault
+            windows[event.identity] = []
+        start_ns = round(event.start_s * seconds(1))
+        end_ns = (None if event.end_s is None
+                  else round(event.end_s * seconds(1)))
+        manager.schedule(fault, start_ns=start_ns, end_ns=end_ns)
+        windows[event.identity].append((start_ns, end_ns))
+    out = []
+    for identity, fault in built.items():
+        spans = windows[identity]
+        start = min(s for s, _ in spans)
+        ends = [e for _, e in spans]
+        end = None if any(e is None for e in ends) else max(ends)
+        out.append((fault, (start, end)))
+    return out
+
+
 @dataclass(frozen=True, slots=True)
 class ScenarioSpec:
     """One simulation scenario, fully declarative and digest-stable.

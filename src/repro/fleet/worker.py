@@ -30,7 +30,8 @@ from repro.cluster import Cluster
 from repro.core.config import RPingmeshConfig
 from repro.core.records import Problem, ProblemCategory
 from repro.core.system import RPingmesh
-from repro.fleet.spec import ScenarioSpec, validate_campaign_loci
+from repro.fleet.spec import (ScenarioSpec, schedule_campaign,
+                              validate_campaign_loci)
 from repro.net.faults import Fault, FaultManager, GroundTruth, LocusKind
 from repro.obs import Observability
 from repro.sim.units import MICROSECOND, seconds
@@ -113,7 +114,7 @@ def run_scenario(spec: ScenarioSpec, seed: int) -> ScenarioResult:
     system = RPingmesh(cluster, config, obs=obs)
 
     manager = FaultManager(cluster)
-    faults = _schedule_campaign(manager, cluster, spec)
+    faults = schedule_campaign(manager, cluster, spec.campaign)
     system.run(seconds(spec.duration_s))
 
     if cluster.sanitizer is not None:
@@ -152,40 +153,6 @@ def run_scenario(spec: ScenarioSpec, seed: int) -> ScenarioResult:
         metrics=metrics,
         wall_s=time.perf_counter() - start_wall,  # detlint: disable=DET001 wall_s bookkeeping
     )
-
-
-# -- campaign scheduling -------------------------------------------------------
-
-def _schedule_campaign(manager: FaultManager, cluster: Cluster, spec
-                       ) -> list[tuple[Fault, tuple[int, Optional[int]]]]:
-    """Realise the declarative campaign onto the simulator.
-
-    Events sharing one identity (kind, loci, params) become one fault
-    instance with several refcounted windows; the scoring window of that
-    fault spans from its earliest start to its latest end (or None if any
-    window is open-ended).
-    """
-    built: dict[tuple, Fault] = {}
-    windows: dict[tuple, list[tuple[int, Optional[int]]]] = {}
-    for event in spec.campaign:
-        fault = built.get(event.identity)
-        if fault is None:
-            fault = event.build(cluster)
-            built[event.identity] = fault
-            windows[event.identity] = []
-        start_ns = round(event.start_s * seconds(1))
-        end_ns = (None if event.end_s is None
-                  else round(event.end_s * seconds(1)))
-        manager.schedule(fault, start_ns=start_ns, end_ns=end_ns)
-        windows[event.identity].append((start_ns, end_ns))
-    out = []
-    for identity, fault in built.items():
-        spans = windows[identity]
-        start = min(s for s, _ in spans)
-        ends = [e for _, e in spans]
-        end = None if any(e is None for e in ends) else max(ends)
-        out.append((fault, (start, end)))
-    return out
 
 
 # -- scoring -------------------------------------------------------------------

@@ -55,6 +55,10 @@ class Host:
         """Host recovers."""
         self.up = True
 
+    def is_up(self) -> bool:
+        """Liveness probe; a picklable stand-in for ``lambda: host.up``."""
+        return self.up
+
     def read_clock(self) -> int:
         """The host CPU clock's current reading (used for ① and ⑥)."""
         return self.clock.read(self.sim.now)

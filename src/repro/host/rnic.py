@@ -24,6 +24,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
+from functools import partial
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.net.addresses import GID, FiveTuple, roce_five_tuple
@@ -323,7 +324,7 @@ class Rnic:
         departure_delay = TX_PIPELINE_NS + pcie_ns
         self.sim.schedule(
             departure_delay,
-            lambda: self._wire_departure(qp, packet, wr_id))
+            partial(self._wire_departure, qp, packet, wr_id))
         return wr_id
 
     def _trace_rnic_drop(self, payload: dict[str, Any], reason: str) -> None:
@@ -506,10 +507,11 @@ class Rnic:
             packet.five_tuple.reversed(), ROCE_HEADER_BYTES + 4,
             RoCEOpcode.RC_ACK, packet.dst_qpn, packet.src_qpn,
             self.gid.value, packet.src_gid, self._EMPTY_PAYLOAD)
-        self.sim.schedule(
-            RC_HW_ACK_NS,
-            lambda: self.fabric.inject(ack, self.name)
-            if self.operational else None)
+        self.sim.schedule(RC_HW_ACK_NS, partial(self._inject_hw_ack, ack))
+
+    def _inject_hw_ack(self, ack: RoCEPacket) -> None:
+        if self.operational:
+            self.fabric.inject(ack, self.name)
 
     def _on_rc_ack(self, packet: RoCEPacket) -> None:
         qp = self.qp(packet.dst_qpn)

@@ -25,6 +25,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 from enum import Enum
+from functools import partial
 from typing import Callable, Optional
 
 from repro.net.ecmp import EcmpHasher, pick_next_hop
@@ -408,7 +409,7 @@ class Fabric:
                     fields["pfc_pause_ns"] = link.pause_delay_ns
                 self.tracer.event(seq, now, "fabric.hop", **fields)
         self.sim.schedule(
-            delay, lambda: self._forward(packet, next_node, dst_port, path))
+            delay, partial(self._forward, packet, next_node, dst_port, path))
 
     def _check_link(self, packet: Packet, link: DirectedLink,
                     now: int, is_roce: bool) -> Optional[DropReason]:

@@ -119,6 +119,11 @@ class PacketPool:
         self.released = 0
         self._san = sanitizer
 
+    @property
+    def free_count(self) -> int:
+        """Packets currently parked on the free list (gauge surface)."""
+        return len(self._free)
+
     def acquire_roce(self, five_tuple: FiveTuple, size_bytes: int,
                      opcode: RoCEOpcode, src_qpn: int, dst_qpn: int,
                      src_gid: str, dst_gid: str,

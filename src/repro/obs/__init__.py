@@ -20,6 +20,7 @@ replay digests do not change (the DESIGN.md §8 contract).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import TYPE_CHECKING, Optional
 
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
@@ -85,7 +86,7 @@ class Observability:
             cluster.sim.set_profiler(self.profiler)
         if self.metrics_enabled:
             self.metrics.register_collector(
-                lambda: self._collect_substrate(cluster))
+                partial(self._collect_substrate, cluster))
 
     def _collect_substrate(self, cluster: "Cluster") -> None:
         """Copy Fabric/RNIC/engine tallies into canonical metric series."""
@@ -100,6 +101,14 @@ class Observability:
         self.metrics.counter("repro_sim_events_processed_total") \
             .value = cluster.sim.events_processed
         self.metrics.gauge("repro_sim_now_ns").set(cluster.sim.now)
+        self.metrics.gauge(
+            "repro_sim_event_pool_free",
+            help="recycled _Event records parked on the engine free list"
+        ).set(cluster.sim.event_pool_free)
+        self.metrics.gauge(
+            "repro_fabric_packet_pool_free",
+            help="RoCE packets parked on the fabric packet pool free list"
+        ).set(fabric.packet_pool.free_count)
         for rnic in cluster.all_rnics():
             self.metrics.counter("repro_rnic_tx_packets_total",
                                  rnic=rnic.name).value = rnic.tx_packets

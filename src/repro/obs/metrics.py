@@ -37,11 +37,24 @@ def _label_key(labels: Mapping[str, str]) -> tuple[tuple[str, str], ...]:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def escape_label_value(value: str) -> str:
+    """Prometheus label-value escaping: backslash, double-quote, newline."""
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    """``# HELP`` escaping: backslash and newline only (spec §text format)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def format_series(name: str, labels: Mapping[str, str]) -> str:
-    """Canonical ``name{k="v",...}`` rendering (sorted label keys)."""
+    """Canonical ``name{k="v",...}`` rendering (sorted, escaped values)."""
     if not labels:
         return name
-    inner = ",".join(f'{k}="{v}"' for k, v in _label_key(labels))
+    inner = ",".join(f'{k}="{escape_label_value(v)}"'
+                     for k, v in _label_key(labels))
     return f"{name}{{{inner}}}"
 
 
@@ -178,21 +191,28 @@ class MetricsRegistry:
         self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]],
                             Metric] = {}
         self._collectors: list[Collector] = []
+        self._help: dict[str, str] = {}
 
     # -- get-or-create ------------------------------------------------------
 
-    def counter(self, name: str, **labels: str) -> Counter:
+    def counter(self, name: str, help: Optional[str] = None,
+                **labels: str) -> Counter:
         """Get or create a counter."""
+        self._note_help(name, help)
         return self._get_or_create(Counter, name, labels)
 
-    def gauge(self, name: str, **labels: str) -> Gauge:
+    def gauge(self, name: str, help: Optional[str] = None,
+              **labels: str) -> Gauge:
         """Get or create a gauge."""
+        self._note_help(name, help)
         return self._get_or_create(Gauge, name, labels)
 
     def histogram(self, name: str,
                   bounds: Sequence[Number] = LATENCY_BUCKETS_NS,
+                  help: Optional[str] = None,
                   **labels: str) -> Histogram:
         """Get or create a fixed-bucket histogram."""
+        self._note_help(name, help)
         key = (name, _label_key(labels))
         metric = self._metrics.get(key)
         if metric is None:
@@ -202,6 +222,14 @@ class MetricsRegistry:
             raise TypeError(f"{format_series(name, labels)} already exists "
                             f"as {type(metric).__name__}")
         return metric
+
+    def _note_help(self, name: str, help: Optional[str]) -> None:
+        if help is not None:
+            self._help.setdefault(name, help)
+
+    def help_text(self, name: str) -> Optional[str]:
+        """Registered ``# HELP`` text for a metric family, if any."""
+        return self._help.get(name)
 
     def _get_or_create(self, cls: type, name: str,
                        labels: Mapping[str, str]) -> Metric:
@@ -265,7 +293,13 @@ class MetricsRegistry:
         return dict(sorted(flat.items()))
 
     def render_prometheus(self) -> str:
-        """Prometheus text exposition of the whole registry."""
+        """Prometheus text exposition of the whole registry.
+
+        Each metric family gets a ``# HELP`` line (when help text was
+        registered) and a ``# TYPE`` line before its first series, and
+        label values are escaped per the text-format spec —
+        :func:`parse_exposition` round-trips the output.
+        """
         lines: list[str] = []
         seen_types: set[str] = set()
         kind = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}
@@ -273,6 +307,10 @@ class MetricsRegistry:
         for metric in self.metrics():
             if metric.name not in seen_types:
                 seen_types.add(metric.name)
+                help_text = self._help.get(metric.name)
+                if help_text is not None:
+                    lines.append(
+                        f"# HELP {metric.name} {_escape_help(help_text)}")
                 lines.append(f"# TYPE {metric.name} {kind[type(metric)]}")
             if isinstance(metric, Histogram):
                 for bound, cum in metric.cumulative():
@@ -293,6 +331,95 @@ class MetricsRegistry:
         """Snapshot filtered to series whose name starts with ``prefix``."""
         return {k: v for k, v in self.snapshot().items()
                 if k.startswith(prefix)}
+
+
+class Exposition:
+    """Parsed Prometheus text exposition (see :func:`parse_exposition`)."""
+
+    __slots__ = ("series", "help", "types")
+
+    def __init__(self) -> None:
+        self.series: dict[str, Number] = {}
+        self.help: dict[str, str] = {}
+        self.types: dict[str, str] = {}
+
+
+def _unescape(value: str) -> str:
+    """Reverse the text-format escapes (``\\\\``, ``\\"``, ``\\n``)."""
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            out.append({"\\": "\\", '"': '"', "n": "\n"}
+                       .get(value[i + 1], value[i + 1]))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _parse_labels(body: str) -> dict[str, str]:
+    """Parse the ``k="v",...`` interior of a label set, honouring escapes."""
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(body):
+        eq = body.index("=", i)
+        key = body[i:eq]
+        assert body[eq + 1] == '"', f"malformed label set: {body!r}"
+        j = eq + 2
+        raw: list[str] = []
+        while body[j] != '"':
+            if body[j] == "\\":
+                raw.append(body[j:j + 2])
+                j += 2
+            else:
+                raw.append(body[j])
+                j += 1
+        labels[key] = _unescape("".join(raw))
+        i = j + 1
+        if i < len(body) and body[i] == ",":
+            i += 1
+    return labels
+
+
+def parse_exposition(text: str) -> Exposition:
+    """Parse Prometheus text exposition back into series/help/type maps.
+
+    The inverse of :meth:`MetricsRegistry.render_prometheus`: series keys
+    are re-canonicalised through :func:`format_series`, so for any
+    registry ``parse_exposition(reg.render_prometheus()).series`` equals
+    ``reg.snapshot()`` — the round-trip the unit tests pin.
+    """
+    out = Exposition()
+    for line in text.splitlines():
+        if not line or line.isspace():
+            continue
+        if line.startswith("# HELP "):
+            name, _, rest = line[len("# HELP "):].partition(" ")
+            out.help[name] = _unescape(rest)
+            continue
+        if line.startswith("# TYPE "):
+            name, _, kind = line[len("# TYPE "):].partition(" ")
+            out.types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        if line.endswith("}"):  # labelled series: name{...} has no value
+            raise ValueError(f"series line without a value: {line!r}")
+        series, _, value = line.rpartition(" ")
+        if "{" in series:
+            name, _, rest = series.partition("{")
+            labels = _parse_labels(rest[:-1])  # strip trailing "}"
+            key = format_series(name, labels)
+        else:
+            key = series
+        try:
+            out.series[key] = int(value)
+        except ValueError:
+            out.series[key] = float(value)
+    return out
 
 
 def iter_label_values(snapshot: Mapping[str, Number],

@@ -20,6 +20,7 @@ them).
 
 from __future__ import annotations
 
+import functools
 import time
 from dataclasses import dataclass
 from typing import Callable
@@ -29,9 +30,11 @@ def callback_site(callback: Callable[[], None]) -> str:
     """Stable site name of a scheduled callback.
 
     Functions, bound methods, and lambdas carry ``__module__`` /
-    ``__qualname__``; arbitrary callables (functools.partial, callable
-    objects) fall back to their type.
+    ``__qualname__``; ``functools.partial`` is unwrapped to the function
+    it wraps; other callable objects fall back to their type.
     """
+    while isinstance(callback, functools.partial):
+        callback = callback.func
     func = getattr(callback, "__func__", callback)
     qualname = getattr(func, "__qualname__", None)
     module = getattr(func, "__module__", None)

@@ -1,0 +1,29 @@
+"""Service mode: a long-running, checkpointable monitor (DESIGN.md §13).
+
+``repro serve`` drives the simulator in wall-clock-paced *ticks* and
+exposes the observability substrate over HTTP — Prometheus ``/metrics``,
+``/health`` + ``/ready`` probes, on-demand ``/checkpoint`` — with a
+declarative :class:`~repro.serve.alerts.AlertEngine` and a live TUI on
+top.  The layering keeps determinism intact:
+
+* :class:`~repro.serve.session.ServeSession` is pure simulation state —
+  no threads, no wall clock, fully picklable.  One tick advances the sim
+  by a fixed ``tick_ns``, runs metric collectors, and evaluates alerts;
+  everything it computes is a function of the spec and the tick count.
+* :mod:`repro.serve.checkpoint` serialises a session to a versioned file
+  and restores it — in another process — such that the restored run's
+  replay digest is byte-identical to an uninterrupted one.
+* :mod:`repro.serve.http` and the CLI runner own every wall-clock and
+  thread concern (pacing, scrapes, shutdown), strictly outside sim state.
+"""
+
+from repro.serve.alerts import AlertEngine, AlertRule
+from repro.serve.checkpoint import (CheckpointError, load_checkpoint,
+                                    read_metadata, save_checkpoint)
+from repro.serve.session import ServeSession, ServeSpec, parse_fault_spec
+
+__all__ = [
+    "AlertEngine", "AlertRule", "CheckpointError", "ServeSession",
+    "ServeSpec", "load_checkpoint", "parse_fault_spec", "read_metadata",
+    "save_checkpoint",
+]

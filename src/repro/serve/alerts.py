@@ -1,0 +1,233 @@
+"""Declarative threshold alerting over metric snapshots.
+
+An :class:`AlertRule` watches one series of the flat
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` mapping and compares
+it against a threshold each tick.  Transitions carry hysteresis in both
+directions: a rule must breach for ``for_ticks`` consecutive ticks to
+fire and clear for ``keep_ticks`` consecutive ticks to resolve, so a
+value oscillating across the threshold inside the hysteresis window
+produces exactly one firing/resolved pair (pinned by
+``tests/serve/test_alerts.py``).
+
+The engine is deterministic — state is a pure function of the snapshot
+sequence — and exports itself back into the registry as
+``repro_alerts_firing{alert=...}`` gauges and
+``repro_alerts_transitions_total{alert=...,state=...}`` counters, plus an
+append-only JSONL event log for operators.
+"""
+
+from __future__ import annotations
+
+import json
+import operator
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence, Union
+
+from repro.obs.metrics import MetricsRegistry
+
+Number = Union[int, float]
+
+_OPS = {
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class AlertRule:
+    """One threshold rule: ``series OP threshold`` with hysteresis.
+
+    ``for_ticks`` is how many consecutive breaching ticks arm the firing
+    transition; ``keep_ticks`` how many consecutive clear ticks release
+    it.  A series absent from the snapshot counts as clear.
+    """
+
+    name: str
+    series: str
+    op: str
+    threshold: float
+    for_ticks: int = 1
+    keep_ticks: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name or any(c.isspace() for c in self.name):
+            raise ValueError(f"alert name must be non-empty and "
+                             f"whitespace-free: {self.name!r}")
+        if self.op not in _OPS:
+            raise ValueError(f"unknown comparison {self.op!r}; choose "
+                             f"from: {', '.join(_OPS)}")
+        if self.for_ticks < 1 or self.keep_ticks < 1:
+            raise ValueError("for_ticks and keep_ticks must be >= 1")
+
+    @classmethod
+    def parse(cls, text: str) -> "AlertRule":
+        """Parse the rule grammar (DESIGN.md §13):
+
+        ``NAME: SERIES OP THRESHOLD [for N] [keep M]``
+
+        e.g. ``slow_rtt: repro_analyzer_problems_total > 5 for 2 keep 3``.
+        The series token may include a ``{label="v"}`` selector as long
+        as it contains no whitespace.
+        """
+        head, _, rest = text.partition(":")
+        name = head.strip()
+        tokens = rest.split()
+        if len(tokens) < 3:
+            raise ValueError(f"malformed alert rule: {text!r} "
+                             f"(want 'NAME: SERIES OP THRESHOLD "
+                             f"[for N] [keep M]')")
+        series, op, threshold = tokens[0], tokens[1], float(tokens[2])
+        kwargs = {}
+        extra = tokens[3:]
+        while extra:
+            word = extra.pop(0)
+            if word == "for":
+                kwargs["for_ticks"] = int(extra.pop(0))
+            elif word == "keep":
+                kwargs["keep_ticks"] = int(extra.pop(0))
+            else:
+                raise ValueError(f"unexpected token {word!r} in alert "
+                                 f"rule {text!r}")
+        return cls(name=name, series=series, op=op, threshold=threshold,
+                   **kwargs)
+
+    def describe(self) -> str:
+        """The canonical grammar string for this rule."""
+        return (f"{self.name}: {self.series} {self.op} "
+                f"{self.threshold:g} for {self.for_ticks} "
+                f"keep {self.keep_ticks}")
+
+
+@dataclass(slots=True)
+class _RuleState:
+    firing: bool = False
+    breach_streak: int = 0
+    clear_streak: int = 0
+    fired_count: int = 0
+    last_value: Optional[Number] = None
+
+
+@dataclass(slots=True)
+class AlertEvent:
+    """One firing/resolved transition, as plain data."""
+
+    tick: int
+    sim_now_ns: int
+    alert: str
+    state: str                       # "firing" | "resolved"
+    value: Optional[Number]
+    threshold: float
+    rule: str = field(default="")    # canonical grammar string
+
+    def as_dict(self) -> dict:
+        return {"tick": self.tick, "sim_now_ns": self.sim_now_ns,
+                "alert": self.alert, "state": self.state,
+                "value": self.value, "threshold": self.threshold,
+                "rule": self.rule}
+
+
+class AlertEngine:
+    """Evaluates a rule set against successive metric snapshots."""
+
+    def __init__(self, rules: Sequence[AlertRule], *,
+                 registry: Optional[MetricsRegistry] = None,
+                 log_path: Optional[str] = None):
+        names = [r.name for r in rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate alert names: {sorted(names)}")
+        self.rules = tuple(rules)
+        self.registry = registry
+        self.log_path = log_path
+        self._states = {rule.name: _RuleState() for rule in self.rules}
+        self.events: list[AlertEvent] = []
+        self._export()  # gauges render 0 before any transition
+
+    # -- evaluation ---------------------------------------------------------
+
+    def evaluate(self, snapshot: Mapping[str, Number], *, tick: int,
+                 sim_now_ns: int) -> list[AlertEvent]:
+        """Feed one tick's snapshot; returns transitions it caused."""
+        transitions: list[AlertEvent] = []
+        for rule in self.rules:
+            state = self._states[rule.name]
+            value = snapshot.get(rule.series)
+            state.last_value = value
+            breached = (value is not None
+                        and _OPS[rule.op](value, rule.threshold))
+            if breached:
+                state.breach_streak += 1
+                state.clear_streak = 0
+            else:
+                state.clear_streak += 1
+                state.breach_streak = 0
+            if (not state.firing
+                    and state.breach_streak >= rule.for_ticks):
+                state.firing = True
+                state.fired_count += 1
+                transitions.append(self._transition(
+                    rule, "firing", value, tick, sim_now_ns))
+            elif (state.firing
+                    and state.clear_streak >= rule.keep_ticks):
+                state.firing = False
+                transitions.append(self._transition(
+                    rule, "resolved", value, tick, sim_now_ns))
+        self._export()
+        return transitions
+
+    def _transition(self, rule: AlertRule, new_state: str,
+                    value: Optional[Number], tick: int,
+                    sim_now_ns: int) -> AlertEvent:
+        event = AlertEvent(tick=tick, sim_now_ns=sim_now_ns,
+                           alert=rule.name, state=new_state, value=value,
+                           threshold=rule.threshold,
+                           rule=rule.describe())
+        self.events.append(event)
+        if self.log_path is not None:
+            with open(self.log_path, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(event.as_dict(), sort_keys=True))
+                fh.write("\n")
+        if self.registry is not None:
+            self.registry.counter(
+                "repro_alerts_transitions_total",
+                help="alert state transitions, by alert and new state",
+                alert=rule.name, state=new_state).inc()
+        return event
+
+    def _export(self) -> None:
+        if self.registry is None:
+            return
+        for rule in self.rules:
+            self.registry.gauge(
+                "repro_alerts_firing",
+                help="1 while the alert is firing, else 0",
+                alert=rule.name).set(
+                    1 if self._states[rule.name].firing else 0)
+
+    # -- read surface -------------------------------------------------------
+
+    def firing(self) -> list[str]:
+        """Names of currently firing alerts, sorted."""
+        return sorted(name for name, state in self._states.items()
+                      if state.firing)
+
+    def state_of(self, name: str) -> dict:
+        """One rule's full state (for ``/alerts`` and the TUI)."""
+        state = self._states[name]
+        return {"alert": name, "firing": state.firing,
+                "breach_streak": state.breach_streak,
+                "clear_streak": state.clear_streak,
+                "fired_count": state.fired_count,
+                "last_value": state.last_value}
+
+    def as_dict(self) -> dict:
+        """JSON shape of the whole engine (the ``/alerts`` endpoint)."""
+        return {
+            "rules": [rule.describe() for rule in self.rules],
+            "firing": self.firing(),
+            "states": [self.state_of(rule.name) for rule in self.rules],
+            "events": [event.as_dict() for event in self.events],
+        }

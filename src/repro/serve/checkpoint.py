@@ -1,0 +1,167 @@
+"""Versioned checkpoint files for serve-mode sessions.
+
+A checkpoint is the *whole world*: the calendar queue with every pending
+event, the pooled-object free lists, every RNG stream's position, and
+all tracker/sketch/shard state — captured by pickling the live
+:class:`~repro.serve.session.ServeSession` object graph.  The substrate
+keeps that graph picklable on purpose (scheduled callbacks are bound
+methods or ``functools.partial``, never lambdas), and the restore
+contract is byte-exactness: a restored session run to tick T produces
+the same ``replay_digest`` as an uninterrupted run to tick T
+(``tests/serve/test_checkpoint.py`` pins this across processes).
+
+File layout (all before the payload is human-inspectable)::
+
+    REPRO-SERVE-CKPT v1\\n
+    {json metadata, sorted keys}\\n
+    <zlib-compressed pickle payload>
+
+The metadata carries enough identity (spec, seed, shards, tick, config
+digest) to reject a restore against the wrong code or world without
+unpickling anything.
+
+Also a tiny CLI, used by tests to prove *cross-process* restore::
+
+    python -m repro.serve.checkpoint info   <path>
+    python -m repro.serve.checkpoint digest <path> [--run-ticks N]
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pickle
+import zlib
+from typing import Optional
+
+from repro.serve.session import ServeSession
+
+MAGIC = b"REPRO-SERVE-CKPT v1\n"
+FORMAT = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written or restored."""
+
+
+def _spec_metadata(spec) -> dict:
+    """The spec as JSON-safe plain data (FaultEvents/rules as strings)."""
+    out = {}
+    for fld in dataclasses.fields(spec):
+        value = getattr(spec, fld.name)
+        if fld.name == "campaign":
+            value = [f"{e.kind}@{e.start_s}-{e.end_s}:{','.join(e.loci)}"
+                     for e in value]
+        elif fld.name == "rules":
+            value = [rule.describe() for rule in value]
+        out[fld.name] = value
+    return out
+
+
+def save_checkpoint(session: ServeSession, path: str) -> dict:
+    """Write the session to ``path`` atomically; returns the metadata."""
+    if session.cluster.sanitizer is not None:
+        # PoolSan keys its live/freed tables by id(); object identities
+        # do not survive a process boundary, so a restored sanitizer
+        # would misattribute every pooled object.  Refuse loudly.
+        raise CheckpointError(
+            "cannot checkpoint a sanitized session (PoolSan tables are "
+            "id()-keyed and do not survive restore); rerun without "
+            "sanitize")
+    metadata = {
+        "format": FORMAT,
+        "tick": session.ticks,
+        "sim_now_ns": session.cluster.sim.now,
+        "seed": session.spec.seed,
+        "shards": session.spec.shards,
+        "config_digest": session.config_digest,
+        "spec": _spec_metadata(session.spec),
+    }
+    payload = zlib.compress(pickle.dumps(session, pickle.HIGHEST_PROTOCOL))
+    path = os.fspath(path)
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(MAGIC)
+        fh.write(json.dumps(metadata, sort_keys=True).encode())
+        fh.write(b"\n")
+        fh.write(payload)
+    os.replace(tmp, path)
+    return metadata
+
+
+def _split(path: str) -> tuple[dict, bytes]:
+    with open(path, "rb") as fh:
+        magic = fh.read(len(MAGIC))
+        if magic != MAGIC:
+            raise CheckpointError(
+                f"{path}: not a serve checkpoint (bad magic {magic!r})")
+        meta_line = fh.readline()
+        payload = fh.read()
+    try:
+        metadata = json.loads(meta_line)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"{path}: corrupt metadata") from exc
+    if metadata.get("format") != FORMAT:
+        raise CheckpointError(
+            f"{path}: unsupported checkpoint format "
+            f"{metadata.get('format')!r} (this build reads {FORMAT})")
+    return metadata, payload
+
+
+def read_metadata(path: str) -> dict:
+    """The checkpoint's JSON header, without unpickling the payload."""
+    metadata, _ = _split(path)
+    return metadata
+
+
+def load_checkpoint(path: str) -> ServeSession:
+    """Restore a session; the caller owns re-attaching HTTP/TUI layers."""
+    metadata, payload = _split(path)
+    try:
+        session = pickle.loads(zlib.decompress(payload))
+    except Exception as exc:
+        raise CheckpointError(f"{path}: payload restore failed: "
+                              f"{exc}") from exc
+    if not isinstance(session, ServeSession):
+        raise CheckpointError(
+            f"{path}: payload is {type(session).__name__}, "
+            f"not ServeSession")
+    if session.ticks != metadata.get("tick"):
+        raise CheckpointError(
+            f"{path}: metadata tick {metadata.get('tick')} disagrees "
+            f"with payload tick {session.ticks}")
+    return session
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """``python -m repro.serve.checkpoint`` — inspect or replay a file."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.checkpoint",
+        description="Inspect or deterministically replay a serve "
+                    "checkpoint.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_info = sub.add_parser("info", help="print the JSON metadata")
+    p_info.add_argument("path")
+    p_digest = sub.add_parser(
+        "digest",
+        help="restore, optionally run N more ticks, print replay digest")
+    p_digest.add_argument("path")
+    p_digest.add_argument("--run-ticks", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.command == "info":
+        print(json.dumps(read_metadata(args.path), indent=2,
+                         sort_keys=True))
+        return 0
+    session = load_checkpoint(args.path)
+    for _ in range(args.run_ticks):
+        session.tick()
+    print(session.replay_digest())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

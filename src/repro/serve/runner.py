@@ -1,0 +1,50 @@
+"""The serve loop: wall-clock pacing around a deterministic session.
+
+This is the only serve module that touches the host clock, and the
+pacing never feeds back into sim state: a tick always advances the sim
+by exactly ``spec.tick_ns`` regardless of how long the wall waited, so
+a paced run, an unpaced run, and a checkpoint-restored run all replay
+byte-identically (tests/serve/test_checkpoint.py pins this).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.serve.http import ServeHTTPServer
+from repro.serve.session import ServeSession
+
+
+def run_serve(session: ServeSession, server: Optional[ServeHTTPServer],
+              *, pace_s: float = 1.0, max_ticks: Optional[int] = None,
+              render: Optional[Callable[[ServeSession], None]] = None
+              ) -> int:
+    """Drive ticks until ``max_ticks`` or a ``/shutdown`` request.
+
+    Returns the number of ticks executed in this loop (not counting any
+    ticks a restored session brought along).  ``render``, when given, is
+    called after every tick with the session (the TUI frame hook).
+    """
+    executed = 0
+    lock = server.lock if server is not None else None
+    while max_ticks is None or executed < max_ticks:
+        if server is not None and server.shutdown_requested.is_set():
+            break
+        if lock is not None:
+            with lock:
+                session.tick()
+        else:
+            session.tick()
+        executed += 1
+        if render is not None:
+            render(session)
+        if pace_s > 0:
+            # Wall-clock pacing only; sim time is already fixed per tick.
+            deadline = time.monotonic() + pace_s  # detlint: disable=DET001 pacing is wall-clock output, never sim input
+            while time.monotonic() < deadline:  # detlint: disable=DET001 pacing is wall-clock output, never sim input
+                if (server is not None
+                        and server.shutdown_requested.is_set()):
+                    return executed
+                time.sleep(min(0.05, pace_s))
+    return executed

@@ -382,6 +382,17 @@ class Simulator:
         """
         return len(self._queue)
 
+    @property
+    def event_pool_free(self) -> int:
+        """Recycled ``_Event`` records currently on the free list.
+
+        Observability surface (``repro_sim_event_pool_free``) and part of
+        the checkpoint state-capture contract (DESIGN.md §13): the free
+        list rides along in a pickled world so the restored run acquires
+        pooled records in the same order as an uninterrupted one.
+        """
+        return len(self._event_free)
+
     def set_profiler(self, profiler) -> None:
         """Install (or, with None, remove) an event profiler."""
         self._profiler = profiler

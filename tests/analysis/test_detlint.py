@@ -160,11 +160,12 @@ class TestRealTree:
         # Exactly the documented exemptions: RngStream's random.Random,
         # SimProfiler's two wall-clock reads, the fleet's six wall-time
         # sites (worker wall_s bookkeeping + runner timeout/speedup
-        # accounting), PoolSan's id()-keyed tracking tables, and the
-        # fabric's two deliberate packet retentions (in-flight transit
-        # slot + drop evidence).
+        # accounting), the serve runner's two tick-pacing reads,
+        # PoolSan's id()-keyed tracking tables, and the fabric's two
+        # deliberate packet retentions (in-flight transit slot + drop
+        # evidence).
         assert sorted(f.code for f in report.suppressed) == (
-            ["DET001"] * 8 + ["DET002"] + ["DET004"] + ["DET007"] * 2)
+            ["DET001"] * 10 + ["DET002"] + ["DET004"] + ["DET007"] * 2)
         fleet = [f for f in report.suppressed
                  if "fleet" in str(f.path)]
         assert len(fleet) == 6

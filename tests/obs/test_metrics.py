@@ -3,8 +3,9 @@
 import pytest
 
 from repro.obs.metrics import (LATENCY_BUCKETS_NS, Counter, Histogram,
-                               MetricsRegistry, format_series,
-                               iter_label_values)
+                               MetricsRegistry, escape_label_value,
+                               format_series, iter_label_values,
+                               parse_exposition)
 
 
 class TestSeriesNaming:
@@ -139,3 +140,93 @@ class TestSnapshot:
         assert pairs == {'repro_a_total{endpoint="e0"}': 2,
                          'repro_a_total{endpoint="e1"}': 4}
         assert dict(iter_label_values(snap, "repro_b")) == {"repro_b": 7}
+
+
+class TestExpositionFormat:
+    """Prometheus text-format compliance: HELP/TYPE lines, label-value
+    escaping, and a full parse round-trip (the satellite contract)."""
+
+    def make_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_a_total", help="things that happened",
+                    endpoint="e0").inc(3)
+        reg.gauge("repro_depth", help="queue depth right now",
+                  queue="q1").set(7)
+        reg.histogram("repro_lat_ns", bounds=(10, 100),
+                      help="latency in ns").observe(42)
+        return reg
+
+    def test_help_precedes_type_per_family(self):
+        lines = self.make_registry().render_prometheus().splitlines()
+        idx = {line: i for i, line in enumerate(lines)}
+        assert idx["# HELP repro_a_total things that happened"] \
+            < idx["# TYPE repro_a_total counter"]
+        assert idx["# HELP repro_lat_ns latency in ns"] \
+            < idx["# TYPE repro_lat_ns histogram"]
+
+    def test_help_emitted_once_per_family(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_a_total", help="h", endpoint="e0").inc()
+        reg.counter("repro_a_total", help="h", endpoint="e1").inc()
+        text = reg.render_prometheus()
+        assert text.count("# HELP repro_a_total") == 1
+        assert text.count("# TYPE repro_a_total") == 1
+
+    def test_families_without_help_still_get_type(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_bare").set(1)
+        text = reg.render_prometheus()
+        assert "# HELP repro_bare" not in text
+        assert "# TYPE repro_bare gauge" in text
+
+    def test_help_text_lookup(self):
+        reg = self.make_registry()
+        assert reg.help_text("repro_depth") == "queue depth right now"
+        assert reg.help_text("repro_nonexistent") is None
+
+    def test_label_value_escaping(self):
+        assert escape_label_value('pa\\th') == 'pa\\\\th'
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+        assert escape_label_value('two\nlines') == 'two\\nlines'
+
+    def test_rendered_labels_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_g", path='we"ird\\dir\nline').set(1)
+        text = reg.render_prometheus()
+        assert 'path="we\\"ird\\\\dir\\nline"' in text
+
+    def test_help_newlines_and_backslashes_escaped(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_g", help="line1\nline2 \\ slash").set(1)
+        rendered = reg.render_prometheus()
+        help_lines = [ln for ln in rendered.splitlines()
+                      if ln.startswith("# HELP repro_g ")]
+        assert help_lines == ["# HELP repro_g line1\\nline2 \\\\ slash"]
+
+    def test_round_trip_equals_snapshot(self):
+        reg = self.make_registry()
+        parsed = parse_exposition(reg.render_prometheus())
+        assert parsed.series == reg.snapshot()
+        assert parsed.types == {"repro_a_total": "counter",
+                                "repro_depth": "gauge",
+                                "repro_lat_ns": "histogram"}
+        assert parsed.help["repro_a_total"] == "things that happened"
+
+    def test_round_trip_with_hostile_label_values(self):
+        reg = MetricsRegistry()
+        hostile = 'we"ird\\path\nwith,comma={brace}'
+        reg.counter("repro_h_total", node=hostile).inc(9)
+        parsed = parse_exposition(reg.render_prometheus())
+        assert parsed.series == reg.snapshot()
+        key = next(iter(parsed.series))
+        assert iter_label_values(parsed.series, "repro_h_total")
+        assert parsed.series[key] == 9
+
+    def test_parse_rejects_series_without_value(self):
+        with pytest.raises(ValueError):
+            parse_exposition('repro_x{a="1"}')
+
+    def test_parse_preserves_int_float_distinction(self):
+        parsed = parse_exposition("repro_i 3\nrepro_f 3.5")
+        assert parsed.series == {"repro_i": 3, "repro_f": 3.5}
+        assert isinstance(parsed.series["repro_i"], int)

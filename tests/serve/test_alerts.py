@@ -1,0 +1,173 @@
+"""AlertEngine contract: rule grammar, hysteresis, and metric export.
+
+The acceptance-critical case: a metric oscillating across the threshold
+*inside* the hysteresis window must produce exactly one firing/resolved
+pair, and the ``repro_alerts_firing`` gauge must agree with the engine
+at every tick.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.alerts import AlertEngine, AlertRule
+
+
+def run_trace(engine, values, series="m"):
+    """Feed a value sequence (None = series absent) tick by tick."""
+    transitions = []
+    for tick, value in enumerate(values, start=1):
+        snapshot = {} if value is None else {series: value}
+        transitions.extend(engine.evaluate(snapshot, tick=tick,
+                                           sim_now_ns=tick * 10 ** 9))
+    return transitions
+
+
+class TestRuleGrammar:
+    def test_parse_minimal(self):
+        rule = AlertRule.parse("hot: repro_x > 5")
+        assert rule == AlertRule(name="hot", series="repro_x", op=">",
+                                 threshold=5.0)
+
+    def test_parse_full(self):
+        rule = AlertRule.parse("hot: repro_x >= 2.5 for 3 keep 4")
+        assert (rule.for_ticks, rule.keep_ticks) == (3, 4)
+        assert rule.op == ">=" and rule.threshold == 2.5
+
+    def test_parse_labelled_series(self):
+        rule = AlertRule.parse(
+            'drops: repro_fabric_drops_total{reason="corruption"} > 0')
+        assert rule.series == 'repro_fabric_drops_total{reason="corruption"}'
+
+    def test_describe_round_trips(self):
+        text = "hot: repro_x > 5 for 2 keep 3"
+        assert AlertRule.parse(AlertRule.parse(text).describe()) == \
+            AlertRule.parse(text)
+
+    @pytest.mark.parametrize("bad", [
+        "noseries",                       # no colon
+        "a: m > ",                        # missing threshold
+        "a: m ~ 1",                       # unknown operator
+        "a: m > 1 for 0",                 # for_ticks < 1
+        "a: m > 1 banana 2",              # stray token
+        " : m > 1",                       # empty name
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            AlertRule.parse(bad)
+
+    def test_duplicate_names_rejected(self):
+        rules = [AlertRule.parse("a: m > 1"), AlertRule.parse("a: n > 2")]
+        with pytest.raises(ValueError):
+            AlertEngine(rules)
+
+
+class TestHysteresis:
+    def test_fires_only_after_for_ticks(self):
+        engine = AlertEngine([AlertRule.parse("a: m > 10 for 3")])
+        assert run_trace(engine, [11, 11]) == []
+        events = run_trace_continue(engine, [11], start_tick=3)
+        assert [e.state for e in events] == ["firing"]
+
+    def test_resolves_only_after_keep_ticks(self):
+        engine = AlertEngine([AlertRule.parse("a: m > 10 for 1 keep 3")])
+        events = run_trace(engine, [11, 5, 5, 5])
+        assert [e.state for e in events] == ["firing", "resolved"]
+        assert events[1].tick == 4
+
+    def test_oscillation_inside_hysteresis_single_pair(self):
+        """The acceptance case: flapping inside the window != flapping
+        alerts."""
+        engine = AlertEngine(
+            [AlertRule.parse("a: m > 10 for 2 keep 3")])
+        # Breach 2 ticks (fires), then oscillate: never 3 consecutive
+        # clear ticks, so the alert must hold; then clear for good.
+        values = [11, 11,            # fire at tick 2
+                  5, 11, 5, 5, 11,   # oscillation inside keep window
+                  5, 5, 5]           # resolve at tick 10
+        events = run_trace(engine, values)
+        assert [(e.state, e.tick) for e in events] == \
+            [("firing", 2), ("resolved", 10)]
+        assert engine._states["a"].fired_count == 1
+
+    def test_oscillation_inside_for_window_never_fires(self):
+        engine = AlertEngine([AlertRule.parse("a: m > 10 for 3")])
+        assert run_trace(engine, [11, 11, 5, 11, 11, 5, 11, 11, 5]) == []
+
+    def test_absent_series_counts_as_clear(self):
+        engine = AlertEngine([AlertRule.parse("a: m > 10 keep 2")])
+        events = run_trace(engine, [11, None, None])
+        assert [e.state for e in events] == ["firing", "resolved"]
+
+    def test_firing_names_sorted(self):
+        engine = AlertEngine([AlertRule.parse("b: m > 1"),
+                              AlertRule.parse("a: m > 1")])
+        run_trace(engine, [2])
+        assert engine.firing() == ["a", "b"]
+
+
+def run_trace_continue(engine, values, *, start_tick):
+    transitions = []
+    for offset, value in enumerate(values):
+        tick = start_tick + offset
+        transitions.extend(engine.evaluate(
+            {"m": value} if value is not None else {},
+            tick=tick, sim_now_ns=tick * 10 ** 9))
+    return transitions
+
+
+class TestMetricExport:
+    def test_firing_gauge_tracks_engine_state(self):
+        reg = MetricsRegistry()
+        engine = AlertEngine([AlertRule.parse("a: m > 10 for 2 keep 3")],
+                             registry=reg)
+        gauge_series = 'repro_alerts_firing{alert="a"}'
+        assert reg.snapshot()[gauge_series] == 0  # armed, not firing
+        values = [11, 11, 5, 11, 5, 5, 11, 5, 5, 5]
+        for tick, value in enumerate(values, start=1):
+            engine.evaluate({"m": value}, tick=tick, sim_now_ns=tick)
+            expected = 1 if engine._states["a"].firing else 0
+            assert reg.snapshot()[gauge_series] == expected
+
+    def test_transition_counters(self):
+        reg = MetricsRegistry()
+        engine = AlertEngine([AlertRule.parse("a: m > 10 keep 1")],
+                             registry=reg)
+        run_trace(engine, [11, 5, 11, 5])
+        snap = reg.snapshot()
+        assert snap[
+            'repro_alerts_transitions_total{alert="a",state="firing"}'] == 2
+        assert snap[
+            'repro_alerts_transitions_total{alert="a",state="resolved"}'] == 2
+
+    def test_jsonl_event_log(self, tmp_path):
+        log = tmp_path / "alerts.jsonl"
+        engine = AlertEngine([AlertRule.parse("a: m > 10")],
+                             log_path=str(log))
+        run_trace(engine, [11, 5])
+        lines = [json.loads(line)
+                 for line in log.read_text().splitlines()]
+        assert [entry["state"] for entry in lines] == \
+            ["firing", "resolved"]
+        assert lines[0]["alert"] == "a"
+        assert lines[0]["rule"] == "a: m > 10 for 1 keep 1"
+
+    def test_as_dict_shape(self):
+        engine = AlertEngine([AlertRule.parse("a: m > 10")])
+        run_trace(engine, [11])
+        shape = engine.as_dict()
+        assert shape["firing"] == ["a"]
+        assert shape["rules"] == ["a: m > 10 for 1 keep 1"]
+        assert shape["states"][0]["fired_count"] == 1
+        assert shape["events"][0]["state"] == "firing"
+
+
+class TestDeterminism:
+    def test_same_trace_same_events(self):
+        def run():
+            engine = AlertEngine(
+                [AlertRule.parse("a: m > 10 for 2 keep 2")])
+            events = run_trace(engine, [11, 11, 5, 11, 5, 5, 11, 11])
+            return [e.as_dict() for e in events]
+        assert run() == run()

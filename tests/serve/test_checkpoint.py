@@ -1,0 +1,141 @@
+"""Checkpoint/restore determinism — the serve-mode acceptance contract.
+
+The pinned property: run a session to tick T, checkpoint, restore the
+file **in a fresh process**, run both the original and the restored copy
+to tick T+N — the replay digests are byte-identical.  Covered across
+two seeds and a sharded (shards=2) deployment.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.serve import (CheckpointError, ServeSession, ServeSpec,
+                         load_checkpoint, read_metadata, save_checkpoint)
+from repro.serve.checkpoint import MAGIC
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def fresh_process_digest(path: Path, run_ticks: int) -> str:
+    """Restore ``path`` in a brand-new interpreter and run it forward."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.serve.checkpoint", "digest",
+         str(path), "--run-ticks", str(run_ticks)],
+        capture_output=True, text=True, timeout=300,
+        cwd=REPO, env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin"})
+    assert result.returncode == 0, result.stderr
+    return result.stdout.strip()
+
+
+class TestRestoreDeterminism:
+    @pytest.mark.parametrize("spec", [
+        ServeSpec(seed=7),
+        ServeSpec(seed=11),
+        ServeSpec(seed=7, pods=2, spines=2, shards=2),
+    ], ids=["seed7", "seed11", "seed7-sharded"])
+    def test_fresh_process_restore_matches_uninterrupted(
+            self, spec, tmp_path):
+        checkpoint_tick, extra_ticks = 12, 15
+        session = ServeSession(spec)
+        for _ in range(checkpoint_tick):
+            session.tick()
+        path = tmp_path / "ck.bin"
+        save_checkpoint(session, path)
+        # The original keeps running without interruption...
+        for _ in range(extra_ticks):
+            session.tick()
+        uninterrupted = session.replay_digest()
+        # ...while a fresh interpreter restores the file and catches up.
+        assert fresh_process_digest(path, extra_ticks) == uninterrupted
+
+    def test_in_process_restore_matches(self, tmp_path):
+        session = ServeSession(ServeSpec(seed=3))
+        for _ in range(10):
+            session.tick()
+        path = tmp_path / "ck.bin"
+        save_checkpoint(session, path)
+        restored = load_checkpoint(path)
+        for _ in range(10):
+            session.tick()
+            restored.tick()
+        assert restored.replay_digest() == session.replay_digest()
+        assert restored.ticks == session.ticks
+
+    def test_uptime_and_alert_state_survive(self, tmp_path):
+        session = ServeSession(ServeSpec(seed=3))
+        for _ in range(8):
+            session.tick()
+        path = tmp_path / "ck.bin"
+        save_checkpoint(session, path)
+        restored = load_checkpoint(path)
+        assert restored.ticks == 8
+        assert restored.alerts.firing() == session.alerts.firing()
+        assert len(restored.history) == len(session.history)
+        snap = restored.system.obs.metrics.snapshot()
+        assert snap["repro_uptime_ticks"] == 8
+
+
+class TestFileFormat:
+    def make_checkpoint(self, tmp_path) -> Path:
+        session = ServeSession(ServeSpec(seed=1))
+        for _ in range(3):
+            session.tick()
+        path = tmp_path / "ck.bin"
+        save_checkpoint(session, path)
+        return path
+
+    def test_metadata_readable_without_unpickling(self, tmp_path):
+        path = self.make_checkpoint(tmp_path)
+        meta = read_metadata(path)
+        assert meta["format"] == 1
+        assert meta["tick"] == 3
+        assert meta["sim_now_ns"] == 3 * 10 ** 9
+        assert meta["seed"] == 1
+        assert meta["spec"]["rules"]  # spec rides along as plain JSON
+
+    def test_metadata_is_canonical_json_line(self, tmp_path):
+        path = self.make_checkpoint(tmp_path)
+        raw = path.read_bytes()
+        assert raw.startswith(MAGIC)
+        line = raw[len(MAGIC):].split(b"\n", 1)[0].decode()
+        assert json.loads(line) == json.loads(
+            json.dumps(json.loads(line), sort_keys=True))
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"NOT-A-CHECKPOINT\n{}\n")
+        with pytest.raises(CheckpointError):
+            read_metadata(path)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = self.make_checkpoint(tmp_path)
+        whole = path.read_bytes()
+        path.write_bytes(whole[:len(whole) // 2])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_cli_info_prints_metadata(self, tmp_path):
+        path = self.make_checkpoint(tmp_path)
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.serve.checkpoint", "info",
+             str(path)],
+            capture_output=True, text=True, timeout=120, cwd=REPO,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin"})
+        assert result.returncode == 0, result.stderr
+        assert json.loads(result.stdout)["tick"] == 3
+
+
+class TestSanitizerGuard:
+    def test_sanitized_session_refused(self, tmp_path):
+        session = ServeSession(ServeSpec(seed=1))
+        session.tick()
+        # PoolSan tables are keyed by id(); pickling them is meaningless.
+        session.cluster.sanitizer = object()
+        with pytest.raises(CheckpointError, match="[Ss]aniti"):
+            save_checkpoint(session, tmp_path / "ck.bin")

@@ -1,0 +1,135 @@
+"""End-to-end smoke of ``repro-pingmesh serve`` as a real subprocess.
+
+The CI ``serve-smoke`` job runs this same flow: boot, wait ready,
+scrape, inject a fault that fires an alert, checkpoint over HTTP,
+shut down cleanly, then restart from the checkpoint file.
+"""
+
+import json
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+ENV = {"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin"}
+
+# Corruption drops appear within a tick or two of the fault window
+# opening, so the alert fires long before an analyzer window would.
+DROP_RULE = ('drops: repro_fabric_drops_total{reason="corruption"} > 0 '
+             'for 1 keep 9999')
+FAULT = "link_corruption@0-9999:pod0-tor0,pod0-agg0:drop_prob=1.0"
+
+
+def http(url, method="GET", payload=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    if method == "POST" and data is None:
+        data = b""
+    req = urllib.request.Request(url, data=data, method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=30) as response:
+            return response.status, response.read().decode()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode()
+
+
+def wait_for(predicate, *, timeout_s=60, interval_s=0.1, what=""):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        result = predicate()
+        if result:
+            return result
+        time.sleep(interval_s)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+class ServeProcess:
+    """A ``repro serve`` subprocess plus its parsed base URL."""
+
+    def __init__(self, *extra_args):
+        self.proc = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro.cli", "serve",
+             "--pace", "0.05", *extra_args],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            cwd=REPO, env=ENV)
+        self.lines: list[str] = []
+        self.url = None
+        self._reader = threading.Thread(target=self._pump, daemon=True)
+        self._reader.start()
+        wait_for(lambda: self.url is not None
+                 or self.proc.poll() is not None, what="serve boot line")
+        if self.url is None:
+            raise AssertionError(
+                "serve exited before printing its URL:\n"
+                + "".join(self.lines))
+
+    def _pump(self):
+        for line in self.proc.stdout:
+            self.lines.append(line)
+            if line.startswith("serving on "):
+                self.url = line.split()[2]
+
+    def finish(self, timeout_s=60):
+        code = self.proc.wait(timeout=timeout_s)
+        self._reader.join(timeout=10)
+        return code, "".join(self.lines)
+
+
+def test_serve_lifecycle(tmp_path):
+    checkpoint = tmp_path / "ck.bin"
+    serve = ServeProcess("--seed", "2", "--checkpoint", str(checkpoint),
+                         "--allow-inject", "--rule", DROP_RULE)
+    try:
+        # 1. liveness is immediate; readiness needs pinglists + a first
+        #    closed analyzer window.
+        assert http(serve.url + "/health")[0] == 200
+        wait_for(lambda: http(serve.url + "/ready")[0] == 200,
+                 what="readiness")
+
+        # 2. a real scrape, with identity metrics present.
+        code, body = http(serve.url + "/metrics")
+        assert code == 200
+        assert "repro_build_info{" in body
+        assert "repro_uptime_ticks" in body
+        assert 'repro_alerts_firing{alert="drops"} 0' in body
+
+        # 3. inject a corrupting fault; the drop alert must fire.
+        code, _ = http(serve.url + "/inject", method="POST",
+                       payload={"fault": FAULT})
+        assert code == 200
+        wait_for(lambda: "drops" in json.loads(
+                     http(serve.url + "/alerts")[1])["firing"],
+                 what="drop alert to fire")
+        assert ('repro_alerts_firing{alert="drops"} 1'
+                in http(serve.url + "/metrics")[1])
+
+        # 4. checkpoint over HTTP, then a clean shutdown.
+        code, body = http(serve.url + "/checkpoint", method="POST")
+        assert code == 200
+        ticked_at = json.loads(body)["tick"]
+        assert ticked_at > 0
+        assert http(serve.url + "/shutdown", method="POST")[0] == 200
+    finally:
+        if serve.proc.poll() is None:
+            try:
+                code, output = serve.finish()
+            except subprocess.TimeoutExpired:
+                serve.proc.kill()
+                raise
+        else:
+            code, output = serve.finish()
+    assert code == 0, output
+    assert "checkpoint written" in output
+    assert "stopped at tick=" in output
+
+    # 5. restart from the checkpoint in a fresh process.
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--restore", str(checkpoint), "--pace", "0", "--ticks", "5"],
+        capture_output=True, text=True, timeout=300, cwd=REPO, env=ENV)
+    assert result.returncode == 0, result.stderr
+    assert "restored" in result.stdout
+    assert "stopped at tick=" in result.stdout

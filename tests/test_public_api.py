@@ -73,6 +73,14 @@ PUBLIC_MODULES = [
     "repro.analysis.runtime",
     "repro.analysis.cli",
 
+    "repro.serve",
+    "repro.serve.session",
+    "repro.serve.checkpoint",
+    "repro.serve.alerts",
+    "repro.serve.http",
+    "repro.serve.runner",
+    "repro.serve.tui",
+
     "repro.fleet",
     "repro.fleet.spec",
     "repro.fleet.worker",
