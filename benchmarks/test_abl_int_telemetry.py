@@ -71,3 +71,27 @@ def test_ablation_int_congestion_localization(benchmark):
     assert result["int_complete"] == result["flows"]
     # A burst of traces exhausts the switches' traceroute token buckets.
     assert result["traceroute_complete"] < result["flows"]
+
+
+def test_rate_limited_hops_exported_as_metric():
+    """The drained token buckets show up in the metrics registry.
+
+    The limiter silently replaced hops with ``None`` for a long time
+    without any counter; operators sizing trace cadence need the loss
+    visible as ``repro_traceroute_rate_limited_total``.
+    """
+    from repro.obs import Observability
+
+    cluster = Cluster.clos(default_cluster_params(), seed=23)
+    obs = Observability(metrics=True)
+    obs.install(cluster)
+    src_ip = cluster.rnic("host0-rnic0").ip
+    dst_ip = cluster.rnic("host6-rnic0").ip
+    for port in range(7000, 7064):
+        cluster.traceroute.trace(roce_five_tuple(src_ip, dst_ip, port),
+                                 "host0-rnic0")
+    snap = obs.metrics.snapshot()
+    assert snap["repro_traceroute_traces_total"] == 64
+    assert snap["repro_traceroute_rate_limited_total"] > 0
+    assert snap["repro_traceroute_rate_limited_total"] == \
+        cluster.traceroute.rate_limited_hops

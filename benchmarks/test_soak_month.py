@@ -115,3 +115,38 @@ def test_soak_month_of_operation(benchmark):
     for line in tracker.export_jsonl().splitlines():
         record = json.loads(line)
         assert record["state"] == "resolved"
+
+
+def test_soak_survives_midpoint_checkpoint(tmp_path):
+    """An operational soak must be pausable: checkpoint at the midpoint,
+    restore in a fresh session, and the resumed run's replay digest must
+    equal the uninterrupted run's — byte for byte, faults and all.
+    """
+    from repro.fleet.spec import FaultEvent
+    from repro.serve import (ServeSession, ServeSpec, load_checkpoint,
+                             save_checkpoint)
+
+    spec = ServeSpec(seed=30, campaign=(
+        FaultEvent.make("rnic_down", "host0-rnic0",
+                        start_s=20.0, end_s=50.0),
+        FaultEvent.make("link_corruption", "pod0-tor0", "pod0-agg0",
+                        start_s=70.0, end_s=100.0, drop_prob=0.5),
+    ))
+    total_ticks, midpoint = 120, 60
+
+    baseline = ServeSession(spec)
+    for _ in range(total_ticks):
+        baseline.tick()
+    uninterrupted = baseline.replay_digest()
+
+    session = ServeSession(spec)
+    for _ in range(midpoint):
+        session.tick()
+    path = str(tmp_path / "soak.ckpt")
+    save_checkpoint(session, path)
+
+    resumed = load_checkpoint(path)
+    assert resumed.ticks == midpoint
+    for _ in range(total_ticks - midpoint):
+        resumed.tick()
+    assert resumed.replay_digest() == uninterrupted

@@ -331,11 +331,39 @@ def sharded_smoke_scenario(seed: int, *, sanitize: bool = False,
     return system_state(system)
 
 
+def int_smoke_scenario(seed: int, *, sanitize: bool = False,
+                       poolsan_out: Optional[list] = None
+                       ) -> dict[str, Any]:
+    """A congested run with the INT diagnosis backend deployed.
+
+    Not a golden scenario: INT telemetry is off by default (the golden
+    digests pin the disabled path).  Its job under PoolSan is the
+    telemetry stamp/collect cycle itself — per-hop stamps pushed onto
+    pooled packets' payloads on the fast and slow paths, popped at
+    delivery, window drains, and Analyzer fusion — proving the collector
+    neither leaks stamps into reused packets nor retains pooled refs.
+    """
+    cluster = _golden_cluster(seed, sanitize=sanitize)
+    if poolsan_out is not None:
+        poolsan_out.append(cluster.sanitizer)
+    config = RPingmeshConfig(backends=("probe", "int"))
+    system = RPingmesh(cluster, config)
+    system.start()
+    faults = FaultManager(cluster)
+    faults.schedule(
+        LinkOverload(cluster, "pod0-tor0", "pod0-agg0", extra_gbps=520.0),
+        start_ns=5 * SECOND, end_ns=35 * SECOND)
+    system.run(45 * SECOND)
+    return system_state(system)
+
+
 #: What ``python -m repro.analysis --sanitize-check`` (and the CI
-#: sanitizer-smoke job) sweeps: every golden scenario plus the sharded one.
+#: sanitizer-smoke job) sweeps: every golden scenario plus the sharded
+#: and INT-telemetry ones.
 SANITIZE_SCENARIOS: dict[str, Scenario] = {
     **GOLDEN_SCENARIOS,
     "sharded": sharded_smoke_scenario,
+    "int_telemetry": int_smoke_scenario,
 }
 
 

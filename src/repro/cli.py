@@ -10,6 +10,7 @@ Usage (installed as ``repro-pingmesh``, or ``python -m repro.cli``)::
     repro-pingmesh trace    [--probe SEQ] [--jsonl PATH] [--seed N]
     repro-pingmesh metrics  [--seed N] [--duration S]
     repro-pingmesh profile  [--top K] [--seed N] [--duration S]
+    repro-pingmesh backends [--list] [--kinds K,...] [--modes M,...]
     repro-pingmesh fleet    run [--preset P] [--workers N] [--out PATH]
     repro-pingmesh fleet    report --artifact PATH
 
@@ -29,6 +30,8 @@ Usage (installed as ``repro-pingmesh``, or ``python -m repro.cli``)::
   Prometheus-style exposition.
 * ``profile`` — same scenario under sim-engine profiling; prints host
   wall time per callback site.
+* ``backends`` — race the diagnosis backends (probe, INT, Pingmesh) over
+  the bake-off fault registry and print BENCH comparison lines.
 * ``fleet``   — run a named scenario sweep across worker processes and
   merge it into a deterministic scorecard (``run``), or re-render a
   previously written scorecard artifact (``report``).
@@ -350,6 +353,62 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_backends(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.diagnosis.backend import available_backends, create_backend
+    from repro.diagnosis.bakeoff import (MODES, bakeoff_cases,
+                                         case_by_label, int_verdict_loci,
+                                         record, run_case)
+
+    if args.list:
+        for name in available_backends():
+            backend = create_backend(name)
+            doc = (type(backend).__doc__ or "").strip().splitlines()
+            print(f"{name:<10} {doc[0] if doc else ''}")
+        return 0
+
+    if args.selftest:
+        # CI-sized slice: probe vs fused over one congestion case (the
+        # exact-directed-link claim) and two failure cases (recall
+        # parity) — 3 kinds x 2 backends' worth of runs.
+        kinds = ["link_overload_tor_agg", "rnic_down", "link_corruption"]
+        modes = ["probe", "fused"]
+    else:
+        kinds = args.kinds.split(",") if args.kinds else \
+            [c.label for c in bakeoff_cases()]
+        modes = args.modes.split(",") if args.modes else list(MODES)
+
+    ok = True
+    by_case: dict[str, dict[str, dict]] = {}
+    for label in kinds:
+        case = case_by_label(label)
+        for mode in modes:
+            result = run_case(case, mode, args.seed)
+            rec = record(case, mode, result)
+            rec["int_loci"] = int_verdict_loci(result)
+            by_case.setdefault(label, {})[mode] = rec
+            print("BENCH " + json.dumps(rec, sort_keys=True))
+    for label, runs in by_case.items():
+        case = case_by_label(label)
+        fused = runs.get("fused")
+        probe = runs.get("probe")
+        if fused and case.hot_link is not None:
+            exact = fused["int_loci"] == [case.hot_link]
+            ok &= exact
+            print(f"{label}: int_exact_link={exact} "
+                  f"({'/'.join(fused['int_loci']) or 'none'})")
+        if fused and probe:
+            not_worse = (fused["recall"] >= probe["recall"]
+                         and fused["precision"] >= probe["precision"])
+            ok &= not_worse
+            print(f"{label}: fused_not_worse={not_worse} "
+                  f"(recall {probe['recall']:.2f}->{fused['recall']:.2f})")
+    if args.selftest:
+        print(f"selftest: ok={ok}")
+    return 0 if ok else 1
+
+
 def cmd_fleet_run(args: argparse.Namespace) -> int:
     from repro.core.dashboard import render_fleet
     from repro.fleet import FleetProgress, FleetRunner, merge
@@ -542,6 +601,24 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--top", type=int, default=20,
                          help="callback sites to show")
     profile.set_defaults(func=cmd_profile)
+
+    backends = sub.add_parser(
+        "backends",
+        help="race diagnosis backends over the fault registry")
+    backends.add_argument("--list", action="store_true",
+                          help="print the registered backends and exit")
+    backends.add_argument("--kinds", default="",
+                          help="comma-separated bake-off case labels "
+                               "(default: all)")
+    backends.add_argument("--modes", default="",
+                          help="comma-separated modes from probe, fused, "
+                               "pingmesh (default: all)")
+    backends.add_argument("--seed", type=int, default=0)
+    backends.add_argument("--selftest", action="store_true",
+                          help="reduced bake-off (2 backends x 3 fault "
+                               "kinds); exit non-zero unless INT names "
+                               "the exact link and fused is never worse")
+    backends.set_defaults(func=cmd_backends)
 
     fleet = sub.add_parser("fleet", help="parallel scenario sweeps")
     fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)

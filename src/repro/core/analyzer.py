@@ -43,6 +43,7 @@ from repro.core.localization import Localization, localize
 from repro.core.records import (AgentUpload, Priority, Problem,
                                 ProbeKind, ProbeResult, ProblemCategory)
 from repro.core.sla import SlaHistory, SlaReport, tracker_factory
+from repro.diagnosis.fusion import FusionReport, fuse_window
 
 
 class ServiceMonitor(Protocol):
@@ -108,6 +109,11 @@ class Analyzer:
         self.windows: list[WindowAnalysis] = []
         self.problems: list[Problem] = []
         self.category_counts: Counter = Counter()
+        # INT evidence provider (repro.diagnosis.inband.IntBackend), set
+        # by attach_int_evidence when the "int" backend is deployed; None
+        # skips fusion entirely — the default pipeline is untouched.
+        self.int_provider = None
+        self.fusion = FusionReport()
         # Ingest accounting: batches accepted into / refused by the bounded
         # queue since start (part of the control-plane metrics surface).
         self.ingest_accepted = 0
@@ -137,6 +143,17 @@ class Analyzer:
     def add_window_listener(self, listener) -> None:
         """Be called with each completed WindowAnalysis (trackers etc.)."""
         self._window_listeners.append(listener)
+
+    def attach_int_evidence(self, provider) -> None:
+        """Enable INT fusion (provider: per-window link evidence maps).
+
+        ``provider.link_evidence(window_end_ns)`` must return the
+        per-directed-link :class:`~repro.diagnosis.inband.IntLinkEvidence`
+        for the window closing at that tick; the IntBackend closes its
+        window before ``analyze()`` runs (it is started first, and equal
+        timestamps preserve schedule order), so the map is always ready.
+        """
+        self.int_provider = provider
 
     def receive_upload(self, batch: AgentUpload) -> bool:
         """Agent upload entry point (5-second batches).
@@ -184,6 +201,8 @@ class Analyzer:
         window.down_hosts = self._down_hosts(now)
         classification = self._classify(results, window, now)
         self._emit_problems(results, classification, window, now)
+        if self.int_provider is not None:
+            self._fuse_int(window)
         self._aggregate_sla(results, classification, window)
         self._update_service_membership(results, now)
         self._assign_priorities(window)
@@ -505,6 +524,25 @@ class Analyzer:
                     evidence_count=len(samples),
                     from_service_tracing=False,
                     detail=f"p90={p90}ns"))
+
+    # -- INT fusion (repro.diagnosis, paper §7.4) ------------------------------------------------
+
+    def _fuse_int(self, window: WindowAnalysis) -> None:
+        """Fuse this window's INT link evidence into its problem list.
+
+        Strictly additive (see :mod:`repro.diagnosis.fusion`): sharpens
+        vote-based loci to the INT directed link, breaks Algorithm-1 vote
+        ties, attributes congestion cause, and adds INT-origin problems
+        for hot links nothing else named.  Runs before priority
+        assignment so INT-origin problems are prioritised like any other.
+        """
+        links = self.int_provider.link_evidence(window.window_end_ns)
+        if not links:
+            return
+        self.fusion.merge(fuse_window(
+            window, links,
+            threshold_ns=self.config.high_rtt_threshold_ns,
+            min_evidence=self.config.min_anomalies_for_localization))
 
     # -- step 7: SLA -------------------------------------------------------------------------
 

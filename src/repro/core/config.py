@@ -92,6 +92,14 @@ class RPingmeshConfig:
     # locally after shipping its summary to the RootAnalyzer.
     shard_window_retention: int = 8
 
+    # Diagnosis backends (repro.diagnosis, DESIGN.md §14) deployed with
+    # the system.  The default ("probe",) is the paper's pipeline viewed
+    # through the backend protocol — pure observation, byte-identical to
+    # a build without the subsystem.  Add "int" for in-band telemetry
+    # (+ Analyzer fusion) or "pingmesh" for the TCP baseline (which
+    # injects real probe traffic and so perturbs replay digests).
+    backends: tuple = ("probe",)
+
     # Ablation switches (both True in the paper's design; turning them off
     # reproduces the failure modes §4.2.3/§4.3.2 argue against):
     # ToR-mesh anomalous-RNIC detection + quarantine before localisation.
@@ -132,3 +140,11 @@ class RPingmeshConfig:
             raise ValueError("sketch relative accuracy must be in (0,1)")
         if self.shard_window_retention < 1:
             raise ValueError("shard window retention must be >=1")
+        if len(set(self.backends)) != len(self.backends):
+            raise ValueError(f"duplicate backends: {self.backends}")
+        from repro.diagnosis.backend import available_backends
+        known = set(available_backends())
+        unknown = [b for b in self.backends if b not in known]
+        if unknown:
+            raise ValueError(
+                f"unknown backends {unknown}; available: {sorted(known)}")

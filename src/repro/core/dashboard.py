@@ -105,6 +105,13 @@ def render_analyzer_state(analyzer: Analyzer, *,
         lines.append("-" * 72)
         lines.append(f"recent problems (last {len(recent)}):")
         lines.extend("  " + render_problem(p) for p in recent)
+    # INT fusion tallies, when an in-band telemetry provider is attached.
+    fusion = getattr(analyzer, "fusion", None)
+    if fusion is not None and getattr(analyzer, "int_provider",
+                                      None) is not None:
+        lines.append(f"int fusion: sharpened={fusion.sharpened} "
+                     f"annotated={fusion.annotated} added={fusion.added} "
+                     f"ties_broken={fusion.ties_broken}")
     verdict = "INNOCENT" if analyzer.network_innocent() else "SUSPECT"
     lines.append("-" * 72)
     lines.append(f"service-network verdict: {verdict}")
@@ -136,6 +143,12 @@ def render_control_plane(system: "RPingmesh", *,
                      f"dropped={shard.ingest_dropped} "
                      f"queued={shard.ingest_backlog} "
                      f"windows={len(shard.windows)}")
+    for name, backend in sorted(system.backends.items()):
+        cost = backend.cost()
+        lines.append(f"  backend {name:<9} "
+                     f"verdicts={len(backend.verdicts()):<4} "
+                     f"probe_bytes={cost.probe_bytes:<9} "
+                     f"telemetry_bytes={cost.telemetry_bytes}")
 
     def unhealth(name: str) -> tuple:
         s = net.stats_for(name)

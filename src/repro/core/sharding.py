@@ -46,6 +46,8 @@ from repro.core.localization import Localization, localize
 from repro.core.records import (Priority, ProbeKind, Problem,
                                 ProblemCategory)
 from repro.core.sla import SlaHistory, SlaReport, SlaWindow
+from repro.diagnosis.fusion import FusionReport, fuse_window
+from repro.diagnosis.inband import merge_link_evidence, slice_links
 from repro.host.rnic import CommInfo
 from repro.sim.sketch import QuantileSketch
 
@@ -161,6 +163,10 @@ class ShardWindowSummary:
     service_members: tuple[str, ...]
     cluster_sla: ScopeSlaSummary
     service_sla: ScopeSlaSummary
+    # This shard's pod-owned slice of the window's INT link evidence
+    # (repro.diagnosis.inband.IntLinkEvidence records) — bounded by the
+    # collector's top-K, disjoint across shards, merged at the root.
+    int_links: tuple = ()
 
 
 def _sketch_state(tracker, accuracy: float) -> tuple[tuple[str, Any], ...]:
@@ -380,6 +386,15 @@ class AnalyzerShard(Analyzer):
         # exactly and apply the threshold to the cluster-wide sum.
         self._side_evidence: dict[bool, tuple[Optional[Localization], int]]
         self._side_evidence = {}
+        # INT evidence source for summary slicing.  Deliberately NOT the
+        # base class's int_provider: fusion must run exactly once per
+        # window, at the root, on the merged cluster-wide evidence —
+        # shard-local fusion would duplicate INT-origin problems upward.
+        self._int_source = None
+
+    def attach_int_evidence(self, provider) -> None:
+        """Slice INT evidence into summaries; the root fuses."""
+        self._int_source = provider
 
     def bind(self, network: ManagementNetwork) -> Endpoint:
         endpoint = super().bind(network)
@@ -439,6 +454,15 @@ class AnalyzerShard(Analyzer):
         cluster_votes, cluster_paths = _loc_items(cluster_loc)
         service_votes, service_paths = _loc_items(service_loc)
         cls = ProblemCategory.SWITCH_NETWORK_PROBLEM
+        int_links: tuple = ()
+        if self._int_source is not None:
+            summary = self._int_source.window_summary(window.window_end_ns)
+            if summary is not None:
+                scope = getattr(self.controller, "_scope_tors", None) or ()
+                pods = {pod_of_tor(tor) for tor in scope}
+                int_links = slice_links(
+                    summary.links, pods,
+                    include_unowned=self.shard_index == 0)
         return ShardWindowSummary(
             shard=self.shard_index,
             window_start_ns=window.window_start_ns,
@@ -461,7 +485,8 @@ class AnalyzerShard(Analyzer):
             service_anomalies=service_n,
             service_members=tuple(sorted(self._service_members)),
             cluster_sla=_scope_summary(report.cluster, accuracy),
-            service_sla=_scope_summary(report.service, accuracy))
+            service_sla=_scope_summary(report.service, accuracy),
+            int_links=int_links)
 
     def _trim_retention(self) -> None:
         """Drop windows/reports already summarised to the root."""
@@ -494,6 +519,8 @@ class RootAnalyzer:
         self.problems: list[Problem] = []
         self.category_counts: Counter = Counter()
         self.fusions = 0
+        self.int_provider = None
+        self.fusion = FusionReport()
         # window_end_ns -> shard index -> summary, fused once complete.
         self._pending: dict[int, dict[int, ShardWindowSummary]] = {}
         self._service_members: dict[str, int] = {}
@@ -528,6 +555,12 @@ class RootAnalyzer:
         """Tap the raw upload stream on every shard."""
         for shard in self.shards:
             shard.add_upload_listener(listener)
+
+    def attach_int_evidence(self, provider) -> None:
+        """Enable INT fusion: shards slice evidence, the root fuses it."""
+        self.int_provider = provider
+        for shard in self.shards:
+            shard.attach_int_evidence(provider)
 
     # -- summary ingestion & fusion ----------------------------------------------
 
@@ -597,6 +630,16 @@ class RootAnalyzer:
                     evidence_count=anomalies,
                     from_service_tracing=service_side,
                     detail=f"votes={loc.votes.get(suspect, 0)}"))
+
+        # INT fusion over the merged per-shard evidence slices — exactly
+        # once per window, after the fused vote problems exist, so the
+        # sharded and single-analyzer paths sharpen the same loci.
+        merged_int = merge_link_evidence(s.int_links for s in ordered)
+        if merged_int:
+            self.fusion.merge(fuse_window(
+                window, merged_int,
+                threshold_ns=self.config.high_rtt_threshold_ns,
+                min_evidence=self.config.min_anomalies_for_localization))
 
         self._fuse_sla(window, ordered)
         self._assign_priorities(window)

@@ -30,6 +30,7 @@ from repro.core.sharding import (AnalyzerShard, ControllerShard, PodMap,
                                  RootAnalyzer, RootController,
                                  analyzer_shard_endpoint,
                                  controller_shard_endpoint)
+from repro.diagnosis.backend import DiagnosisBackend, create_backend
 from repro.obs import Observability
 
 
@@ -45,9 +46,13 @@ class RPingmesh:
 
     def __init__(self, cluster: Cluster,
                  config: Optional[RPingmeshConfig] = None, *,
-                 obs: Optional[Observability] = None):
+                 obs: Optional[Observability] = None,
+                 backends: Optional[tuple] = None):
         self.cluster = cluster
         self.config = config or RPingmeshConfig()
+        if backends is not None:
+            # Convenience override of config.backends (fleet/CLI path).
+            self.config.backends = tuple(backends)
         self.config.validate()
         self.obs = obs if obs is not None else Observability()
         self.obs.install(cluster)
@@ -98,18 +103,35 @@ class RPingmesh:
                                  cluster.rngs.stream(f"agent.{host_name}"))
                 for host_name, host in sorted(cluster.hosts.items())
             }
+        # Diagnosis backends (repro.diagnosis, DESIGN.md §14): build and
+        # attach each configured backend.  The default ("probe",) attaches
+        # a pure-observation adapter; "int" installs the fabric collector
+        # and enables Analyzer fusion.
+        self.backends: dict[str, DiagnosisBackend] = {}
+        for name in self.config.backends:
+            backend = create_backend(name)
+            backend.attach(cluster, self)
+            self.backends[name] = backend
         self._started = False
         if self.obs.metrics_enabled:
             self.obs.metrics.register_collector(self._collect_system)
 
     def start(self) -> None:
-        """Bring the whole system up (idempotent)."""
+        """Bring the whole system up (idempotent).
+
+        Backends start *before* the Analyzer: both tick every
+        ``analysis_period_ns``, and the engine preserves schedule order
+        at equal timestamps, so a backend's window close (e.g. the INT
+        drain) always lands before the ``analyze()`` that fuses it.
+        """
         if self._started:
             return
         self._started = True
         for agent in self.agents.values():
             agent.start()
         self.controller.start()
+        for name in self.config.backends:
+            self.backends[name].start()
         self.analyzer.start()
 
     def attach_service_monitor(self, monitor: ServiceMonitor) -> None:
@@ -171,6 +193,25 @@ class RPingmesh:
             self.network.messages_delivered
         m.counter("repro_controlplane_messages_dropped_total").value = \
             self.network.messages_dropped
+        for name, backend in sorted(self.backends.items()):
+            cost = backend.cost()
+            m.gauge("repro_diagnosis_verdicts",
+                    backend=name).set(len(backend.verdicts()))
+            m.counter("repro_diagnosis_probe_packets_total",
+                      backend=name).value = cost.probe_packets
+            m.counter("repro_diagnosis_probe_bytes_total",
+                      backend=name).value = cost.probe_bytes
+            m.counter("repro_diagnosis_telemetry_bytes_total",
+                      backend=name).value = cost.telemetry_bytes
+            m.counter("repro_diagnosis_events_observed_total",
+                      backend=name).value = cost.events_observed
+        fusion = getattr(self.analyzer, "fusion", None)
+        if fusion is not None and self.analyzer.int_provider is not None:
+            m.counter("repro_fusion_sharpened_total").value = fusion.sharpened
+            m.counter("repro_fusion_annotated_total").value = fusion.annotated
+            m.counter("repro_fusion_added_total").value = fusion.added
+            m.counter("repro_fusion_ties_broken_total").value = \
+                fusion.ties_broken
 
     def run(self, duration_ns: int) -> None:
         """Convenience: start (if needed) and advance simulated time."""

@@ -1,0 +1,39 @@
+"""``repro.diagnosis`` — pluggable diagnosis backends (DESIGN.md §14).
+
+One protocol, three built-in ways of deciding what is broken:
+
+* :mod:`repro.diagnosis.probe` — the paper's own probe/RTT-vote pipeline
+  (the deployed Analyzer), adapted as the reference backend;
+* :mod:`repro.diagnosis.inband` — in-band network telemetry stamped onto
+  packets transiting the fabric (paper §7.4, *Millions of Little
+  Minions*), localizing congestion to the exact directed link;
+* :mod:`repro.diagnosis.pingmesh` — the SIGCOMM'15 TCP Pingmesh
+  baseline, host-granular and attribution-blind by construction.
+
+:mod:`repro.diagnosis.fusion` combines probe votes with INT link
+evidence inside the Analyzer (and across shards via the mergeable INT
+summary); :mod:`repro.diagnosis.bakeoff` races the backends over the
+fault registry and scores coverage, time-to-detect, and overhead.
+
+Select backends with ``RPingmeshConfig.backends`` (default
+``("probe",)``, which is pure observation — golden replay digests are
+byte-identical to a build without this package).
+"""
+
+from repro.diagnosis.backend import (BackendCost, BackendVerdict,
+                                     DiagnosisBackend, available_backends,
+                                     create_backend, register_backend)
+from repro.diagnosis.fusion import FusionReport, fuse_window
+from repro.diagnosis.inband import (INT_STAMP_BYTES, IntBackend, IntCollector,
+                                    IntLinkEvidence, IntWindowSummary)
+from repro.diagnosis.pingmesh import PingmeshBackend
+from repro.diagnosis.probe import ProbeBackend
+
+__all__ = [
+    "BackendCost", "BackendVerdict", "DiagnosisBackend",
+    "available_backends", "create_backend", "register_backend",
+    "FusionReport", "fuse_window",
+    "INT_STAMP_BYTES", "IntBackend", "IntCollector",
+    "IntLinkEvidence", "IntWindowSummary",
+    "PingmeshBackend", "ProbeBackend",
+]

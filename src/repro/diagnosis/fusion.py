@@ -1,0 +1,149 @@
+"""Fusing INT link evidence with the Analyzer's Algorithm-1 verdicts.
+
+The probe pipeline and the INT collector see the same fault from
+opposite ends: votes over traced probe/ACK paths name a *cable-level*
+suspect set (often both directions of one link, or the switch itself),
+while INT names the exact *directed* link whose queue built up — and why.
+Fusion combines them per window (paper §7.4):
+
+* **sharpen** — a vote-based locus that is the reverse direction, one
+  endpoint, or the cable form of an INT-hot link is rewritten to the
+  directed link INT observed;
+* **tie-break** — when Algorithm 1 emits several equal-vote suspects,
+  the one INT corroborates is marked, the cold ones annotated;
+* **attribute** — hot-link problems gain the collector's congestion
+  cause (PFC backpressure vs overload vs queue build-up);
+* **add** — hot links no existing problem names become INT-origin
+  ``high_rtt`` problems.
+
+Fusion is strictly additive: it never removes or downgrades a problem,
+so the fused problem set is a superset of the probe-only one — recall
+and time-to-detect can only improve, never regress (the bake-off's
+"fused never worse" guarantee is structural, not empirical).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from repro.core.records import Problem, ProblemCategory
+
+if TYPE_CHECKING:
+    from repro.core.analyzer import WindowAnalysis
+    from repro.diagnosis.inband import IntLinkEvidence
+
+# Problem categories whose locus INT evidence may sharpen or corroborate.
+_FUSABLE = (ProblemCategory.SWITCH_NETWORK_PROBLEM, ProblemCategory.HIGH_RTT)
+
+
+@dataclass(slots=True)
+class FusionReport:
+    """What one window's fusion pass did (counters surface)."""
+
+    sharpened: int = 0      # loci rewritten to the INT directed link
+    annotated: int = 0      # problems gaining INT cause/corroboration
+    added: int = 0          # INT-origin problems appended
+    ties_broken: int = 0    # equal-vote suspect sets disambiguated
+
+    def merge(self, other: "FusionReport") -> None:
+        self.sharpened += other.sharpened
+        self.annotated += other.annotated
+        self.added += other.added
+        self.ties_broken += other.ties_broken
+
+
+def _locus_forms(link: str) -> set[str]:
+    """Every locus spelling that refers to (the cable of) a directed link."""
+    src, _, dst = link.partition("->")
+    return {link, f"{dst}->{src}", src, dst,
+            f"{src}<->{dst}", f"{dst}<->{src}"}
+
+
+def _votes_of(problem: Problem) -> int:
+    """The Algorithm-1 tally a problem's detail carries, if any."""
+    for token in problem.detail.split():
+        if token.startswith("votes="):
+            try:
+                return int(token[6:])
+            except ValueError:
+                return -1
+    return -1
+
+
+def fuse_window(window: "WindowAnalysis",
+                links: Mapping[str, "IntLinkEvidence"], *,
+                threshold_ns: int, min_evidence: int) -> FusionReport:
+    """Fuse one window's INT link evidence into its problem list.
+
+    ``links`` is the per-link evidence map for the window that just
+    closed; a link is *hot* when its max observed queue+pause delay
+    crosses the RTT anomaly threshold with at least ``min_evidence``
+    stamped packets behind it.  Mutates ``window.problems`` in place
+    (only additively) and returns what was done.
+    """
+    report = FusionReport()
+    hot = {name: ev for name, ev in links.items()
+           if ev.max_delay_ns > threshold_ns and ev.packets >= min_evidence}
+    if not hot:
+        return report
+    hot_order = sorted(hot, key=lambda n: (-hot[n].max_delay_ns, n))
+
+    # Sharpen + attribute: rewrite fusable loci to the INT directed link.
+    covered: set[str] = set()
+    for problem in window.problems:
+        if problem.category not in _FUSABLE:
+            continue
+        for name in hot_order:
+            if problem.locus not in _locus_forms(name):
+                continue
+            ev = hot[name]
+            if problem.locus != name:
+                problem.detail = (problem.detail + " " if problem.detail
+                                  else "") + f"int:sharpened<-{problem.locus}"
+                problem.locus = name
+                report.sharpened += 1
+            problem.detail = (problem.detail + " " if problem.detail
+                              else "") + f"int:{name} cause={ev.cause()}"
+            report.annotated += 1
+            covered.add(name)
+            break
+
+    # Tie-break: equal top votes from Algorithm 1, INT picks the real one.
+    for service_side in (False, True):
+        switch = [p for p in window.problems
+                  if p.category == ProblemCategory.SWITCH_NETWORK_PROBLEM
+                  and p.from_service_tracing == service_side
+                  and _votes_of(p) >= 0]
+        if len(switch) < 2:
+            continue
+        top = max(_votes_of(p) for p in switch)
+        tied = [p for p in switch if _votes_of(p) == top]
+        if len(tied) < 2:
+            continue
+        corroborated = [p for p in tied if any(
+            p.locus in _locus_forms(name) or p.locus == name
+            for name in hot_order)]
+        if not corroborated or len(corroborated) == len(tied):
+            continue
+        report.ties_broken += 1
+        for p in tied:
+            tag = "int:tiebreak" if p in corroborated else "int:cold"
+            p.detail = (p.detail + " " if p.detail else "") + tag
+
+    # Add: hot links nothing names yet become INT-origin congestion
+    # problems on the exact directed link.
+    named = {form for p in window.problems for form in (p.locus,)}
+    for name in hot_order:
+        if name in covered or named & _locus_forms(name):
+            continue
+        ev = hot[name]
+        window.problems.append(Problem(
+            category=ProblemCategory.HIGH_RTT, locus=name,
+            detected_at_ns=window.window_end_ns,
+            window_start_ns=window.window_start_ns,
+            evidence_count=ev.packets, from_service_tracing=False,
+            detail=f"int:origin cause={ev.cause()} "
+                   f"max_delay_ns={ev.max_delay_ns}"))
+        report.added += 1
+    return report

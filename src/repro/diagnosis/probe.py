@@ -1,0 +1,78 @@
+"""The paper's probe/RTT-vote pipeline, viewed as a diagnosis backend.
+
+R-Pingmesh's own Agent → Controller → Analyzer pipeline (Algorithm 1,
+end-to-end probing with ACK-based RTT splitting and vote-based
+localization) is the *reference* backend.  This adapter does not re-run
+anything — the pipeline is already deployed by
+:class:`~repro.core.system.RPingmesh` — it re-expresses the Analyzer's
+problem records as :class:`~repro.diagnosis.backend.BackendVerdict`\\ s
+and tallies the probing cost, so the probe pipeline is scored on the
+same axes as its alternatives.
+
+It is deliberately inert: no events, no RNG, no state beyond references
+— deploying it (the default) leaves golden replay digests byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.diagnosis.backend import (BackendCost, BackendVerdict,
+                                     register_backend)
+from repro.net.packet import probe_packet_size
+
+if TYPE_CHECKING:
+    from repro.cluster import Cluster
+
+# One probe exchange is three packets on the wire: probe, first ACK,
+# second ACK (paper §3.1), each a header + 50-byte payload.
+PACKETS_PER_PROBE = 3
+
+
+@register_backend("probe")
+class ProbeBackend:
+    """Adapter exposing the deployed Analyzer's verdicts and probe cost."""
+
+    name = "probe"
+
+    def __init__(self):
+        self._cluster: Optional["Cluster"] = None
+        self._system = None
+
+    def attach(self, cluster: "Cluster", system) -> None:
+        self._cluster = cluster
+        self._system = system
+
+    def start(self) -> None:
+        """Nothing to start — the probe pipeline is the system itself."""
+
+    def verdicts(self) -> list[BackendVerdict]:
+        """The Analyzer's problems, one verdict each.
+
+        Problems *added* by INT fusion (tagged ``int:origin``) are the
+        INT backend's contribution, not the probe pipeline's — they are
+        excluded so a fused deployment still scores each backend on its
+        own signal.  Sharpened/annotated problems stay: the underlying
+        anomaly votes are the probe pipeline's.
+        """
+        out = []
+        for p in self._system.analyzer.problems:
+            if "int:origin" in p.detail:
+                continue
+            out.append(BackendVerdict(
+                backend=self.name, category=p.category.value, locus=p.locus,
+                detected_at_ns=p.detected_at_ns,
+                window_start_ns=p.window_start_ns,
+                evidence=p.evidence_count, detail=p.detail))
+        return out
+
+    def cost(self) -> BackendCost:
+        """Active probing cost, from the SLA aggregator's probe tallies."""
+        probes = 0
+        for report in self._system.analyzer.sla.reports:
+            probes += report.cluster.probes_total
+        packets = probes * PACKETS_PER_PROBE
+        return BackendCost(
+            probe_packets=packets,
+            probe_bytes=packets * probe_packet_size(),
+            events_observed=probes)

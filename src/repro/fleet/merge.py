@@ -75,6 +75,9 @@ class ScenarioScore:
     sla_bands: dict[str, dict[str, float]]         # metric -> min/mean/max
     problem_counts: dict[str, int]
     replay_digests: dict[str, str]                 # str(seed) -> digest
+    # Per-diagnosis-backend scorecards summed across seeds (empty when the
+    # spec deployed only the implicit default set).
+    backends: dict[str, dict] = field(default_factory=dict)
 
     @property
     def recall(self) -> float:
@@ -106,6 +109,7 @@ class ScenarioScore:
             "sla_bands": self.sla_bands,
             "problem_counts": self.problem_counts,
             "replay_digests": self.replay_digests,
+            "backends": self.backends,
         }
 
 
@@ -150,6 +154,42 @@ def _band(values: list[float], *, digits: int = 3) -> dict[str, float]:
         "mean": round(sum(ordered) / len(ordered), digits),
         "max": round(ordered[-1], digits),
     }
+
+
+def _merge_backend_reports(runs: list[ScenarioResult]) -> dict[str, dict]:
+    """Cross-seed sums per diagnosis backend (repro.diagnosis bake-off).
+
+    Pure sums plus a sorted time-to-detect band, so the result is
+    independent of run order like every other scorecard field.
+    """
+    sums: dict[str, dict] = {}
+    ttds: dict[str, list[float]] = {}
+    for run in runs:
+        for report in run.backend_reports:
+            agg = sums.setdefault(report.backend, {
+                "verdicts_total": 0, "true_positives": 0,
+                "false_positives": 0, "faults_total": 0,
+                "faults_detected": 0, "probe_packets": 0,
+                "probe_bytes": 0, "telemetry_bytes": 0,
+                "events_observed": 0})
+            agg["verdicts_total"] += report.verdicts_total
+            agg["true_positives"] += report.true_positives
+            agg["false_positives"] += report.false_positives
+            agg["faults_total"] += len(report.detections)
+            agg["faults_detected"] += report.faults_detected
+            agg["probe_packets"] += report.probe_packets
+            agg["probe_bytes"] += report.probe_bytes
+            agg["telemetry_bytes"] += report.telemetry_bytes
+            agg["events_observed"] += report.events_observed
+            ttds.setdefault(report.backend, []).extend(
+                d.time_to_detect_ns / 1e6 for d in report.detections
+                if d.time_to_detect_ns is not None)
+    merged = {}
+    for name in sorted(sums):
+        agg = sums[name]
+        agg["time_to_detect_ms"] = _band(ttds[name]) if ttds[name] else None
+        merged[name] = agg
+    return merged
 
 
 def merge(results: Iterable[ScenarioResult]) -> FleetScorecard:
@@ -206,6 +246,7 @@ def merge(results: Iterable[ScenarioResult]) -> FleetScorecard:
             for category, count in sorted(run.problem_counts.items()):
                 problem_counts[category] = \
                     problem_counts.get(category, 0) + count
+        backends = _merge_backend_reports(runs)
         scorecard.scenarios[label] = ScenarioScore(
             scenario=runs[0].scenario,
             spec_digest=digest,
@@ -223,6 +264,7 @@ def merge(results: Iterable[ScenarioResult]) -> FleetScorecard:
             sla_bands=sla_bands,
             problem_counts=problem_counts,
             replay_digests={str(r.seed): r.replay_digest for r in runs},
+            backends=backends,
         )
         snapshots.extend(r.metrics for r in runs if r.metrics is not None)
 

@@ -180,6 +180,11 @@ class ScenarioSpec:
     # Run under the PoolSan pool-lifetime sanitizer (DESIGN.md §12).
     # The worker fails the job on any sanitizer finding.
     sanitize: bool = False
+    # Diagnosis backends to deploy (repro.diagnosis, DESIGN.md §14).
+    # Empty = the config default ("probe",), producing results identical
+    # to a spec written before this field existed; name backends
+    # explicitly ("probe", "int") to race them in a bake-off.
+    backends: tuple[str, ...] = ()
     # Wall-clock budget one worker may spend on this scenario before the
     # FleetRunner counts the attempt as hung (None = no limit).
     timeout_s: Optional[float] = None
@@ -195,6 +200,8 @@ class ScenarioSpec:
             raise ValueError("shards must be >= 1")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ValueError("timeout_s must be positive")
+        if len(set(self.backends)) != len(self.backends):
+            raise ValueError(f"duplicate backends: {self.backends}")
         for event in self.campaign:
             if event.start_s >= self.duration_s:
                 raise ValueError(

@@ -69,6 +69,31 @@ class DetectionOutcome:
 
 
 @dataclass(frozen=True, slots=True)
+class BackendReport:
+    """One diagnosis backend's scorecard for one scenario run.
+
+    ``true_positives``/``false_positives`` score the backend's *own*
+    verdicts against ground truth (window + expected category + locus);
+    the cost fields come from :meth:`~repro.diagnosis.backend.
+    DiagnosisBackend.cost` and feed the bake-off's overhead axis.
+    """
+
+    backend: str
+    verdicts_total: int
+    true_positives: int
+    false_positives: int
+    detections: tuple[DetectionOutcome, ...]
+    probe_packets: int
+    probe_bytes: int
+    telemetry_bytes: int
+    events_observed: int
+
+    @property
+    def faults_detected(self) -> int:
+        return sum(1 for d in self.detections if d.detected)
+
+
+@dataclass(frozen=True, slots=True)
 class ScenarioResult:
     """Everything one fleet job reports back, as plain picklable data."""
 
@@ -86,6 +111,9 @@ class ScenarioResult:
     problem_counts: dict[str, int] = field(default_factory=dict)
     sla: dict[str, float] = field(default_factory=dict)
     metrics: Optional[dict[str, float]] = None
+    # Per-deployed-backend scorecards (repro.diagnosis); one entry per
+    # name in the spec's effective backend set, in deployment order.
+    backend_reports: tuple[BackendReport, ...] = ()
     wall_s: float = 0.0         # wall-clock spent; NOT part of any digest
 
     @property
@@ -110,6 +138,8 @@ def run_scenario(spec: ScenarioSpec, seed: int) -> ScenarioResult:
         control_loss_prob=spec.control_loss_prob,
         shards=spec.shards,
         sla_sketch=spec.sla_sketch)
+    if spec.backends:
+        config.backends = spec.backends
     obs = Observability(metrics=spec.metrics, tracing=spec.tracing)
     system = RPingmesh(cluster, config, obs=obs)
 
@@ -130,6 +160,9 @@ def run_scenario(spec: ScenarioSpec, seed: int) -> ScenarioResult:
         for fault, window in faults)
     true_pos, false_pos = _score_precision(faults, system.analyzer.problems)
     metrics = dict(system.metrics_snapshot()) if spec.metrics else None
+    backend_reports = tuple(
+        _score_backend(name, system.backends[name], faults)
+        for name in system.config.backends)
 
     return ScenarioResult(
         scenario=spec.name,
@@ -151,6 +184,7 @@ def run_scenario(spec: ScenarioSpec, seed: int) -> ScenarioResult:
                    key=lambda kv: kv[0].value)},
         sla=_sla_summary(system),
         metrics=metrics,
+        backend_reports=backend_reports,
         wall_s=time.perf_counter() - start_wall,  # detlint: disable=DET001 wall_s bookkeeping
     )
 
@@ -246,6 +280,54 @@ def _score_precision(faults: list[tuple[Fault, tuple[int, Optional[int]]]],
         else:
             false_pos += 1
     return true_pos, false_pos
+
+
+def _score_backend(name: str, backend,
+                   faults: list[tuple[Fault, tuple[int, Optional[int]]]]
+                   ) -> BackendReport:
+    """Score one backend's own verdict stream against ground truth.
+
+    Reuses the Analyzer scoring machinery by converting each
+    :class:`~repro.diagnosis.backend.BackendVerdict` to a Problem record.
+    Unlike the system-level precision (located categories only), a
+    backend verdict counts as a true positive only when an injected fault
+    explains its *full* claim — window, expected category, and locus —
+    so a backend that merely says "something, somewhere" scores lower
+    than one naming the exact directed link.
+    """
+    problems = [v.as_problem() for v in backend.verdicts()]
+    detections = tuple(_score_fault(fault, window, problems)
+                       for fault, window in faults)
+    cost = backend.cost()
+    true_pos = 0
+    false_pos = 0
+    for problem in problems:
+        explained = False
+        for fault, (start_ns, end_ns) in faults:
+            horizon = (None if end_ns is None
+                       else end_ns + DETECTION_GRACE_NS)
+            if problem.detected_at_ns < start_ns:
+                continue
+            if horizon is not None and problem.detected_at_ns > horizon:
+                continue
+            if (problem.category in _expected_categories(fault.ground_truth)
+                    and _locus_matches(fault.ground_truth, problem.locus)):
+                explained = True
+                break
+        if explained:
+            true_pos += 1
+        else:
+            false_pos += 1
+    return BackendReport(
+        backend=name,
+        verdicts_total=len(problems),
+        true_positives=true_pos,
+        false_positives=false_pos,
+        detections=detections,
+        probe_packets=cost.probe_packets,
+        probe_bytes=cost.probe_bytes,
+        telemetry_bytes=cost.telemetry_bytes,
+        events_observed=cost.events_observed)
 
 
 def _sla_summary(system: RPingmesh) -> dict[str, float]:

@@ -149,6 +149,13 @@ class Fabric:
         # Observability.install when tracing is on; None keeps the
         # per-packet fast path at a single attribute check.
         self.tracer = None
+        # In-band telemetry collector (repro.diagnosis.inband), installed
+        # by IntCollector.install when the "int" backend is deployed.
+        # Same contract as the tracer — None keeps both forwarding paths
+        # at a single attribute check; unlike the tracer, stamping does
+        # NOT disqualify the fast path: queue build-up under a pure
+        # congestion fault is exactly what INT must observe there.
+        self.int_collector = None
         # Per-fabric packet id source: ids restart at 1 for every cluster
         # so same-process replays see identical ids.
         self._packet_ids = itertools.count(1)
@@ -322,6 +329,8 @@ class Fabric:
             packet = transit.packet
             self._release_transit(transit)
             self.packets_delivered += 1
+            if self.int_collector is not None:
+                self.int_collector.collect(packet, self.sim.now)
             receiver = self._receivers.get(nodes[-1])
             if receiver is not None:
                 receiver(packet, DeliveryRecord(self.sim.now, nodes))
@@ -355,6 +364,8 @@ class Fabric:
         if next_is_switch:
             delay += SWITCH_FORWARD_LATENCY_NS
         link.packets_forwarded += 1
+        if self.int_collector is not None:
+            self.int_collector.stamp(packet, link, self.sim.now)
         transit.idx = idx + 1
         self.sim.schedule(delay, transit)
 
@@ -399,6 +410,8 @@ class Fabric:
         if next_is_switch:
             delay += SWITCH_FORWARD_LATENCY_NS
         link.packets_forwarded += 1
+        if self.int_collector is not None:
+            self.int_collector.stamp(packet, link, now)
         path.append(next_node)
         if self.tracer is not None:
             seq, leg = self._probe_leg(packet)
@@ -439,6 +452,8 @@ class Fabric:
 
     def _deliver(self, packet: Packet, path: list[str]) -> None:
         self.packets_delivered += 1
+        if self.int_collector is not None:
+            self.int_collector.collect(packet, self.sim.now)
         if self.tracer is not None:
             seq, leg = self._probe_leg(packet)
             if seq is not None:

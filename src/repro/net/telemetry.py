@@ -19,13 +19,14 @@ them without code changes (the paper's stated design goal).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Protocol
+from typing import Optional, Protocol, runtime_checkable
 
 from repro.net.addresses import FiveTuple
 from repro.net.fabric import Fabric
 from repro.net.traceroute import PathRecord
 
 
+@runtime_checkable
 class PathTracer(Protocol):
     """The contract every tracing backend satisfies."""
 

@@ -57,6 +57,9 @@ class TracerouteService:
     def __init__(self, fabric: Fabric):
         self.fabric = fabric
         self.traces_issued = 0
+        # Hops lost to switch-CPU rate limiting (a None in some record's
+        # ``hops``) — the telemetry gap ERSPAN/INT close in §7.4.
+        self.rate_limited_hops = 0
 
     def trace(self, five_tuple: FiveTuple, src_port: str,
               dst_port: Optional[str] = None) -> PathRecord:
@@ -80,6 +83,7 @@ class TracerouteService:
         for name in raw_path:
             node = topo.nodes[name]
             if node.is_switch and not node.traceroute.allow(now):
+                self.rate_limited_hops += 1
                 hops.append(None)
             else:
                 hops.append(name)

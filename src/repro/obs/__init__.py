@@ -98,6 +98,12 @@ class Observability:
         for reason, count in sorted(fabric.drop_counts.items()):
             self.metrics.counter("repro_fabric_drops_total",
                                  reason=reason).value = count
+        self.metrics.counter("repro_traceroute_traces_total") \
+            .value = cluster.traceroute.traces_issued
+        self.metrics.counter(
+            "repro_traceroute_rate_limited_total",
+            help="path hops lost to switch-CPU traceroute rate limiting"
+        ).value = cluster.traceroute.rate_limited_hops
         self.metrics.counter("repro_sim_events_processed_total") \
             .value = cluster.sim.events_processed
         self.metrics.gauge("repro_sim_now_ns").set(cluster.sim.now)

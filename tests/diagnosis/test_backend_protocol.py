@@ -1,0 +1,90 @@
+"""The DiagnosisBackend contract: registry, verdict adapter, config."""
+
+import pytest
+
+from repro.core.config import RPingmeshConfig
+from repro.core.records import ProblemCategory
+from repro.diagnosis import (BackendCost, BackendVerdict, DiagnosisBackend,
+                             IntBackend, PingmeshBackend, ProbeBackend,
+                             available_backends, create_backend,
+                             register_backend)
+from repro.fleet.spec import ScenarioSpec
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"probe", "int", "pingmesh"} <= set(available_backends())
+
+    def test_create_backend_returns_protocol_instances(self):
+        for name, cls in (("probe", ProbeBackend), ("int", IntBackend),
+                          ("pingmesh", PingmeshBackend)):
+            backend = create_backend(name)
+            assert isinstance(backend, cls)
+            assert isinstance(backend, DiagnosisBackend)
+            assert backend.name == name
+
+    def test_fresh_instance_per_create(self):
+        assert create_backend("int") is not create_backend("int")
+
+    def test_unknown_backend_names_the_choices(self):
+        with pytest.raises(ValueError, match="unknown diagnosis backend"):
+            create_backend("carrier-pigeon")
+        with pytest.raises(ValueError, match="probe"):
+            create_backend("carrier-pigeon")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("probe")(object)
+
+
+class TestBackendVerdict:
+    def test_as_problem_round_trips_the_fields(self):
+        verdict = BackendVerdict(
+            backend="int", category="high_rtt",
+            locus="pod0-tor0->pod0-agg0", detected_at_ns=40_000_000_000,
+            window_start_ns=20_000_000_000, evidence=12,
+            detail="cause=overload")
+        problem = verdict.as_problem()
+        assert problem.category is ProblemCategory.HIGH_RTT
+        assert problem.locus == verdict.locus
+        assert problem.detected_at_ns == verdict.detected_at_ns
+        assert problem.window_start_ns == verdict.window_start_ns
+        assert problem.evidence_count == verdict.evidence
+        assert problem.detail == verdict.detail
+        assert not problem.from_service_tracing
+
+    def test_key_matches_problem_key(self):
+        verdict = BackendVerdict(
+            backend="probe", category="host_down", locus="host3",
+            detected_at_ns=1, window_start_ns=0, evidence=4)
+        assert verdict.key() == verdict.as_problem().key()
+
+    def test_default_cost_is_free(self):
+        cost = BackendCost()
+        assert (cost.probe_packets, cost.probe_bytes,
+                cost.telemetry_bytes, cost.events_observed) == (0, 0, 0, 0)
+
+
+class TestConfigValidation:
+    def test_default_backend_set_is_probe_only(self):
+        assert RPingmeshConfig().backends == ("probe",)
+
+    def test_unknown_backend_rejected(self):
+        config = RPingmeshConfig(backends=("probe", "smoke-signals"))
+        with pytest.raises(ValueError, match="unknown backends"):
+            config.validate()
+
+    def test_duplicate_backends_rejected(self):
+        config = RPingmeshConfig(backends=("probe", "probe"))
+        with pytest.raises(ValueError, match="duplicate backends"):
+            config.validate()
+
+    def test_scenario_spec_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate backends"):
+            ScenarioSpec(name="dup", duration_s=10,
+                         backends=("int", "int"))
+
+    def test_scenario_spec_accepts_fused_set(self):
+        spec = ScenarioSpec(name="fused", duration_s=10,
+                            backends=("probe", "int"))
+        assert spec.backends == ("probe", "int")

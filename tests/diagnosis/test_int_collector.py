@@ -1,0 +1,251 @@
+"""IntCollector stamp/collect/drain mechanics and fusion, in isolation.
+
+These tests drive the collector with stub links and packets so the
+per-hop fold, the top-K window bound, the shard slicing/merging algebra,
+and every ``fuse_window`` action (sharpen, tie-break, attribute, add) are
+checked without spinning up a cluster.
+"""
+
+import pytest
+
+from repro.core.analyzer import WindowAnalysis
+from repro.core.records import Problem, ProblemCategory
+from repro.diagnosis.fusion import fuse_window
+from repro.diagnosis.inband import (CAUSE_OVERLOAD, CAUSE_PFC, CAUSE_QUEUE,
+                                    INT_PAYLOAD_KEY, INT_STAMP_BYTES,
+                                    TOP_LINKS_PER_WINDOW, IntCollector,
+                                    IntLinkEvidence, merge_link_evidence,
+                                    slice_links)
+
+THRESHOLD_NS = 1_000_000
+MIN_EVIDENCE = 3
+
+
+class StubLink:
+    """Just enough of DirectedLink for the stamp hook."""
+
+    def __init__(self, name, queue_bytes=0.0, delay_ns=0, pause_ns=0,
+                 utilization=0.0):
+        self.name = name
+        self.queue_bytes = queue_bytes
+        self._delay_ns = delay_ns
+        self.pause_delay_ns = pause_ns
+        self._utilization = utilization
+
+    def queue_delay_ns(self, now):
+        return self._delay_ns
+
+    def utilization(self):
+        return self._utilization
+
+
+class StubPacket:
+    def __init__(self):
+        self.payload = {}
+
+
+def evidence(link, *, packets=MIN_EVIDENCE, paused=0, queue=0.0,
+             delay=THRESHOLD_NS + 1, util=0.0, seen=0):
+    return IntLinkEvidence(link=link, packets=packets, paused_packets=paused,
+                           max_queue_bytes=queue, max_delay_ns=delay,
+                           max_utilization=util, last_seen_ns=seen)
+
+
+class TestCollector:
+    def test_stamp_pushes_onto_the_payload_stack(self):
+        collector = IntCollector()
+        packet = StubPacket()
+        collector.stamp(packet, StubLink("a->b", delay_ns=5), now=10)
+        collector.stamp(packet, StubLink("b->c", delay_ns=7), now=20)
+        stack = packet.payload[INT_PAYLOAD_KEY]
+        assert [entry[0] for entry in stack] == ["a->b", "b->c"]
+        assert collector.stamps_total == 2
+        assert collector.telemetry_bytes == 2 * INT_STAMP_BYTES
+
+    def test_collect_strips_the_stack_before_the_receiver_sees_it(self):
+        collector = IntCollector()
+        packet = StubPacket()
+        collector.stamp(packet, StubLink("a->b"), now=1)
+        collector.collect(packet, now=2)
+        assert INT_PAYLOAD_KEY not in packet.payload
+        assert collector.packets_collected == 1
+
+    def test_collect_without_stamps_is_a_noop(self):
+        collector = IntCollector()
+        collector.collect(StubPacket(), now=1)
+        assert collector.packets_collected == 0
+
+    def test_window_folds_maxima_and_counts(self):
+        collector = IntCollector()
+        link = StubLink("a->b", queue_bytes=100.0, delay_ns=50)
+        hot = StubLink("a->b", queue_bytes=900.0, delay_ns=800, pause_ns=40,
+                       utilization=0.97)
+        for l in (link, hot, link):
+            packet = StubPacket()
+            collector.stamp(packet, l, now=5)
+            collector.collect(packet, now=6)
+        summary = collector.drain_window(0, 10)
+        (ev,) = summary.links
+        assert ev.packets == 3
+        assert ev.paused_packets == 1
+        assert ev.max_queue_bytes == 900.0
+        assert ev.max_delay_ns == 840          # queue delay + pause delay
+        assert ev.max_utilization == 0.97
+        assert summary.telemetry_bytes == 3 * INT_STAMP_BYTES
+
+    def test_drain_is_destructive_and_top_k_bounded(self):
+        collector = IntCollector()
+        for i in range(TOP_LINKS_PER_WINDOW + 4):
+            packet = StubPacket()
+            collector.stamp(packet, StubLink(f"sw{i:02d}->sw99",
+                                             delay_ns=1000 + i), now=1)
+            collector.collect(packet, now=2)
+        summary = collector.drain_window(0, 10)
+        assert len(summary.links) == TOP_LINKS_PER_WINDOW
+        delays = [ev.max_delay_ns for ev in summary.links]
+        assert delays == sorted(delays, reverse=True)   # hottest first
+        assert collector.drain_window(10, 20).links == ()
+
+    def test_second_collector_on_one_fabric_is_rejected(self):
+        class StubFabric:
+            int_collector = None
+
+        fabric = StubFabric()
+        first = IntCollector()
+        first.install(fabric)
+        first.install(fabric)                   # idempotent for self
+        with pytest.raises(RuntimeError, match="already has"):
+            IntCollector().install(fabric)
+
+
+class TestCauseAttribution:
+    def test_pause_dominates(self):
+        ev = evidence("a->b", packets=10, paused=6, util=0.99)
+        assert ev.cause() == CAUSE_PFC
+
+    def test_overload_without_pause(self):
+        assert evidence("a->b", util=0.97).cause() == CAUSE_OVERLOAD
+
+    def test_queue_buildup_is_the_fallback(self):
+        assert evidence("a->b", util=0.5).cause() == CAUSE_QUEUE
+
+
+class TestShardAlgebra:
+    def test_slice_links_by_pod_ownership(self):
+        links = [evidence("pod0-tor0->pod0-agg0"),
+                 evidence("pod1-agg0->spine0"),
+                 evidence("spineA->spineB")]    # no pod endpoint
+        pod0 = slice_links(links, {"pod0"}, include_unowned=True)
+        pod1 = slice_links(links, {"pod1"}, include_unowned=False)
+        assert [ev.link for ev in pod0] == ["pod0-tor0->pod0-agg0",
+                                            "spineA->spineB"]
+        assert [ev.link for ev in pod1] == ["pod1-agg0->spine0"]
+        # Disjoint and complete: every link lands in exactly one slice.
+        assert {ev.link for ev in pod0} | {ev.link for ev in pod1} == \
+            {ev.link for ev in links}
+
+    def test_merge_sums_counts_and_maxes_maxima(self):
+        a = evidence("x->y", packets=3, paused=1, queue=10.0, delay=100,
+                     util=0.3, seen=5)
+        b = evidence("x->y", packets=2, paused=2, queue=90.0, delay=40,
+                     util=0.8, seen=9)
+        merged = merge_link_evidence([[a], [b]])["x->y"]
+        assert merged.packets == 5
+        assert merged.paused_packets == 3
+        assert merged.max_queue_bytes == 90.0
+        assert merged.max_delay_ns == 100
+        assert merged.max_utilization == 0.8
+        assert merged.last_seen_ns == 9
+
+    def test_merge_of_disjoint_slices_is_a_union(self):
+        merged = merge_link_evidence([[evidence("a->b")], [evidence("c->d")]])
+        assert set(merged) == {"a->b", "c->d"}
+
+
+def window(*problems):
+    return WindowAnalysis(window_start_ns=0, window_end_ns=20,
+                          problems=list(problems))
+
+
+def switch_problem(locus, votes=None, service=False):
+    detail = f"votes={votes}" if votes is not None else ""
+    return Problem(category=ProblemCategory.SWITCH_NETWORK_PROBLEM,
+                   locus=locus, detected_at_ns=20, window_start_ns=0,
+                   evidence_count=5, from_service_tracing=service,
+                   detail=detail)
+
+
+def fuse(win, links):
+    return fuse_window(win, links, threshold_ns=THRESHOLD_NS,
+                       min_evidence=MIN_EVIDENCE)
+
+
+class TestFuseWindow:
+    def test_sharpens_cable_level_locus_to_the_directed_link(self):
+        hot = "pod0-tor0->pod0-agg0"
+        for cable_form in ("pod0-agg0->pod0-tor0", "pod0-tor0",
+                           "pod0-tor0<->pod0-agg0"):
+            win = window(switch_problem(cable_form))
+            report = fuse(win, {hot: evidence(hot, util=0.99)})
+            assert report.sharpened == 1
+            (problem,) = win.problems
+            assert problem.locus == hot
+            assert f"int:sharpened<-{cable_form}" in problem.detail
+            assert f"cause={CAUSE_OVERLOAD}" in problem.detail
+
+    def test_exact_locus_is_annotated_not_rewritten(self):
+        hot = "a->b"
+        win = window(switch_problem(hot))
+        report = fuse(win, {hot: evidence(hot)})
+        assert (report.sharpened, report.annotated) == (0, 1)
+        assert win.problems[0].locus == hot
+
+    def test_breaks_equal_vote_ties(self):
+        hot = "pod0-tor0->pod0-agg0"
+        corroborated = switch_problem(hot, votes=4)
+        cold = switch_problem("pod0-tor1->pod0-agg1", votes=4)
+        win = window(corroborated, cold)
+        report = fuse(win, {hot: evidence(hot)})
+        assert report.ties_broken == 1
+        assert "int:tiebreak" in corroborated.detail
+        assert "int:cold" in cold.detail
+
+    def test_no_tiebreak_when_votes_differ(self):
+        hot = "pod0-tor0->pod0-agg0"
+        win = window(switch_problem(hot, votes=5),
+                     switch_problem("pod0-tor1->pod0-agg1", votes=2))
+        assert fuse(win, {hot: evidence(hot)}).ties_broken == 0
+
+    def test_adds_int_origin_problem_for_unnamed_hot_links(self):
+        hot = "pod0-agg0->spine0"
+        win = window()
+        report = fuse(win, {hot: evidence(hot, packets=8)})
+        assert report.added == 1
+        (problem,) = win.problems
+        assert problem.category is ProblemCategory.HIGH_RTT
+        assert problem.locus == hot
+        assert "int:origin" in problem.detail
+        assert problem.evidence_count == 8
+
+    def test_strictly_additive_never_removes(self):
+        hot = "pod0-tor0->pod0-agg0"
+        unrelated = Problem(category=ProblemCategory.HOST_DOWN,
+                            locus="host3", detected_at_ns=20,
+                            window_start_ns=0, evidence_count=1,
+                            from_service_tracing=False)
+        win = window(switch_problem(hot), unrelated)
+        before = len(win.problems)
+        fuse(win, {hot: evidence(hot), "x->y": evidence("x->y")})
+        assert len(win.problems) >= before
+        assert unrelated in win.problems
+        assert unrelated.detail == ""           # non-fusable left alone
+
+    def test_cold_evidence_does_nothing(self):
+        win = window(switch_problem("a->b"))
+        report = fuse(win, {
+            "a->b": evidence("a->b", delay=THRESHOLD_NS),        # at, not over
+            "c->d": evidence("c->d", packets=MIN_EVIDENCE - 1),  # too few
+        })
+        assert (report.sharpened, report.annotated, report.added,
+                report.ties_broken) == (0, 0, 0, 0)
+        assert win.problems[0].detail == ""

@@ -154,6 +154,42 @@ class TestArtifact:
             scorecard_from_dict({"bogus": 1})
 
 
+class TestBackendReports:
+    def _report(self, backend="int", **overrides):
+        from repro.fleet.worker import BackendReport
+        defaults = dict(
+            backend=backend, verdicts_total=3, true_positives=1,
+            false_positives=0, detections=(_detection(),),
+            probe_packets=0, probe_bytes=0, telemetry_bytes=1200,
+            events_observed=100)
+        defaults.update(overrides)
+        return BackendReport(**defaults)
+
+    def test_summed_across_seeds(self):
+        results = [_result(seed=s, replay=f"r{s}",
+                           backend_reports=(self._report(),))
+                   for s in range(3)]
+        (score,) = merge(results).scenarios.values()
+        agg = score.backends["int"]
+        assert agg["verdicts_total"] == 9
+        assert agg["faults_total"] == 3
+        assert agg["faults_detected"] == 3
+        assert agg["telemetry_bytes"] == 3600
+        assert agg["time_to_detect_ms"]["mean"] == 12000.0
+
+    def test_in_artifact_and_order_independent(self):
+        results = [_result(seed=s, replay=f"r{s}", backend_reports=(
+            self._report("probe", probe_packets=300), self._report("int")))
+            for s in range(4)]
+        baseline = merge(results).to_json()
+        shuffled = list(results)
+        random.Random(1).shuffle(shuffled)
+        assert merge(shuffled).to_json() == baseline
+        data = json.loads(baseline)
+        (score,) = data["scenarios"].values()
+        assert list(score["backends"]) == ["int", "probe"]
+
+
 class TestWorkerFieldDrift:
     def test_merge_consumes_every_aggregate_field(self):
         """Adding a ScenarioResult field without teaching merge about it
@@ -162,6 +198,6 @@ class TestWorkerFieldDrift:
                  "sim_now_ns", "events_processed", "probes_total",
                  "probes_ok", "detections", "true_positives",
                  "false_positives", "problem_counts", "sla", "metrics",
-                 "wall_s"}
+                 "backend_reports", "wall_s"}
         fields = {f.name for f in dataclasses.fields(ScenarioResult)}
         assert fields == known

@@ -1,0 +1,105 @@
+"""Unit tests for the ERSPAN/INT path-tracing backends (§7.4)."""
+
+from repro.net.addresses import roce_five_tuple
+from repro.net.telemetry import (ErspanTracer, IntHop, IntRecord, IntTracer,
+                                 PathTracer, localize_congestion_with_int)
+from repro.net.traceroute import TracerouteService
+
+from tests.net.test_fabric import build_fabric
+
+
+def _ft(port=7000):
+    return roce_five_tuple("10.0.0.1", "10.0.0.2", port)
+
+
+class TestErspanTracer:
+    def test_complete_trace_matches_data_path(self):
+        sim, topo, fabric = build_fabric()
+        tracer = ErspanTracer(fabric)
+        record = tracer.trace(_ft(), "a", "b")
+        assert record.reached
+        assert record.complete
+        assert list(record.hops) == fabric.path_of(_ft(), "a")
+
+    def test_no_rate_limit_where_traceroute_throttles(self):
+        # Drain a switch's traceroute token bucket; ERSPAN (ASIC
+        # mirroring) keeps returning complete traces regardless.
+        sim, topo, fabric = build_fabric()
+        traceroute = TracerouteService(fabric)
+        erspan = ErspanTracer(fabric)
+        while traceroute.trace(_ft(), "a", "b").complete:
+            pass
+        assert erspan.trace(_ft(), "a", "b").complete
+
+    def test_down_link_truncates(self):
+        sim, topo, fabric = build_fabric()
+        tracer = ErspanTracer(fabric)
+        full = tracer.trace(_ft(), "a", "b")
+        topo.link_pair("tor1", full.hops[2]).up = False
+        record = tracer.trace(_ft(), "a", "b")
+        assert not record.reached
+        assert len(record.hops) < len(full.hops)
+
+    def test_counts_traces(self):
+        sim, topo, fabric = build_fabric()
+        tracer = ErspanTracer(fabric)
+        for _ in range(3):
+            tracer.trace(_ft(), "a", "b")
+        assert tracer.traces_issued == 3
+
+
+class TestIntTracer:
+    def test_satisfies_path_tracer_protocol(self):
+        sim, topo, fabric = build_fabric()
+        assert isinstance(IntTracer(fabric), PathTracer)
+        assert isinstance(ErspanTracer(fabric), PathTracer)
+        assert isinstance(TracerouteService(fabric), PathTracer)
+
+    def test_hops_cover_every_known_link(self):
+        sim, topo, fabric = build_fabric()
+        record = IntTracer(fabric).trace_with_telemetry(_ft(), "a", "b")
+        assert isinstance(record, IntRecord)
+        assert len(record.hops) == len(record.path.known_links())
+        assert [h.node for h in record.hops] == \
+            [a for a, _ in record.path.known_links()]
+
+    def test_idle_fabric_reports_empty_queues(self):
+        sim, topo, fabric = build_fabric()
+        record = IntTracer(fabric).trace_with_telemetry(_ft(), "a", "b")
+        assert all(h.egress_queue_bytes == 0 for h in record.hops)
+        assert record.hottest_hop().egress_queue_bytes == 0
+
+    def test_hottest_hop_names_congested_queue(self):
+        sim, topo, fabric = build_fabric()
+        path = fabric.path_of(_ft(), "a")
+        a, b = path[1], path[2]            # tor1 -> midX
+        link = topo.link(a, b)
+        link.queue_bytes = 500_000.0
+        record = IntTracer(fabric).trace_with_telemetry(_ft(), "a", "b")
+        hop = record.hottest_hop()
+        assert hop == IntHop(node=a, egress_queue_bytes=500_000.0,
+                             egress_utilization=link.utilization())
+
+    def test_plain_trace_discards_metadata(self):
+        sim, topo, fabric = build_fabric()
+        tracer = IntTracer(fabric)
+        record = tracer.trace(_ft(), "a", "b")
+        assert record.reached
+        assert not hasattr(record, "hops") or isinstance(record.hops, tuple)
+        assert tracer.traces_issued == 1
+
+
+class TestLocalizeCongestion:
+    def test_names_directed_link_with_deepest_queue(self):
+        sim, topo, fabric = build_fabric()
+        flows = [(_ft(port), "a") for port in range(7000, 7008)]
+        guilty_path = fabric.path_of(flows[0][0], "a")
+        a, b = guilty_path[1], guilty_path[2]
+        topo.link(a, b).queue_bytes = 2_000_000.0
+        suspect = localize_congestion_with_int(IntTracer(fabric), flows)
+        assert suspect == f"{a}->{b}"
+
+    def test_no_congestion_yields_none(self):
+        sim, topo, fabric = build_fabric()
+        flows = [(_ft(port), "a") for port in range(7000, 7004)]
+        assert localize_congestion_with_int(IntTracer(fabric), flows) is None

@@ -61,6 +61,13 @@ PUBLIC_MODULES = [
     "repro.core.dashboard",
     "repro.baselines",
     "repro.baselines.pingmesh",
+    "repro.diagnosis",
+    "repro.diagnosis.backend",
+    "repro.diagnosis.probe",
+    "repro.diagnosis.inband",
+    "repro.diagnosis.pingmesh",
+    "repro.diagnosis.fusion",
+    "repro.diagnosis.bakeoff",
     "repro.obs",
     "repro.obs.tracer",
     "repro.obs.metrics",
